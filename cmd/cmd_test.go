@@ -1,0 +1,156 @@
+// Package cmd_test builds the three command binaries and exercises them
+// end to end against the shipped example programs.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "hdlbin")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"hdl", "hdlc", "hdlbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic("building " + tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", tool, args, err)
+	}
+	return string(out), code
+}
+
+func TestHdlRunsPrograms(t *testing.T) {
+	out, code := run(t, "hdl", "examples/programs/parity.hdl")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "?- even.") || !strings.Contains(out, "true") {
+		t.Errorf("missing query output:\n%s", out)
+	}
+	if !strings.Contains(out, "linearly stratified, 1 strata") {
+		t.Errorf("missing stratification banner:\n%s", out)
+	}
+}
+
+func TestHdlQueryFlagAndBindings(t *testing.T) {
+	out, code := run(t, "hdl", "-q", "grad(S)[add: take(S, C)]", "examples/programs/university.hdl")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "S = mary") {
+		t.Errorf("missing binding for mary:\n%s", out)
+	}
+}
+
+func TestHdlExplain(t *testing.T) {
+	out, code := run(t, "hdl", "-explain", "examples/programs/parity.hdl")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[fact]") || !strings.Contains(out, "under add:") {
+		t.Errorf("missing derivation tree:\n%s", out)
+	}
+}
+
+func TestHdlModes(t *testing.T) {
+	for _, mode := range []string{"auto", "uniform", "cascade"} {
+		out, code := run(t, "hdl", "-mode", mode, "examples/programs/hamiltonian.hdl")
+		if code != 0 {
+			t.Fatalf("mode %s: exit %d:\n%s", mode, code, out)
+		}
+		if !strings.Contains(out, "?- yes.\n   true") {
+			t.Errorf("mode %s: wrong answer:\n%s", mode, out)
+		}
+	}
+}
+
+func TestHdlDeletionProgram(t *testing.T) {
+	out, code := run(t, "hdl", "examples/programs/tokengame.hdl")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "?- goal.\n   true") {
+		t.Errorf("token game wrong:\n%s", out)
+	}
+}
+
+func TestHdlErrors(t *testing.T) {
+	out, code := run(t, "hdl", "no-such-file.hdl")
+	if code == 0 {
+		t.Errorf("missing-file run succeeded:\n%s", out)
+	}
+	_, code = run(t, "hdl")
+	if code == 0 {
+		t.Error("argless run succeeded")
+	}
+}
+
+func TestHdlcReportsStrata(t *testing.T) {
+	out, code := run(t, "hdlc", "-v", "examples/programs/example9.hdl")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"3 strata", "a3/0", "Σ_3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHdlcNonLinearExitCode(t *testing.T) {
+	tmp := filepath.Join(binDir, "nonlinear.hdl")
+	if err := os.WriteFile(tmp, []byte("a :- b, a[add: c1], a[add: c2].\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "hdlc", tmp)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "NOT linearly stratifiable") {
+		t.Errorf("missing diagnosis:\n%s", out)
+	}
+	// Hard errors exit 2.
+	tmp2 := filepath.Join(binDir, "negcycle.hdl")
+	if err := os.WriteFile(tmp2, []byte("a :- not b.\nb :- not a.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, code = run(t, "hdlc", tmp2)
+	if code != 2 {
+		t.Errorf("negation cycle exit = %d, want 2", code)
+	}
+}
+
+func TestHdlbenchSmoke(t *testing.T) {
+	out, code := run(t, "hdlbench", "-smoke", "-run", "E1,E11")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "E1 (Example 4)") || !strings.Contains(out, "E11 (section 3.1)") {
+		t.Errorf("missing experiment tables:\n%s", out)
+	}
+}

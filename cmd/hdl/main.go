@@ -1,0 +1,215 @@
+// Command hdl evaluates hypothetical Datalog programs.
+//
+// Usage:
+//
+//	hdl [flags] program.hdl [more.hdl ...]
+//
+// The embedded "?- query." clauses of the programs are evaluated and
+// printed. Additional queries can be given with -q, and -i drops into an
+// interactive prompt afterwards. Queries may contain variables; all
+// bindings over dom(R, DB) are printed.
+//
+// Flags:
+//
+//	-q query    evaluate this query (repeatable)
+//	-i          interactive prompt after file queries
+//	-mode m     auto | uniform | cascade (default auto)
+//	-stats      print evaluation statistics after each query
+//	-max n      abort a query after n goal expansions (0 = unlimited)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hypodatalog"
+)
+
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
+func main() {
+	var queries queryList
+	flag.Var(&queries, "q", "query to evaluate (repeatable)")
+	interactive := flag.Bool("i", false, "interactive prompt")
+	mode := flag.String("mode", "auto", "evaluation mode: auto | uniform | cascade")
+	stats := flag.Bool("stats", false, "print evaluation statistics")
+	explain := flag.Bool("explain", false, "print a derivation tree for provable ground queries (uniform mode)")
+	maxGoals := flag.Int64("max", 0, "goal budget per query (0 = unlimited)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hdl [flags] program.hdl ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var src strings.Builder
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		src.Write(data)
+		src.WriteByte('\n')
+	}
+	prog, err := hypo.Parse(src.String())
+	if err != nil {
+		fatal(err)
+	}
+	opts := hypo.Options{MaxGoals: *maxGoals}
+	if *explain {
+		*mode = "uniform"
+	}
+	switch *mode {
+	case "auto":
+		opts.Mode = hypo.ModeAuto
+	case "uniform":
+		opts.Mode = hypo.ModeUniform
+	case "cascade":
+		opts.Mode = hypo.ModeCascade
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	eng, err := hypo.New(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := prog.Stratification()
+	if s.Linear {
+		fmt.Printf("%% linearly stratified, %d strata (data-complexity in Σ_%d^P)\n", s.Strata, s.Strata)
+	} else {
+		fmt.Printf("%% not linearly stratified (%s); uniform evaluation\n", s.Reason)
+	}
+
+	all := append(append([]string{}, prog.Queries()...), queries...)
+	for _, q := range all {
+		runQuery(eng, q, *stats)
+		if *explain {
+			printExplanation(eng, q)
+		}
+	}
+
+	if *interactive {
+		repl(eng, prog, *stats)
+	}
+}
+
+// repl reads queries (and :commands) from stdin until EOF or :quit.
+func repl(eng *hypo.Engine, prog *hypo.Program, stats bool) {
+	fmt.Println("% enter queries ('grad(S)[add: take(S, C)]'); :help for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("?- ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimSuffix(line, ".")
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":q" || line == "quit" || line == "exit":
+			return
+		case line == ":help":
+			fmt.Println(`  <premise>         evaluate a query (variables enumerate bindings)
+  :explain <query>  print a derivation tree (uniform mode only)
+  :strata           show the stratification report
+  :program          print the loaded program
+  :help             this text
+  :quit             leave`)
+		case line == ":strata":
+			s := prog.Stratification()
+			if s.Linear {
+				fmt.Printf("   linearly stratified, %d strata (Σ_%d^P)\n", s.Strata, s.Strata)
+				var preds []string
+				for p := range s.Partition {
+					preds = append(preds, p)
+				}
+				sort.Strings(preds)
+				for _, p := range preds {
+					fmt.Printf("   %-24s partition %d\n", p, s.Partition[p])
+				}
+			} else {
+				fmt.Printf("   not linearly stratifiable: %s\n", s.Reason)
+			}
+		case line == ":program":
+			fmt.Print(prog.String())
+		case strings.HasPrefix(line, ":explain "):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))
+			tree, err := eng.Explain(q)
+			switch {
+			case err != nil:
+				fmt.Printf("   error: %v\n", err)
+			case tree == "":
+				fmt.Println("   false (nothing to explain)")
+			default:
+				for _, l := range strings.Split(strings.TrimRight(tree, "\n"), "\n") {
+					fmt.Printf("   | %s\n", l)
+				}
+			}
+		default:
+			runQuery(eng, line, stats)
+		}
+		fmt.Print("?- ")
+	}
+}
+
+func runQuery(eng *hypo.Engine, q string, stats bool) {
+	bs, err := eng.Query(q)
+	if err != nil {
+		fmt.Printf("?- %s.\n   error: %v\n", q, err)
+		return
+	}
+	fmt.Printf("?- %s.\n", q)
+	switch {
+	case len(bs) == 1 && len(bs[0]) == 0:
+		fmt.Println("   true")
+	case len(bs) == 0:
+		fmt.Println("   false")
+	default:
+		for _, b := range bs {
+			vars := make([]string, 0, len(b))
+			for v := range b {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			parts := make([]string, len(vars))
+			for i, v := range vars {
+				parts[i] = fmt.Sprintf("%s = %s", v, b[v])
+			}
+			fmt.Printf("   %s\n", strings.Join(parts, ", "))
+		}
+	}
+	if stats {
+		st := eng.Stats()
+		fmt.Printf("   %% goals=%d table=%d hits=%d cuts=%d depth=%d\n",
+			st.Goals, st.TableSize, st.TableHits, st.LoopCuts, st.MaxDepth)
+	}
+}
+
+func printExplanation(eng *hypo.Engine, q string) {
+	tree, err := eng.Explain(q)
+	if err != nil {
+		fmt.Printf("   %% no explanation: %v\n", err)
+		return
+	}
+	if tree == "" {
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(tree, "\n"), "\n") {
+		fmt.Printf("   | %s\n", line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hdl:", err)
+	os.Exit(1)
+}

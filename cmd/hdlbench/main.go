@@ -1,0 +1,54 @@
+// Command hdlbench runs the experiment suite (E1-E12 of DESIGN.md) and
+// prints one result table per experiment — the rows recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	hdlbench [-run E1,E7] [-smoke]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hypodatalog/internal/bench"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	smoke := flag.Bool("smoke", false, "use tiny sweep sizes")
+	flag.Parse()
+
+	sizes := bench.DefaultSizes()
+	if *smoke {
+		sizes = bench.SmokeSizes()
+	}
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	failed := false
+	for _, ex := range bench.All() {
+		if len(want) > 0 && !want[ex.ID] {
+			continue
+		}
+		fmt.Printf("# %s — %s\n", ex.ID, ex.Name)
+		start := time.Now()
+		tbl, err := ex.Run(sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", ex.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s total)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

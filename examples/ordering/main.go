@@ -1,0 +1,66 @@
+// Ordering: the section 6 trick — computing an order-dependent query on
+// an unordered domain by hypothetically asserting every linear order.
+// The demo query ("is |D| odd?") walks the asserted order and checks the
+// parity of the last element's position; genericity guarantees every
+// order gives the same answer, demonstrated by renaming the domain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hypodatalog"
+	"hypodatalog/internal/generic"
+)
+
+func main() {
+	for n := 1; n <= 5; n++ {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("el%d", i)
+		}
+		src := generic.ParityViaOrder("d") + generic.DomainFacts("d", names)
+		prog, err := hypo.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := hypo.New(prog, hypo.Options{Mode: hypo.ModeUniform})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		yes, err := eng.Ask("yes")
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+
+		// Rename every constant: the answer must not change (genericity).
+		renamed := make([]string, n)
+		for i := range renamed {
+			renamed[i] = fmt.Sprintf("zz%d", n-i)
+		}
+		src2 := generic.ParityViaOrder("d") + generic.DomainFacts("d", renamed)
+		prog2, err := hypo.Parse(src2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng2, err := hypo.New(prog2, hypo.Options{Mode: hypo.ModeUniform})
+		if err != nil {
+			log.Fatal(err)
+		}
+		yes2, err := eng2.Ask("yes")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("|D| = %d: odd=%v  renamed-domain=%v  (%v; up to %d! orders)\n",
+			n, yes, yes2, elapsed.Round(time.Microsecond), n)
+		if yes != (n%2 == 1) || yes2 != yes {
+			log.Fatal("order dependence or wrong parity detected")
+		}
+	}
+	fmt.Println("\nNo a-priori order exists; the rules assert one hypothetically,")
+	fmt.Println("and generic queries cannot tell the orders apart (section 6.2.3).")
+}

@@ -1,0 +1,41 @@
+// Parity: the paper's Example 6 — deciding whether a relation has an even
+// number of tuples by hypothetically copying it, one tuple at a time,
+// while two mutually recursive predicates flip between EVEN and ODD.
+// Plain Datalog cannot express this query on unordered domains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypodatalog"
+	"hypodatalog/internal/workload"
+)
+
+func main() {
+	for n := 0; n <= 8; n++ {
+		prog, err := hypo.Parse(workload.ParityProgram(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := prog.Stratification()
+		eng, err := hypo.New(prog, hypo.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		even, err := eng.Ask("even")
+		if err != nil {
+			log.Fatal(err)
+		}
+		odd, err := eng.Ask("odd")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("|A| = %d: even=%-5v odd=%-5v (strata: %d)\n", n, even, odd, s.Strata)
+		if even != (n%2 == 0) {
+			log.Fatalf("wrong answer at n=%d", n)
+		}
+	}
+	fmt.Println("\nThe copy order is irrelevant: every order yields the same")
+	fmt.Println("answer — the order-independence that section 6 builds on.")
+}

@@ -1,0 +1,71 @@
+// Quickstart: parse a hypothetical Datalog program, check its
+// stratification, and run ground and non-ground queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypodatalog"
+)
+
+func main() {
+	prog, err := hypo.Parse(`
+		% A tiny curriculum database.
+		take(tony, his101).
+		take(tony, eng201).
+		take(mary, his101).
+
+		% Graduation requires both courses.
+		grad(S) :- take(S, his101), take(S, eng201).
+
+		% "Within one course of graduating": a hypothetical premise.
+		within1(S) :- grad(S)[add: take(S, C)].
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := prog.Stratification()
+	fmt.Printf("linearly stratified: %v, strata: %d\n", s.Linear, s.Strata)
+
+	eng, err := hypo.New(prog, hypo.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground queries.
+	for _, q := range []string{
+		"grad(tony)",
+		"grad(mary)",
+		"grad(mary)[add: take(mary, eng201)]", // Example 1's shape
+		"within1(mary)",
+	} {
+		ok, err := eng.Ask(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s -> %v\n", q+"?", ok)
+	}
+
+	// A non-ground query enumerates bindings (Example 2's shape).
+	bindings, err := eng.Query("grad(S)[add: take(S, C)]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("students within one (hypothetical) course of graduating:")
+	seen := map[string]bool{}
+	for _, b := range bindings {
+		if !seen[b["S"]] {
+			seen[b["S"]] = true
+			fmt.Printf("  %s\n", b["S"])
+		}
+	}
+
+	// Evaluate a query in an explicitly extended database.
+	ok, err := eng.AskUnder("grad(mary)", "take(mary, eng201)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grad(mary) under +take(mary, eng201) -> %v\n", ok)
+}

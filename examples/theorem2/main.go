@@ -1,0 +1,69 @@
+// Theorem2: the paper's expressibility result, end to end. A Turing
+// machine deciding a generic query ("is the relation p non-empty?") is
+// compiled to a CONSTANT-FREE hypothetical rulebase that evaluates it on
+// an unordered domain: the rules assert every linear order hypothetically,
+// build a pair counter from the asserted order, write the database onto
+// the machine's tape as a bitmap (zeros via negation-as-failure), and
+// simulate the machine — all without naming a single constant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"hypodatalog"
+	"hypodatalog/internal/generic"
+	"hypodatalog/internal/turing"
+)
+
+func main() {
+	rules, err := generic.CompileGeneric(turing.HasOne(), "d", "p")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R(ψ): %d constant-free rules for the query \"p non-empty?\"\n\n",
+		strings.Count(rules, "\n"))
+
+	cases := []struct {
+		n      int
+		marked []int
+	}{
+		{2, nil}, {2, []int{1}}, {3, nil}, {3, []int{0, 2}}, {4, []int{2}},
+	}
+	for _, tc := range cases {
+		var facts strings.Builder
+		for i := 0; i < tc.n; i++ {
+			fmt.Fprintf(&facts, "d(el%d).\n", i)
+		}
+		for _, i := range tc.marked {
+			fmt.Fprintf(&facts, "p(el%d).\n", i)
+		}
+		prog, err := hypo.Parse(rules + facts.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := hypo.New(prog, hypo.Options{Mode: hypo.ModeUniform})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		yes, err := eng.Ask("yes")
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := len(tc.marked) > 0
+		status := "ok"
+		if yes != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("|d|=%d marked=%v -> yes=%-5v (want %-5v, %v) %s\n",
+			tc.n, tc.marked, yes, want, time.Since(start).Round(time.Microsecond), status)
+		if yes != want {
+			log.Fatal("wrong answer")
+		}
+	}
+	fmt.Println("\nEvery answer is computed without any order on the domain and")
+	fmt.Println("without any constant in the rulebase — Theorem 2's construction.")
+}

@@ -1,0 +1,3 @@
+module hypodatalog
+
+go 1.22

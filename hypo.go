@@ -1,0 +1,473 @@
+// Package hypo is a hypothetical Datalog engine: Datalog extended with
+// premises of the form B[add: C1, ..., Cm], meaning "B would be provable
+// if the facts Ci were inserted into the database", plus stratified
+// negation-as-failure. It implements the language and results of
+//
+//	Anthony J. Bonner, "Hypothetical Datalog: Negation and Linear
+//	Recursion", PODS 1989.
+//
+// # Quick start
+//
+//	prog, err := hypo.Parse(`
+//	    take(tony, his101).
+//	    take(tony, eng201).
+//	    grad(S) :- take(S, his101), take(S, eng201).
+//	`)
+//	eng, err := hypo.New(prog, hypo.Options{})
+//	ok, err := eng.Ask("grad(mary)[add: take(mary, his101), take(mary, eng201)]")
+//
+// # Syntax
+//
+// Programs are lists of clauses terminated by periods. Constants and
+// predicate names start lower-case (or are integers, or 'quoted');
+// variables start upper-case. Rules use ":-"; negation is "not" or "~";
+// hypothetical premises append "[add: atom, ...]" and/or "[del: atom,
+// ...]" to an atom (deletion is the EXPTIME extension mentioned in the
+// paper's introduction). Comments run from "%" or "//" to end of line.
+//
+// # Semantics
+//
+// Inference follows Definition 3 of the paper with negation-as-failure:
+// an atom holds if it is in the (hypothetically extended) database or
+// follows from a rule instance over the domain dom(R, DB). Programs must
+// have stratified negation — recursion through negation is rejected. A
+// variable occurring only in negated premises is quantified inside the
+// negation ("not p(X)" with X unused elsewhere reads "no instance of p is
+// provable"), which is the reading the paper's EVEN and Hamiltonian-path
+// examples require.
+//
+// # Complexity
+//
+// Deciding a query is PSPACE-complete in general. Programs that are
+// linearly stratified with k strata (section 4 of the paper) are
+// data-complete for Σ_k^P; Stratification reports the analysis. Two
+// evaluators are provided: the default uniform top-down tabled engine,
+// and the paper's PROVE cascade (ModeCascade), which requires a linear
+// stratification.
+package hypo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/engine"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/ref"
+	"hypodatalog/internal/storage"
+	"hypodatalog/internal/strat"
+	"hypodatalog/internal/symbols"
+	"hypodatalog/internal/topdown"
+)
+
+// Program is a parsed, validated, compiled hypothetical Datalog program.
+type Program struct {
+	src  *ast.Program
+	comp *ast.CProgram
+	syms *symbols.Table
+	strt *strat.Stratification // nil if not linearly stratifiable
+	serr error                 // why strt is nil
+}
+
+// Parse parses, validates and compiles a program from source text.
+// Negated-hypothetical premises (~A[add:B]) are rewritten away using the
+// paper's section 3.1 transformation. Recursion through negation is an
+// error; failing to be *linearly* stratifiable is not (the program is
+// still evaluable, just without a Σ_k^P complexity bound or cascade
+// support).
+func Parse(src string) (*Program, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromAST(p)
+}
+
+// ParseFile is Parse over the contents of a file.
+func ParseFile(path string) (*Program, error) {
+	p, err := parser.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromAST(p)
+}
+
+// FromAST builds a Program from an already-constructed AST. The AST is
+// modified in place by the negated-hypothetical rewrite.
+func FromAST(p *ast.Program) (*Program, error) {
+	ast.RewriteNegHyp(p)
+	if errs := ast.Validate(p); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, errors.New(strings.Join(msgs, "; "))
+	}
+	if err := strat.CheckNegation(p); err != nil {
+		return nil, err
+	}
+	syms := symbols.NewTable()
+	cp, err := ast.Compile(p, syms)
+	if err != nil {
+		return nil, err
+	}
+	out := &Program{src: p, comp: cp, syms: syms}
+	out.strt, out.serr = strat.Stratify(p)
+	return out, nil
+}
+
+// String renders the program back in surface syntax.
+func (p *Program) String() string { return p.src.String() }
+
+// WriteSnapshot serialises the program to a compact, checksummed binary
+// snapshot (rules as canonical text, facts as interned binary blocks).
+func (p *Program) WriteSnapshot(w io.Writer) error {
+	return storage.Write(w, p.src)
+}
+
+// ReadSnapshot loads a program from a snapshot written by WriteSnapshot,
+// running the same validation pipeline as Parse.
+func ReadSnapshot(r io.Reader) (*Program, error) {
+	prog, err := storage.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromAST(prog)
+}
+
+// AST returns the underlying syntax tree (after the section 3.1 rewrite).
+func (p *Program) AST() *ast.Program { return p.src }
+
+// Compiled returns the interned form used by the engines.
+func (p *Program) Compiled() *ast.CProgram { return p.comp }
+
+// Queries returns the "?-" queries embedded in the source, rendered back
+// to surface syntax.
+func (p *Program) Queries() []string {
+	out := make([]string, len(p.src.Queries))
+	for i, q := range p.src.Queries {
+		out[i] = q.String()
+	}
+	return out
+}
+
+// Stratification describes the linear-stratification analysis of a
+// program (section 4 of the paper).
+type Stratification struct {
+	// Linear reports whether the program is linearly stratifiable.
+	Linear bool
+	// Strata is k, the number of strata; by Theorem 1 the program's
+	// data-complexity is in Σ_k^P. Zero when Linear is false.
+	Strata int
+	// Reason is the failure explanation when Linear is false.
+	Reason string
+	// Partition maps "pred/arity" to its partition number (odd = Δ part,
+	// even = Σ part of its stratum).
+	Partition map[string]int
+}
+
+// Stratification runs the Lemma 1 analysis.
+func (p *Program) Stratification() Stratification {
+	if p.strt == nil {
+		return Stratification{Linear: false, Reason: p.serr.Error()}
+	}
+	defined := map[string]bool{}
+	for _, r := range p.src.Rules {
+		defined[ast.PredSig{Name: r.Head.Pred, Arity: r.Head.Arity()}.String()] = true
+	}
+	part := make(map[string]int, len(p.strt.Part))
+	for sig, n := range p.strt.Part {
+		if defined[sig.String()] {
+			part[sig.String()] = n
+		}
+	}
+	return Stratification{Linear: true, Strata: p.strt.NumStrata, Partition: part}
+}
+
+// Mode selects the evaluation architecture.
+type Mode int
+
+const (
+	// ModeAuto uses the cascade when the program is linearly stratified
+	// and the uniform engine otherwise.
+	ModeAuto Mode = iota
+	// ModeUniform always uses the top-down tabled engine.
+	ModeUniform
+	// ModeCascade uses the paper's PROVE_Σ/PROVE_Δ cascade; New fails if
+	// the program is not linearly stratifiable.
+	ModeCascade
+)
+
+// Options configure an Engine.
+type Options struct {
+	Mode Mode
+	// MaxGoals aborts runaway queries after this many goal expansions in
+	// the uniform engine (0 = unlimited). Ignored by the cascade.
+	MaxGoals int64
+	// NoTabling and NoPlanner disable engine features (for ablations).
+	NoTabling bool
+	NoPlanner bool
+	// ExtraDomain adds constants to dom(R, DB) so that queries may
+	// mention symbols absent from the program.
+	ExtraDomain []string
+}
+
+// Engine answers queries against a program.
+type Engine struct {
+	prog   *Program
+	asker  engine.Asker
+	uni    *topdown.Engine // non-nil in uniform mode (for stats)
+	cas    *engine.Cascade // non-nil in cascade mode
+	domSet map[symbols.Const]bool
+}
+
+// New builds an engine for a program.
+func New(p *Program, opts Options) (*Engine, error) {
+	var extra []symbols.Const
+	for _, name := range opts.ExtraDomain {
+		extra = append(extra, p.syms.Const(name))
+	}
+	dom := ref.Domain(p.comp, extra...)
+	domSet := make(map[symbols.Const]bool, len(dom))
+	for _, c := range dom {
+		domSet[c] = true
+	}
+	mode := opts.Mode
+	if mode == ModeAuto {
+		if p.strt != nil {
+			mode = ModeCascade
+		} else {
+			mode = ModeUniform
+		}
+	}
+	switch mode {
+	case ModeUniform:
+		uni := engine.NewUniform(p.comp, dom, topdown.Options{
+			MaxGoals:  opts.MaxGoals,
+			NoTabling: opts.NoTabling,
+			NoPlanner: opts.NoPlanner,
+		})
+		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet}, nil
+	case ModeCascade:
+		if p.strt == nil {
+			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
+		}
+		cas, err := engine.NewCascade(p.comp, p.strt, dom)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet}, nil
+	default:
+		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
+	}
+}
+
+// Program returns the engine's program.
+func (e *Engine) Program() *Program { return e.prog }
+
+// Ask evaluates a ground query premise given in surface syntax, e.g.
+// "grad(tony)", "not yes", or "grad(s)[add: take(s, c1)]".
+func (e *Engine) Ask(query string) (bool, error) {
+	pr, numVars, err := e.compileQuery(query)
+	if err != nil {
+		return false, err
+	}
+	if numVars > 0 {
+		return false, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
+	}
+	return e.asker.AskPremise(pr, e.asker.EmptyState())
+}
+
+// Binding is one answer to a non-ground query: variable name to constant.
+type Binding map[string]string
+
+// Query evaluates a premise that may contain variables, returning all
+// bindings over dom(R, DB) that make it hold. A ground query returns one
+// empty binding if it holds and none otherwise.
+func (e *Engine) Query(query string) ([]Binding, error) {
+	pr, err := parser.ParsePremise(query)
+	if err != nil {
+		return nil, err
+	}
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, e.prog.syms, vars, &names)
+	if err != nil {
+		return nil, err
+	}
+	return e.queryCompiled(cpr, names)
+}
+
+// queryCompiled runs a pre-compiled query premise; names map variable
+// slots back to surface names. Unlike Query it does not touch the shared
+// symbol table, so Pool can serialise compilation separately.
+func (e *Engine) queryCompiled(cpr ast.CPremise, names []string) ([]Binding, error) {
+	sols, err := engine.Solutions(e.asker, cpr, len(names), e.asker.EmptyState())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Binding, len(sols))
+	for i, s := range sols {
+		b := make(Binding, len(names))
+		for slot, name := range names {
+			b[name] = e.prog.syms.ConstName(s[slot])
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// AskUnder evaluates a ground query in a database hypothetically extended
+// with the given ground atoms (surface syntax). This is the programmatic
+// form of nesting everything under one [add: ...].
+func (e *Engine) AskUnder(query string, added ...string) (bool, error) {
+	st := e.asker.EmptyState()
+	for _, src := range added {
+		a, err := parser.ParseAtom(src)
+		if err != nil {
+			return false, err
+		}
+		if !a.IsGround() {
+			return false, fmt.Errorf("hypo: added atom %q is not ground", src)
+		}
+		ca, err := compileGroundAtom(a, e.prog.syms)
+		if err != nil {
+			return false, err
+		}
+		if err := e.checkDomain(ast.CPremise{Atom: ca}); err != nil {
+			return false, err
+		}
+		st = st.Add(e.asker.Interner().InternGround(ca))
+	}
+	pr, numVars, err := e.compileQuery(query)
+	if err != nil {
+		return false, err
+	}
+	if numVars > 0 {
+		return false, fmt.Errorf("hypo: AskUnder needs a ground query")
+	}
+	return e.asker.AskPremise(pr, st)
+}
+
+// Explain returns a rendered derivation tree for a provable ground query
+// (plain atoms only), or "" when the query does not hold. Only the
+// uniform engine supports explanations.
+func (e *Engine) Explain(query string) (string, error) {
+	if e.uni == nil {
+		return "", fmt.Errorf("hypo: Explain requires ModeUniform")
+	}
+	pr, numVars, err := e.compileQuery(query)
+	if err != nil {
+		return "", err
+	}
+	if numVars > 0 {
+		return "", fmt.Errorf("hypo: Explain needs a ground query")
+	}
+	st := e.uni.EmptyState()
+	switch pr.Kind {
+	case ast.Plain:
+		// proceed below
+	case ast.Hyp:
+		for _, a := range pr.Adds {
+			st = st.Add(e.uni.Interner().InternGround(a))
+		}
+		for _, a := range pr.Dels {
+			st = st.Del(e.uni.Interner().InternGround(a))
+		}
+	default:
+		return "", fmt.Errorf("hypo: Explain supports plain and hypothetical queries")
+	}
+	proof, err := e.uni.Explain(e.uni.Interner().InternGround(pr.Atom), st)
+	if err != nil {
+		return "", err
+	}
+	if proof == nil {
+		return "", nil
+	}
+	return proof.String(), nil
+}
+
+// Stats reports evaluation counters: the uniform engine's in uniform
+// mode, or the sum over the cascade's PROVE_Σ engines in cascade mode.
+func (e *Engine) Stats() topdown.Stats {
+	if e.uni != nil {
+		return e.uni.Stats()
+	}
+	var sum topdown.Stats
+	for i := 1; i <= e.cas.NumStrata(); i++ {
+		s := e.cas.SigmaStats(i)
+		sum.Goals += s.Goals
+		sum.TableHits += s.TableHits
+		sum.LoopCuts += s.LoopCuts
+		sum.Enumerated += s.Enumerated
+		sum.NegCalls += s.NegCalls
+		sum.TableSize += s.TableSize
+		if s.MaxDepth > sum.MaxDepth {
+			sum.MaxDepth = s.MaxDepth
+		}
+	}
+	return sum
+}
+
+func (e *Engine) compileQuery(query string) (ast.CPremise, int, error) {
+	pr, err := parser.ParsePremise(query)
+	if err != nil {
+		return ast.CPremise{}, 0, err
+	}
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, e.prog.syms, vars, &names)
+	if err != nil {
+		return ast.CPremise{}, 0, err
+	}
+	if err := e.checkDomain(cpr); err != nil {
+		return ast.CPremise{}, 0, err
+	}
+	return cpr, len(names), nil
+}
+
+// checkDomain rejects queries mentioning constants outside dom(R, DB):
+// variable enumeration and negation-as-failure range over the engine's
+// fixed domain, so a fresh constant would silently be excluded from them
+// and could produce wrong answers. Declare such constants up front with
+// Options.ExtraDomain.
+func (e *Engine) checkDomain(pr ast.CPremise) error {
+	check := func(a ast.CAtom) error {
+		for _, t := range a.Args {
+			if !t.IsVar() && !e.domSet[t.ConstID()] {
+				return fmt.Errorf("hypo: query constant %q is outside dom(R, DB); list it in Options.ExtraDomain",
+					e.prog.syms.ConstName(t.ConstID()))
+			}
+		}
+		return nil
+	}
+	if err := check(pr.Atom); err != nil {
+		return err
+	}
+	for _, a := range pr.Adds {
+		if err := check(a); err != nil {
+			return err
+		}
+	}
+	for _, a := range pr.Dels {
+		if err := check(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compileGroundAtom(a ast.Atom, syms *symbols.Table) (ast.CAtom, error) {
+	vars := map[string]int{}
+	var names []string
+	pr, err := ast.CompilePremise(ast.PlainP(a), syms, vars, &names)
+	if err != nil {
+		return ast.CAtom{}, err
+	}
+	if len(names) > 0 {
+		return ast.CAtom{}, fmt.Errorf("hypo: atom %s is not ground", a)
+	}
+	return pr.Atom, nil
+}

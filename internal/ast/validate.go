@@ -1,0 +1,155 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidateError describes a static error in a program, with the offending
+// rule when available.
+type ValidateError struct {
+	Rule *Rule  // nil for fact/query errors
+	Line int    // 1-based, 0 if unknown
+	Msg  string // human-readable description
+}
+
+func (e *ValidateError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	}
+	return e.Msg
+}
+
+// Validate checks the static well-formedness rules that the inference
+// system of the paper assumes:
+//
+//   - facts must be ground;
+//   - negated-hypothetical premises ~A[add:B] are not part of the inference
+//     system (section 3.1) — RewriteNegHyp removes them;
+//   - predicate symbols must be used with a consistent arity (this is
+//     already enforced by treating name/arity as the identity, but mixed
+//     arities are usually typos, so they are reported);
+//   - hypothetical premises must add at least one atom.
+//
+// It returns all problems found, not just the first.
+func Validate(p *Program) []error {
+	var errs []error
+	for _, f := range p.Facts {
+		if !f.IsGround() {
+			errs = append(errs, &ValidateError{
+				Msg: fmt.Sprintf("fact %s is not ground", f),
+			})
+		}
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		for _, pr := range r.Body {
+			if pr.Kind == NegHyp {
+				errs = append(errs, &ValidateError{
+					Rule: r, Line: r.Line,
+					Msg: fmt.Sprintf("negated hypothetical premise %s is not allowed; "+
+						"introduce an auxiliary predicate (see RewriteNegHyp)", pr),
+				})
+			}
+			if (pr.Kind == Hyp || pr.Kind == NegHyp) && len(pr.Adds)+len(pr.Dels) == 0 {
+				errs = append(errs, &ValidateError{
+					Rule: r, Line: r.Line,
+					Msg: fmt.Sprintf("hypothetical premise %s neither adds nor deletes atoms", pr),
+				})
+			}
+		}
+	}
+	errs = append(errs, checkArities(p)...)
+	return errs
+}
+
+func checkArities(p *Program) []error {
+	arities := map[string]map[int]bool{}
+	note := func(a Atom) {
+		m := arities[a.Pred]
+		if m == nil {
+			m = map[int]bool{}
+			arities[a.Pred] = m
+		}
+		m[a.Arity()] = true
+	}
+	for _, f := range p.Facts {
+		note(f)
+	}
+	for _, r := range p.Rules {
+		note(r.Head)
+		for _, pr := range r.Body {
+			note(pr.Atom)
+			for _, a := range pr.Adds {
+				note(a)
+			}
+			for _, a := range pr.Dels {
+				note(a)
+			}
+		}
+	}
+	var errs []error
+	for name, m := range arities {
+		if len(m) > 1 {
+			var as []string
+			for k := range m {
+				as = append(as, fmt.Sprintf("%d", k))
+			}
+			errs = append(errs, &ValidateError{
+				Msg: fmt.Sprintf("predicate %s used with multiple arities {%s}",
+					name, strings.Join(as, ", ")),
+			})
+		}
+	}
+	return errs
+}
+
+// RewriteNegHyp eliminates negated-hypothetical premises using the
+// transformation from section 3.1 of the paper: a premise ~A[add: B̄] in a
+// rule is replaced by ~C(x̄) for a fresh predicate C, and a new rule
+//
+//	C(x̄) ← A[add: B̄]
+//
+// is appended, where x̄ are the variables of the original premise. The
+// transformation preserves the answers of the program (tested in
+// engine tests). It returns the number of premises rewritten.
+func RewriteNegHyp(p *Program) int {
+	used := map[string]bool{}
+	for _, s := range p.Predicates() {
+		used[s.Name] = true
+	}
+	fresh := func() string {
+		for i := 1; ; i++ {
+			name := fmt.Sprintf("neghyp_aux%d", i)
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	count := 0
+	var newRules []Rule
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		for j := range r.Body {
+			pr := &r.Body[j]
+			if pr.Kind != NegHyp {
+				continue
+			}
+			count++
+			vars := pr.Vars(nil)
+			args := make([]Term, len(vars))
+			for k, v := range vars {
+				args[k] = Var(v)
+			}
+			aux := fresh()
+			newRules = append(newRules, Rule{
+				Head: Atom{Pred: aux, Args: args},
+				Body: []Premise{{Kind: Hyp, Atom: pr.Atom, Adds: pr.Adds, Dels: pr.Dels}},
+			})
+			*pr = Premise{Kind: Negated, Atom: Atom{Pred: aux, Args: args}}
+		}
+	}
+	p.Rules = append(p.Rules, newRules...)
+	return count
+}

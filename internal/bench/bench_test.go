@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every experiment at smoke sizes; each
+// experiment internally verifies its correctness conditions (answers
+// match baselines, stratification counts, order independence, ...).
+func TestAllExperimentsSmoke(t *testing.T) {
+	s := SmokeSizes()
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tbl, err := ex.Run(s)
+			if err != nil {
+				t.Fatalf("%s: %v", ex.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", ex.ID)
+			}
+			out := tbl.String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s: malformed render:\n%s", ex.ID, out)
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "a", "long column", "c")
+	tbl.Add(1, "x", true)
+	tbl.Add(22, "yyyy", false)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// All data lines align to the header width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+}

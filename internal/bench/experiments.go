@@ -1,0 +1,776 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/engine"
+	"hypodatalog/internal/generic"
+	"hypodatalog/internal/horn"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/ref"
+	"hypodatalog/internal/strat"
+	"hypodatalog/internal/symbols"
+	"hypodatalog/internal/topdown"
+	"hypodatalog/internal/turing"
+	"hypodatalog/internal/workload"
+)
+
+// Sizes configure the sweeps; the zero value selects the defaults used by
+// EXPERIMENTS.md.
+type Sizes struct {
+	Chain  []int // E1
+	Order  []int // E2
+	Parity []int // E3
+	HamN   []int // E4/E5
+	StratM []int // E6: k values (width fixed at 4)
+	TMLen  []int // E7: input lengths
+	HypOrd []int // E9: domain sizes (n! orders!)
+	HornN  []int // E10
+	Seed   int64
+}
+
+// DefaultSizes are the sweep points reported in EXPERIMENTS.md.
+func DefaultSizes() Sizes {
+	return Sizes{
+		Chain:  []int{4, 16, 64, 256, 512},
+		Order:  []int{4, 16, 64, 128},
+		Parity: []int{4, 8, 16, 32, 48},
+		HamN:   []int{4, 6, 8, 10},
+		StratM: []int{4, 16, 64, 256, 1024},
+		TMLen:  []int{0, 1, 2, 3},
+		HypOrd: []int{2, 3, 4, 5},
+		HornN:  []int{16, 64, 256, 512},
+		Seed:   1,
+	}
+}
+
+// SmokeSizes are tiny sweeps for tests.
+func SmokeSizes() Sizes {
+	return Sizes{
+		Chain:  []int{4, 8},
+		Order:  []int{4, 8},
+		Parity: []int{3, 6},
+		HamN:   []int{4, 5},
+		StratM: []int{4, 8},
+		TMLen:  []int{0, 1},
+		HypOrd: []int{2, 3},
+		HornN:  []int{16, 32},
+		Seed:   1,
+	}
+}
+
+// buildUniform compiles a source program and returns a fresh uniform
+// engine plus the compiled program.
+func buildUniform(src string, opts topdown.Options) (*topdown.Engine, *ast.CProgram, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	ast.RewriteNegHyp(prog)
+	if err := strat.CheckNegation(prog); err != nil {
+		return nil, nil, err
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		return nil, nil, err
+	}
+	return topdown.New(cp, ref.Domain(cp), opts), cp, nil
+}
+
+// askZero evaluates a 0-ary predicate on a fresh uniform engine.
+func askZero(e *topdown.Engine, cp *ast.CProgram, name string) (bool, error) {
+	p, ok := cp.Syms.LookupPred(name, 0)
+	if !ok {
+		return false, fmt.Errorf("bench: no predicate %s/0", name)
+	}
+	return e.Ask(e.Interner().ID(p, nil), e.EmptyState())
+}
+
+// E1HypChain measures Example 4: chains of hypothetical implications.
+func E1HypChain(s Sizes) (*Table, error) {
+	t := NewTable("E1 (Example 4): chain of hypothetical adds",
+		"n", "a1 holds", "time", "goals", "max depth")
+	t.Note = "a1 requires accumulating all n hypotheses; expect near-linear goal growth."
+	for _, n := range s.Chain {
+		e, cp, err := buildUniform(workload.ChainProgram(n), topdown.Options{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ok, err := askZero(e, cp, "a1")
+		if err != nil {
+			return nil, err
+		}
+		st := e.Stats()
+		t.Add(n, ok, time.Since(start), st.Goals, st.MaxDepth)
+		if !ok {
+			return nil, fmt.Errorf("E1: a1 false at n=%d", n)
+		}
+	}
+	return t, nil
+}
+
+// E2OrderLoop measures Example 5: iterating a stored linear order.
+func E2OrderLoop(s Sizes) (*Table, error) {
+	t := NewTable("E2 (Example 5): loop over a stored linear order",
+		"n", "a holds", "time", "goals", "max depth")
+	for _, n := range s.Order {
+		e, cp, err := buildUniform(workload.OrderLoopProgram(n), topdown.Options{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ok, err := askZero(e, cp, "a")
+		if err != nil {
+			return nil, err
+		}
+		st := e.Stats()
+		t.Add(n, ok, time.Since(start), st.Goals, st.MaxDepth)
+		if !ok {
+			return nil, fmt.Errorf("E2: a false at n=%d", n)
+		}
+	}
+	return t, nil
+}
+
+// E3Parity measures Example 6: relation parity via hypothetical copying.
+// Proving the true parity predicate follows one copy chain (polynomial
+// with tabling); refuting the false one must explore the whole subset
+// lattice (2^n tabled states) — the coNP face of the same query — so the
+// refutation column is only filled for small n.
+func E3Parity(s Sizes) (*Table, error) {
+	t := NewTable("E3 (Example 6): EVEN iff |A| is even",
+		"|A|", "true query", "time", "goals", "refute other", "refute time", "refute states")
+	t.Note = "proof of the true parity is one chain; refutation of the false one is 2^n (coNP shape)."
+	for _, n := range s.Parity {
+		e, cp, err := buildUniform(workload.ParityProgram(n), topdown.Options{})
+		if err != nil {
+			return nil, err
+		}
+		trueQ, falseQ := "even", "odd"
+		if n%2 == 1 {
+			trueQ, falseQ = "odd", "even"
+		}
+		start := time.Now()
+		got, err := askZero(e, cp, trueQ)
+		if err != nil {
+			return nil, err
+		}
+		proveTime := time.Since(start)
+		if !got {
+			return nil, fmt.Errorf("E3: wrong parity at n=%d", n)
+		}
+		goals := e.Stats().Goals
+		if n <= 12 {
+			e2, cp2, err := buildUniform(workload.ParityProgram(n), topdown.Options{})
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			neg, err := askZero(e2, cp2, falseQ)
+			if err != nil {
+				return nil, err
+			}
+			if neg {
+				return nil, fmt.Errorf("E3: %s true at n=%d", falseQ, n)
+			}
+			t.Add(n, trueQ, proveTime, goals, falseQ, time.Since(start), e2.Stats().TableSize)
+		} else {
+			t.Add(n, trueQ, proveTime, goals, "-", "-", "-")
+		}
+	}
+	return t, nil
+}
+
+// E4Hamiltonian measures Example 7 against the brute-force baseline.
+func E4Hamiltonian(s Sizes) (*Table, error) {
+	t := NewTable("E4 (Example 7): directed Hamiltonian path",
+		"n", "edges", "planted", "rules yes", "brute yes", "rule time", "brute time", "goals")
+	t.Note = "NP workload: expect superpolynomial growth of rule-engine time with n."
+	rng := rand.New(rand.NewSource(s.Seed))
+	for _, n := range s.HamN {
+		for _, planted := range []bool{true, false} {
+			var g workload.Digraph
+			if planted {
+				g = workload.PlantedHamiltonian(rng, n, 0.15)
+			} else {
+				g = workload.RandomDigraph(rng, n, 0.25)
+			}
+			e, cp, err := buildUniform(workload.HamiltonianProgram(g), topdown.Options{})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			got, err := askZero(e, cp, "yes")
+			if err != nil {
+				return nil, err
+			}
+			ruleTime := time.Since(start)
+			start = time.Now()
+			want := workload.HasHamiltonianPath(g)
+			bruteTime := time.Since(start)
+			if got != want {
+				return nil, fmt.Errorf("E4: n=%d planted=%v: rules=%v brute=%v", n, planted, got, want)
+			}
+			t.Add(n, len(g.Edges), planted, got, want, ruleTime, bruteTime, e.Stats().Goals)
+		}
+	}
+	return t, nil
+}
+
+// E5HamCircuitNo measures Example 8: the complementary no query.
+func E5HamCircuitNo(s Sizes) (*Table, error) {
+	t := NewTable("E5 (Example 8): NO <- ~YES adds the complement",
+		"n", "edges", "yes", "no", "time")
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	for _, n := range s.HamN {
+		g := workload.RandomDigraph(rng, n, 0.2)
+		e, cp, err := buildUniform(workload.HamiltonianProgram(g), topdown.Options{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		yes, err := askZero(e, cp, "yes")
+		if err != nil {
+			return nil, err
+		}
+		no, err := askZero(e, cp, "no")
+		if err != nil {
+			return nil, err
+		}
+		if yes == no {
+			return nil, fmt.Errorf("E5: yes and no agree at n=%d", n)
+		}
+		t.Add(n, len(g.Edges), yes, no, time.Since(start))
+	}
+	return t, nil
+}
+
+// E6Stratify measures Lemma 1: the stratification algorithm is polynomial.
+func E6Stratify(s Sizes) (*Table, error) {
+	t := NewTable("E6 (Lemma 1): linear stratification is polynomial time",
+		"k", "rules", "preds", "strata", "iterations", "time")
+	for _, k := range s.StratM {
+		src := workload.KStrataProgram(k, 4)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		st, err := strat.Stratify(prog)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if st.NumStrata != k {
+			return nil, fmt.Errorf("E6: k=%d got %d strata", k, st.NumStrata)
+		}
+		t.Add(k, len(prog.Rules), len(st.Part), st.NumStrata, st.Iterations, elapsed)
+	}
+	return t, nil
+}
+
+// E7TMEncoding runs the Theorem 1 lower-bound experiment: encoded oracle
+// machines agree with direct simulation.
+func E7TMEncoding(s Sizes) (*Table, error) {
+	t := NewTable("E7 (Theorem 1, lower bound): oracle-TM encodings",
+		"machine", "k", "input", "N", "sim", "encoding", "agree", "enc rules", "time")
+	machines := []*turing.Machine{
+		turing.HasOne(), turing.GuessOne(), turing.CopyThenAskYes(), turing.CopyThenAskNo(),
+	}
+	for _, m := range machines {
+		for _, l := range s.TMLen {
+			for _, in := range binStrings(l) {
+				n := 2*l + 6
+				want, err := m.Accepts(in, n)
+				if err != nil {
+					return nil, err
+				}
+				src, err := turing.Encode(m, in, n)
+				if err != nil {
+					return nil, err
+				}
+				prog, err := parser.Parse(src)
+				if err != nil {
+					return nil, err
+				}
+				cp, err := ast.Compile(prog, symbols.NewTable())
+				if err != nil {
+					return nil, err
+				}
+				e := topdown.New(cp, ref.Domain(cp), topdown.Options{MaxGoals: 100_000_000})
+				start := time.Now()
+				got, err := askZero(e, cp, "accept")
+				if err != nil {
+					return nil, err
+				}
+				if got != want {
+					return nil, fmt.Errorf("E7: %s(%q): enc=%v sim=%v", m.Name, in, got, want)
+				}
+				t.Add(m.Name, m.Depth(), fmt.Sprintf("%q", in), n, want, got, got == want,
+					len(prog.Rules), time.Since(start))
+			}
+		}
+	}
+	return t, nil
+}
+
+func binStrings(l int) []string {
+	if l == 0 {
+		return []string{""}
+	}
+	var out []string
+	for _, s := range binStrings(l - 1) {
+		out = append(out, s+"0", s+"1")
+	}
+	return out
+}
+
+// E8Cascade compares the uniform engine with the paper's PROVE cascade
+// and records goal counts (the Appendix A polynomial-length bound).
+func E8Cascade(s Sizes) (*Table, error) {
+	t := NewTable("E8 (Theorem 1, upper bound): PROVE cascade vs uniform engine",
+		"workload", "n", "answer", "uniform time", "cascade time", "uniform goals")
+	run := func(name, src, query string, n int) error {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		st, err := strat.Stratify(prog)
+		if err != nil {
+			return err
+		}
+		cp, err := ast.Compile(prog, symbols.NewTable())
+		if err != nil {
+			return err
+		}
+		dom := ref.Domain(cp)
+		uni := topdown.New(cp, dom, topdown.Options{})
+		cas, err := engine.NewCascade(cp, st, dom)
+		if err != nil {
+			return err
+		}
+		p, ok := cp.Syms.LookupPred(query, 0)
+		if !ok {
+			return fmt.Errorf("no %s/0", query)
+		}
+		start := time.Now()
+		gu, err := uni.Ask(uni.Interner().ID(p, nil), uni.EmptyState())
+		if err != nil {
+			return err
+		}
+		uniTime := time.Since(start)
+		start = time.Now()
+		gc, err := cas.Ask(cas.Interner().ID(p, nil), cas.EmptyState())
+		if err != nil {
+			return err
+		}
+		casTime := time.Since(start)
+		if gu != gc {
+			return fmt.Errorf("E8: %s n=%d: uniform=%v cascade=%v", name, n, gu, gc)
+		}
+		t.Add(name, n, gu, uniTime, casTime, uni.Stats().Goals)
+		return nil
+	}
+	for _, n := range s.Parity {
+		if err := run("parity", workload.ParityProgram(n), "even", n); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 2))
+	for _, n := range s.HamN {
+		g := workload.PlantedHamiltonian(rng, n, 0.15)
+		if err := run("hamiltonian", workload.HamiltonianProgram(g), "yes", n); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// E9HypOrder measures the section 6 construction: asserting every linear
+// order hypothetically. All n! orders are explored, so n stays small.
+func E9HypOrder(s Sizes) (*Table, error) {
+	t := NewTable("E9 (Theorem 2 / section 6): hypothetically asserted orders",
+		"n", "yes (|D| odd)", "time", "goals", "order independent")
+	for _, n := range s.HypOrd {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("el%d", i)
+		}
+		src := generic.ParityViaOrder("d") + generic.DomainFacts("d", names)
+		e, cp, err := buildUniform(src, topdown.Options{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		got, err := askZero(e, cp, "yes")
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if got != (n%2 == 1) {
+			return nil, fmt.Errorf("E9: wrong parity at n=%d", n)
+		}
+		// Order independence: renamed domain gives the same answer.
+		renamed := make([]string, n)
+		for i := range renamed {
+			renamed[i] = fmt.Sprintf("other%d", n-1-i)
+		}
+		src2 := generic.ParityViaOrder("d") + generic.DomainFacts("d", renamed)
+		e2, cp2, err := buildUniform(src2, topdown.Options{})
+		if err != nil {
+			return nil, err
+		}
+		got2, err := askZero(e2, cp2, "yes")
+		if err != nil {
+			return nil, err
+		}
+		t.Add(n, got, elapsed, e.Stats().Goals, got == got2)
+		if got != got2 {
+			return nil, fmt.Errorf("E9: order dependence at n=%d", n)
+		}
+	}
+	return t, nil
+}
+
+// E10Horn measures the Horn baseline: linear and non-linear transitive
+// closure, naive vs semi-naive — all polynomial.
+func E10Horn(s Sizes) (*Table, error) {
+	t := NewTable("E10 (section 1 claim): Horn Datalog stays in P",
+		"n", "variant", "strategy", "time", "derived", "probes")
+	variants := map[string]string{
+		"linear":     "tc(X, Y) :- edge(X, Y).\ntc(X, Y) :- tc(X, Z), edge(Z, Y).\n",
+		"non-linear": "tc(X, Y) :- edge(X, Y).\ntc(X, Y) :- tc(X, Z), tc(Z, Y).\n",
+	}
+	for _, n := range s.HornN {
+		edges := ""
+		for i := 0; i < n; i++ {
+			edges += fmt.Sprintf("edge(v%d, v%d).\n", i, i+1)
+		}
+		for _, variant := range []string{"linear", "non-linear"} {
+			for _, strategy := range []horn.Strategy{horn.SemiNaive, horn.Naive} {
+				if strategy == horn.Naive && n > 256 {
+					continue // naive quadratic blowup; keep runs short
+				}
+				prog, err := parser.Parse(variants[variant] + edges)
+				if err != nil {
+					return nil, err
+				}
+				cp, err := ast.Compile(prog, symbols.NewTable())
+				if err != nil {
+					return nil, err
+				}
+				e, err := horn.New(cp, strategy)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				e.Compute()
+				elapsed := time.Since(start)
+				st := e.Stats()
+				name := "semi-naive"
+				if strategy == horn.Naive {
+					name = "naive"
+				}
+				t.Add(n, variant, name, elapsed, st.Derived, st.JoinProbes)
+			}
+		}
+	}
+	return t, nil
+}
+
+// E11Rewrite checks that the section 3.1 negated-hypothetical rewrite
+// preserves answers and measures its overhead.
+func E11Rewrite(s Sizes) (*Table, error) {
+	t := NewTable("E11 (section 3.1): ~A[add:B] rewrite preserves answers",
+		"case", "direct", "rewritten", "agree", "time")
+	cases := []struct {
+		name    string
+		rewrite string // uses not-hyp; rewritten automatically
+		manual  string // hand-written aux predicate
+		query   string
+	}{
+		{
+			name: "blocked",
+			rewrite: "p(a).\nq(X) :- p(X), not r(X)[add: w(X)].\n" +
+				"r(X) :- w(X), blocked.\n",
+			manual: "p(a).\nq(X) :- p(X), not aux(X).\naux(X) :- r(X)[add: w(X)].\n" +
+				"r(X) :- w(X), blocked.\n",
+			query: "qa",
+		},
+		{
+			name: "enabled",
+			rewrite: "p(a).\nblocked.\nq(X) :- p(X), not r(X)[add: w(X)].\n" +
+				"r(X) :- w(X), blocked.\n",
+			manual: "p(a).\nblocked.\nq(X) :- p(X), not aux(X).\naux(X) :- r(X)[add: w(X)].\n" +
+				"r(X) :- w(X), blocked.\n",
+			query: "qa",
+		},
+	}
+	for _, c := range cases {
+		ask := func(src string) (bool, error) {
+			prog, err := parser.Parse(src + "qa :- q(a).\n")
+			if err != nil {
+				return false, err
+			}
+			ast.RewriteNegHyp(prog)
+			cp, err := ast.Compile(prog, symbols.NewTable())
+			if err != nil {
+				return false, err
+			}
+			e := topdown.New(cp, ref.Domain(cp), topdown.Options{})
+			return askZero(e, cp, c.query)
+		}
+		start := time.Now()
+		d, err := ask(c.rewrite)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ask(c.manual)
+		if err != nil {
+			return nil, err
+		}
+		if d != m {
+			return nil, fmt.Errorf("E11: case %s disagrees", c.name)
+		}
+		t.Add(c.name, d, m, d == m, time.Since(start))
+	}
+	return t, nil
+}
+
+// E12Ablation measures the engine features: tabling and the planner.
+func E12Ablation(s Sizes) (*Table, error) {
+	t := NewTable("E12 (ablation): tabling and premise planning",
+		"workload", "n", "config", "time", "goals", "enumerated")
+	t.Note = "untabled parity is factorial in |A|; sizes are capped and budgeted."
+	configs := []struct {
+		name string
+		opts topdown.Options
+	}{
+		{"full", topdown.Options{}},
+		{"no tabling", topdown.Options{NoTabling: true, MaxGoals: 20_000_000}},
+		{"no planner", topdown.Options{NoPlanner: true, MaxGoals: 20_000_000}},
+	}
+	run := func(name, src, query string, n int) error {
+		for _, cfg := range configs {
+			e, cp, err := buildUniform(src, cfg.opts)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if _, err := askZero(e, cp, query); err != nil {
+				if err == topdown.ErrBudget {
+					t.Add(name, n, cfg.name, "budget exceeded", ">"+fmt.Sprint(cfg.opts.MaxGoals), "-")
+					continue
+				}
+				return err
+			}
+			st := e.Stats()
+			t.Add(name, n, cfg.name, time.Since(start), st.Goals, st.Enumerated)
+		}
+		return nil
+	}
+	for _, n := range capped(s.Parity, 8) {
+		if err := run("parity", workload.ParityProgram(n), "even", n); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 3))
+	for _, n := range capped(s.HamN, 7) {
+		g := workload.PlantedHamiltonian(rng, n, 0.15)
+		if err := run("hamiltonian", workload.HamiltonianProgram(g), "yes", n); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// capped filters out sweep points beyond max (for exponential ablations).
+func capped(xs []int, max int) []int {
+	var out []int
+	for _, x := range xs {
+		if x <= max {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// E13Deletion measures the hypothetical-deletion extension: the token
+// game (move a token along edges, each move an [add][del] pair) answers
+// graph reachability; cyclic move graphs revisit database states, so this
+// exercises the engines' non-monotone termination. BFS is the baseline.
+func E13Deletion(s Sizes) (*Table, error) {
+	t := NewTable("E13 (extension): hypothetical deletions — token game",
+		"n", "edges", "target", "rules goal", "bfs", "rule time", "bfs time", "goals")
+	t.Note = "each move is [add: token(Y)][del: token(X)]; states cycle, answers equal reachability."
+	rng := rand.New(rand.NewSource(s.Seed + 4))
+	for _, n := range s.HornN {
+		if n > 128 {
+			continue
+		}
+		for _, planted := range []bool{true, false} {
+			g := workload.RandomDigraph(rng, n, 2.0/float64(n))
+			target := rng.Intn(n)
+			if planted {
+				// Guarantee reachability with a chain 0 -> ... -> target.
+				for i := 0; i < target; i++ {
+					g.Edges = append(g.Edges, [2]int{i, i + 1})
+				}
+			}
+			e, cp, err := buildUniform(workload.TokenGameProgram(g, 0, target), topdown.Options{MaxGoals: 100_000_000})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			got, err := askZero(e, cp, "goal")
+			if err != nil {
+				return nil, err
+			}
+			ruleTime := time.Since(start)
+			start = time.Now()
+			want := workload.Reachable(g, 0, target)
+			bfsTime := time.Since(start)
+			if got != want {
+				return nil, fmt.Errorf("E13: n=%d: rules=%v bfs=%v", n, got, want)
+			}
+			t.Add(n, len(g.Edges), target, got, want, ruleTime, bfsTime, e.Stats().Goals)
+		}
+	}
+	return t, nil
+}
+
+// E14GenericCompile runs Theorem 2's constructive content end to end:
+// constant-free rulebases compiled from Turing machines decide generic
+// queries on unordered domains (every order asserted hypothetically,
+// counter and database bitmap built from the asserted order).
+func E14GenericCompile(s Sizes) (*Table, error) {
+	t := NewTable("E14 (Theorem 2): constant-free machine compilation on unordered domains",
+		"query", "n", "|p|", "yes", "expected", "time", "goals")
+	t.Note = "n! orders x n^2-step machines; n stays small by design."
+	queries := []struct {
+		name string
+		m    func() *turing.Machine
+		want func(n, marked int) bool
+	}{
+		{"p nonempty (has-one)", turing.HasOne, func(n, marked int) bool { return marked > 0 }},
+		{"p = domain (all-ones)", turing.AllOnes, func(n, marked int) bool { return marked == n }},
+	}
+	for _, q := range queries {
+		rules, err := generic.CompileGeneric(q.m(), "d", "p")
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range s.HypOrd {
+			if n < 2 {
+				continue
+			}
+			for _, marked := range []int{0, n / 2, n} {
+				var facts strings.Builder
+				for i := 0; i < n; i++ {
+					fmt.Fprintf(&facts, "d(el%d).\n", i)
+				}
+				for i := 0; i < marked; i++ {
+					fmt.Fprintf(&facts, "p(el%d).\n", i)
+				}
+				e, cp, err := buildUniform(rules+facts.String(), topdown.Options{MaxGoals: 500_000_000})
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				got, err := askZero(e, cp, "yes")
+				if err != nil {
+					return nil, err
+				}
+				want := q.want(n, marked)
+				if got != want {
+					return nil, fmt.Errorf("E14: %s n=%d |p|=%d: got %v want %v", q.name, n, marked, got, want)
+				}
+				t.Add(q.name, n, marked, got, want, time.Since(start), e.Stats().Goals)
+			}
+		}
+	}
+	return t, nil
+}
+
+// E15Alternation runs the PSPACE context of section 4: alternating
+// Turing machines encoded via the non-linear rule form (2) — the form
+// linear stratification excludes — evaluated by the uniform engine and
+// checked against direct alternating simulation.
+func E15Alternation(s Sizes) (*Table, error) {
+	t := NewTable("E15 (section 4 context): alternation via rule form (2) — PSPACE fragment",
+		"machine", "input", "sim", "encoding", "agree", "linearly stratifiable", "time")
+	machines := []*turing.AMachine{turing.AllOnesForall(), turing.HasDoubleOne()}
+	for _, m := range machines {
+		for _, l := range s.TMLen {
+			for _, in := range binStrings(l) {
+				n := 2*l + 6
+				want, err := m.Accepts(in, n)
+				if err != nil {
+					return nil, err
+				}
+				rules, err := turing.EncodeAlternating(m)
+				if err != nil {
+					return nil, err
+				}
+				db, err := turing.EncodeAlternatingDB(m, in, n)
+				if err != nil {
+					return nil, err
+				}
+				prog, err := parser.Parse(rules + db)
+				if err != nil {
+					return nil, err
+				}
+				_, serr := strat.Stratify(prog)
+				cp, err := ast.Compile(prog, symbols.NewTable())
+				if err != nil {
+					return nil, err
+				}
+				e := topdown.New(cp, ref.Domain(cp), topdown.Options{MaxGoals: 100_000_000})
+				start := time.Now()
+				got, err := askZero(e, cp, "accept")
+				if err != nil {
+					return nil, err
+				}
+				if got != want {
+					return nil, fmt.Errorf("E15: %s(%q): enc=%v sim=%v", m.Name, in, got, want)
+				}
+				t.Add(m.Name, fmt.Sprintf("%q", in), want, got, got == want,
+					serr == nil, time.Since(start))
+			}
+		}
+	}
+	return t, nil
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Sizes) (*Table, error)
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "hypothetical chain (Example 4)", E1HypChain},
+		{"E2", "order loop (Example 5)", E2OrderLoop},
+		{"E3", "parity (Example 6)", E3Parity},
+		{"E4", "Hamiltonian path (Example 7)", E4Hamiltonian},
+		{"E5", "Hamiltonian complement (Example 8)", E5HamCircuitNo},
+		{"E6", "stratification (Lemma 1)", E6Stratify},
+		{"E7", "oracle-TM encodings (Theorem 1 lower bound)", E7TMEncoding},
+		{"E8", "PROVE cascade (Theorem 1 upper bound)", E8Cascade},
+		{"E9", "hypothetical orders (Theorem 2 / section 6)", E9HypOrder},
+		{"E10", "Horn baseline (section 1)", E10Horn},
+		{"E11", "negated-hypothetical rewrite (section 3.1)", E11Rewrite},
+		{"E12", "engine ablation", E12Ablation},
+		{"E13", "hypothetical deletions (extension)", E13Deletion},
+		{"E14", "constant-free machine compilation (Theorem 2)", E14GenericCompile},
+		{"E15", "alternation / PSPACE fragment (section 4 context)", E15Alternation},
+	}
+}

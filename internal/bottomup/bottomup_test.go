@@ -1,0 +1,233 @@
+package bottomup
+
+import (
+	"testing"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/facts"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/ref"
+	"hypodatalog/internal/symbols"
+)
+
+// build compiles a source program and creates a prover over ALL its rules
+// (a single Δ part), with an optional oracle.
+func build(t *testing.T, src string, oracle Oracle) (*Prover, *ast.CProgram, *facts.DB) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := facts.NewInterner(cp.Syms)
+	base := facts.NewDB(in)
+	for _, f := range cp.Facts {
+		base.Insert(in.InternGround(f))
+	}
+	rules := make([]int, len(cp.Rules))
+	for i := range rules {
+		rules[i] = i
+	}
+	p, err := New(cp, base, ref.Domain(cp), rules, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cp, base
+}
+
+func holds(t *testing.T, p *Prover, cp *ast.CProgram, base *facts.DB, atom string) bool {
+	t.Helper()
+	a, err := parser.ParseAtom(atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, ok := cp.Syms.LookupPred(a.Pred, a.Arity())
+	if !ok {
+		return false
+	}
+	args := make([]symbols.Const, a.Arity())
+	for i, tm := range a.Args {
+		c, ok := cp.Syms.LookupConst(tm.Name)
+		if !ok {
+			return false
+		}
+		args[i] = c
+	}
+	got, err := p.Holds(base.Interner().ID(pr, args), facts.NewState(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestHornFixpoint(t *testing.T) {
+	p, cp, base := build(t, `
+		edge(a, b). edge(b, c).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`, nil)
+	if !holds(t, p, cp, base, "tc(a, c)") {
+		t.Error("tc(a,c) false")
+	}
+	if holds(t, p, cp, base, "tc(c, a)") {
+		t.Error("tc(c,a) true")
+	}
+}
+
+func TestStratifiedNegationLevels(t *testing.T) {
+	p, cp, base := build(t, `
+		node(a). node(b).
+		edge(a, b).
+		reach(a).
+		reach(Y) :- reach(X), edge(X, Y).
+		unreach(X) :- node(X), not reach(X).
+		lonely :- not reach(X).
+	`, nil)
+	if holds(t, p, cp, base, "unreach(a)") || holds(t, p, cp, base, "unreach(b)") {
+		t.Error("unreach wrong")
+	}
+	if holds(t, p, cp, base, "lonely") {
+		t.Error("lonely should fail (reach is non-empty)")
+	}
+	if len(p.levels) < 2 {
+		t.Errorf("negation levels = %d, want >= 2", len(p.levels))
+	}
+}
+
+func TestRecursionThroughNegationRejected(t *testing.T) {
+	prog, err := parser.Parse("a :- not b.\nb :- not a.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := facts.NewInterner(cp.Syms)
+	base := facts.NewDB(in)
+	if _, err := New(cp, base, nil, []int{0, 1}, nil); err == nil {
+		t.Error("expected rejection")
+	}
+}
+
+func TestOracleCalls(t *testing.T) {
+	// q is "defined below" (not in the Δ part's rule set); the oracle
+	// answers it, also under hypothetical additions.
+	src := `
+		p(a).
+		r(X) :- p(X), q(X).
+		w(X) :- s(X)[add: h(X)].
+	`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark q and s as intensional (they would be defined in lower strata).
+	qPred := cp.Syms.Pred("q", 1)
+	sPred := cp.Syms.Pred("s", 1)
+	hPred := cp.Syms.Pred("h", 1)
+	cp.IDB[qPred] = true
+	cp.IDB[sPred] = true
+	in := facts.NewInterner(cp.Syms)
+	base := facts.NewDB(in)
+	for _, f := range cp.Facts {
+		base.Insert(in.InternGround(f))
+	}
+	oracleCalls := 0
+	oracle := func(goal facts.AtomID, st facts.State) (bool, error) {
+		oracleCalls++
+		switch in.Pred(goal) {
+		case qPred:
+			return true, nil
+		case sPred:
+			// s(X) holds iff h(X) was hypothetically added.
+			h := in.ID(hPred, in.Args(goal))
+			return st.Has(h), nil
+		}
+		return false, nil
+	}
+	p, err := New(cp, base, ref.Domain(cp), []int{0, 1}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds(t, p, cp, base, "r(a)") {
+		t.Error("r(a) false")
+	}
+	if !holds(t, p, cp, base, "w(a)") {
+		t.Error("w(a) false: hypothetical oracle call failed")
+	}
+	if oracleCalls == 0 {
+		t.Error("oracle never called")
+	}
+}
+
+func TestMissingOracleIsError(t *testing.T) {
+	prog, err := parser.Parse("r(X) :- p(X), q(X).\np(a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.IDB[cp.Syms.Pred("q", 1)] = true // q intensional, no oracle
+	in := facts.NewInterner(cp.Syms)
+	base := facts.NewDB(in)
+	for _, f := range cp.Facts {
+		base.Insert(in.InternGround(f))
+	}
+	p, err := New(cp, base, ref.Domain(cp), []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPred, _ := cp.Syms.LookupPred("r", 1)
+	aConst, _ := cp.Syms.LookupConst("a")
+	_, err = p.Holds(in.ID(rPred, []symbols.Const{aConst}), facts.NewState(base))
+	if err == nil {
+		t.Error("expected missing-oracle error")
+	}
+}
+
+func TestMaterialisationCachePerState(t *testing.T) {
+	p, cp, base := build(t, "q(X) :- w(X).\n", nil)
+	wPred := cp.Syms.Pred("w", 1)
+	aConst := cp.Syms.Const("a")
+	in := base.Interner()
+	st := facts.NewState(base)
+	ext := st.Add(in.ID(wPred, []symbols.Const{aConst}))
+
+	qPred, _ := cp.Syms.LookupPred("q", 1)
+	qa := in.ID(qPred, []symbols.Const{aConst})
+	got1, err := p.Holds(qa, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := p.Holds(qa, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 || !got2 {
+		t.Errorf("state separation wrong: base=%v ext=%v", got1, got2)
+	}
+	if len(p.cache) != 2 {
+		t.Errorf("cache entries = %d, want 2", len(p.cache))
+	}
+}
+
+func TestNegationLocalVarInDelta(t *testing.T) {
+	p, cp, base := build(t, "empty :- not q(X).\nd(a).\n", nil)
+	if !holds(t, p, cp, base, "empty") {
+		t.Error("empty should hold with no q facts")
+	}
+	p2, cp2, base2 := build(t, "empty :- not q(X).\nq(a).\n", nil)
+	if holds(t, p2, cp2, base2, "empty") {
+		t.Error("empty should fail when q(a) exists")
+	}
+}

@@ -1,0 +1,193 @@
+// Package depgraph builds the predicate dependency graph of a program and
+// computes its strongly connected components. Edges are labelled with the
+// occurrence kind of Definition 4 of the paper: positive, negative, or
+// hypothetical. Two predicates are mutually recursive iff they are in the
+// same SCC (considering all three edge kinds), which is the equivalence
+// relation used by the linearity and stratification analyses.
+package depgraph
+
+import (
+	"hypodatalog/internal/ast"
+)
+
+// EdgeKind is the occurrence kind that induced a dependency edge.
+type EdgeKind int
+
+// Edge kinds, per Definition 4.
+const (
+	Pos EdgeKind = iota // B(x̄) occurs as a plain premise
+	Neg                 // ~B(x̄)
+	Hyp                 // B(x̄)[add: ...]
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Pos:
+		return "positive"
+	case Neg:
+		return "negative"
+	case Hyp:
+		return "hypothetical"
+	default:
+		return "?"
+	}
+}
+
+// Edge is a labelled dependency from a rule's head predicate to a premise
+// predicate.
+type Edge struct {
+	To   int      // node index of the premise predicate
+	Kind EdgeKind // occurrence kind
+	Rule int      // index into the program's Rules
+}
+
+// Graph is the predicate dependency graph of a program.
+type Graph struct {
+	Nodes  []ast.PredSig
+	NodeOf map[ast.PredSig]int
+	Adj    [][]Edge // Adj[i]: edges out of node i (head -> premise)
+
+	// Defined[i] reports whether node i has at least one defining rule.
+	Defined []bool
+	// RuleNode[r] is the node of rule r's head predicate.
+	RuleNode []int
+}
+
+// Build constructs the dependency graph of a program. Every predicate
+// mentioned anywhere (including in [add: ...] lists and facts) gets a node;
+// edges are added only for premise occurrences, matching Definition 4 — a
+// hypothetically added atom is data, not a dependency.
+func Build(p *ast.Program) *Graph {
+	g := &Graph{NodeOf: make(map[ast.PredSig]int)}
+	node := func(a ast.Atom) int {
+		sig := ast.PredSig{Name: a.Pred, Arity: a.Arity()}
+		if i, ok := g.NodeOf[sig]; ok {
+			return i
+		}
+		i := len(g.Nodes)
+		g.Nodes = append(g.Nodes, sig)
+		g.NodeOf[sig] = i
+		g.Adj = append(g.Adj, nil)
+		g.Defined = append(g.Defined, false)
+		return i
+	}
+	for _, f := range p.Facts {
+		node(f)
+	}
+	for _, q := range p.Queries {
+		node(q.Atom)
+		for _, a := range q.Adds {
+			node(a)
+		}
+	}
+	g.RuleNode = make([]int, len(p.Rules))
+	for ri, r := range p.Rules {
+		h := node(r.Head)
+		g.Defined[h] = true
+		g.RuleNode[ri] = h
+		for _, pr := range r.Body {
+			var kind EdgeKind
+			switch pr.Kind {
+			case ast.Plain:
+				kind = Pos
+			case ast.Negated:
+				kind = Neg
+			case ast.Hyp, ast.NegHyp:
+				kind = Hyp
+			}
+			to := node(pr.Atom)
+			g.Adj[h] = append(g.Adj[h], Edge{To: to, Kind: kind, Rule: ri})
+			for _, a := range pr.Adds {
+				node(a) // ensure added predicates have nodes; no edge
+			}
+			for _, a := range pr.Dels {
+				node(a) // likewise for deleted predicates
+			}
+		}
+	}
+	return g
+}
+
+// SCCs returns the strongly connected components of the graph in reverse
+// topological order (callees before callers), and compOf mapping each node
+// to its component index.
+func (g *Graph) SCCs() (comps [][]int, compOf []int) {
+	n := len(g.Nodes)
+	compOf = make([]int, n)
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter := 0
+
+	// Iterative Tarjan so benchmark-sized graphs cannot overflow anything.
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack := []frame{{root, 0}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.ei < len(g.Adj[v]) {
+				w := g.Adj[v][f.ei].To
+				f.ei++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					compOf[w] = len(comps)
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps, compOf
+}
+
+// MutuallyRecursive reports whether two predicates are in the same SCC,
+// given compOf from SCCs.
+func MutuallyRecursive(compOf []int, a, b int) bool {
+	return compOf[a] == compOf[b]
+}

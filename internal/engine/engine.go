@@ -1,0 +1,272 @@
+// Package engine assembles complete evaluators for hypothetical Datalog
+// programs.
+//
+// Two evaluators implement the same inference relation:
+//
+//   - Uniform: the top-down tabled engine (package topdown) over the whole
+//     rulebase. Works for any program with stratified negation.
+//   - Cascade: the paper's PROVE_k, ..., PROVE_1 architecture (section
+//     5.2): one top-down PROVE_Σi engine per stratum's Σ part, one
+//     bottom-up PROVE_Δi materialiser per Δ part, each stratum using the
+//     one below as its oracle. Requires a linear stratification.
+//
+// Both satisfy the Asker interface; Solutions enumerates the answers of a
+// non-ground query over the domain.
+package engine
+
+import (
+	"fmt"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/bottomup"
+	"hypodatalog/internal/facts"
+	"hypodatalog/internal/strat"
+	"hypodatalog/internal/symbols"
+	"hypodatalog/internal/topdown"
+)
+
+// Asker is the query interface shared by the uniform engine and the
+// cascade.
+type Asker interface {
+	// Ask reports whether the interned ground atom is derivable in the
+	// state: R, DB+Δ ⊢ A.
+	Ask(goal facts.AtomID, st facts.State) (bool, error)
+	// AskPremise evaluates a ground premise (plain, negated or
+	// hypothetical).
+	AskPremise(p ast.CPremise, st facts.State) (bool, error)
+	// Interner gives access to the ground-atom interner.
+	Interner() *facts.Interner
+	// EmptyState is the state of the unmodified base database.
+	EmptyState() facts.State
+	// Dom is the constant domain dom(R, DB).
+	Dom() []symbols.Const
+}
+
+// NewUniform builds the uniform top-down engine for a compiled program.
+func NewUniform(cp *ast.CProgram, dom []symbols.Const, opts topdown.Options) *topdown.Engine {
+	return topdown.New(cp, dom, opts)
+}
+
+// Cascade is the stratified PROVE cascade of section 5.2.
+type Cascade struct {
+	prog *ast.CProgram
+	in   *facts.Interner
+	base *facts.DB
+	dom  []symbols.Const
+
+	partOf    map[symbols.Pred]int // partition number; 0 = extensional
+	numStrata int
+	sigma     []*topdown.Engine // sigma[i]: PROVE_Σ(i+1)
+	delta     []*bottomup.Prover
+}
+
+// NewCascade builds the cascade from a compiled program and its linear
+// stratification (from strat.Stratify on the same source program).
+func NewCascade(cp *ast.CProgram, s *strat.Stratification, dom []symbols.Const) (*Cascade, error) {
+	in := facts.NewInterner(cp.Syms)
+	base := facts.NewDB(in)
+	for _, f := range cp.Facts {
+		base.Insert(in.InternGround(f))
+	}
+	c := &Cascade{
+		prog:      cp,
+		in:        in,
+		base:      base,
+		dom:       dom,
+		partOf:    make(map[symbols.Pred]int),
+		numStrata: s.NumStrata,
+	}
+	for sig, part := range s.Part {
+		p, ok := cp.Syms.LookupPred(sig.Name, sig.Arity)
+		if !ok {
+			continue
+		}
+		if cp.IDB[p] {
+			c.partOf[p] = part
+		}
+	}
+	c.sigma = make([]*topdown.Engine, s.NumStrata)
+	c.delta = make([]*bottomup.Prover, s.NumStrata)
+	for i := 1; i <= s.NumStrata; i++ {
+		i := i
+		var oracle bottomup.Oracle
+		if i >= 2 {
+			oracle = func(goal facts.AtomID, st facts.State) (bool, error) {
+				return c.askAt(goal, st, 2*(i-1))
+			}
+		}
+		dp, err := bottomup.New(cp, base, dom, s.Delta[i-1], oracle)
+		if err != nil {
+			return nil, fmt.Errorf("engine: stratum %d Δ part: %w", i, err)
+		}
+		c.delta[i-1] = dp
+
+		external := make(map[symbols.Pred]bool)
+		for p, part := range c.partOf {
+			if part <= 2*i-1 {
+				external[p] = true
+			}
+		}
+		c.sigma[i-1] = topdown.NewWithBase(cp.Restrict(s.Sigma[i-1]), base, dom, topdown.Options{
+			Resolver: func(goal facts.AtomID, st facts.State) (bool, error) {
+				return c.askAt(goal, st, 2*i-1)
+			},
+			ExternalIDB: external,
+		})
+	}
+	return c, nil
+}
+
+// Interner returns the cascade's ground-atom interner.
+func (c *Cascade) Interner() *facts.Interner { return c.in }
+
+// Base returns the cascade's base database.
+func (c *Cascade) Base() *facts.DB { return c.base }
+
+// EmptyState returns the state of the unmodified base database.
+func (c *Cascade) EmptyState() facts.State { return facts.NewState(c.base) }
+
+// Dom returns the enumeration domain.
+func (c *Cascade) Dom() []symbols.Const { return c.dom }
+
+// NumStrata returns the number of strata in the cascade.
+func (c *Cascade) NumStrata() int { return c.numStrata }
+
+// SigmaStats returns the top-down statistics of PROVE_Σi (1-based i).
+func (c *Cascade) SigmaStats(i int) topdown.Stats { return c.sigma[i-1].Stats() }
+
+// Ask reports whether the goal is derivable in the state.
+func (c *Cascade) Ask(goal facts.AtomID, st facts.State) (bool, error) {
+	return c.askAt(goal, st, 2*c.numStrata)
+}
+
+// askAt answers a goal whose predicate must live at partition <= maxPart,
+// routing odd partitions to PROVE_Δ and even ones to PROVE_Σ.
+func (c *Cascade) askAt(goal facts.AtomID, st facts.State, maxPart int) (bool, error) {
+	if st.Has(goal) {
+		return true, nil
+	}
+	part, ok := c.partOf[c.in.Pred(goal)]
+	if !ok {
+		return false, nil // extensional and not in the state
+	}
+	if part > maxPart {
+		return false, fmt.Errorf("engine: goal %s at partition %d consulted from partition bound %d (stratification violation)",
+			c.in.Format(goal), part, maxPart)
+	}
+	stratum := (part + 1) / 2
+	if part%2 == 1 {
+		return c.delta[stratum-1].Holds(goal, st)
+	}
+	return c.sigma[stratum-1].Ask(goal, st)
+}
+
+// AskPremise evaluates a ground premise against the cascade.
+func (c *Cascade) AskPremise(p ast.CPremise, st facts.State) (bool, error) {
+	if !p.Atom.IsGround() {
+		return false, fmt.Errorf("engine: AskPremise requires a ground premise")
+	}
+	switch p.Kind {
+	case ast.Plain:
+		return c.Ask(c.in.InternGround(p.Atom), st)
+	case ast.Negated:
+		ok, err := c.Ask(c.in.InternGround(p.Atom), st)
+		return !ok, err
+	case ast.Hyp:
+		next := st
+		for _, a := range p.Adds {
+			if !a.IsGround() {
+				return false, fmt.Errorf("engine: non-ground hypothetical add")
+			}
+			next = next.Add(c.in.InternGround(a))
+		}
+		for _, a := range p.Dels {
+			if !a.IsGround() {
+				return false, fmt.Errorf("engine: non-ground hypothetical del")
+			}
+			next = next.Del(c.in.InternGround(a))
+		}
+		return c.Ask(c.in.InternGround(p.Atom), next)
+	default:
+		return false, fmt.Errorf("engine: unsupported premise kind %v", p.Kind)
+	}
+}
+
+// Solution is one answer to a non-ground query: the values bound to its
+// variables, in slot order.
+type Solution []symbols.Const
+
+// Solutions enumerates the answers of a (possibly non-ground) premise by
+// instantiating its variables over the domain and asking the engine. The
+// variable slots are numbered by first occurrence; numVars is the size of
+// the premise's binding space (from ast.CompilePremise's names).
+func Solutions(a Asker, p ast.CPremise, numVars int, st facts.State) ([]Solution, error) {
+	if numVars == 0 {
+		ok, err := a.AskPremise(p, st)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return []Solution{{}}, nil
+		}
+		return nil, nil
+	}
+	dom := a.Dom()
+	binding := make([]symbols.Const, numVars)
+	var out []Solution
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == numVars {
+			g, err := groundPremise(p, binding)
+			if err != nil {
+				return err
+			}
+			ok, err := a.AskPremise(g, st)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, append(Solution(nil), binding...))
+			}
+			return nil
+		}
+		for _, c := range dom {
+			binding[i] = c
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// groundPremise substitutes binding into a premise.
+func groundPremise(p ast.CPremise, binding []symbols.Const) (ast.CPremise, error) {
+	g := ast.CPremise{Kind: p.Kind, Atom: groundCAtom(p.Atom, binding)}
+	for _, a := range p.Adds {
+		g.Adds = append(g.Adds, groundCAtom(a, binding))
+	}
+	for _, a := range p.Dels {
+		g.Dels = append(g.Dels, groundCAtom(a, binding))
+	}
+	return g, nil
+}
+
+func groundCAtom(a ast.CAtom, binding []symbols.Const) ast.CAtom {
+	out := ast.CAtom{Pred: a.Pred}
+	if len(a.Args) > 0 {
+		out.Args = make([]ast.CTerm, len(a.Args))
+	}
+	for i, t := range a.Args {
+		if t.IsVar() {
+			out.Args[i] = ast.CConst(binding[t.VarSlot()])
+		} else {
+			out.Args[i] = t
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/ref"
+	"hypodatalog/internal/strat"
+	"hypodatalog/internal/symbols"
+	"hypodatalog/internal/topdown"
+	"hypodatalog/internal/workload"
+)
+
+// buildBoth compiles a linearly stratifiable program and returns the
+// uniform engine and the cascade over it.
+func buildBoth(t *testing.T, src string) (*topdown.Engine, *Cascade, *ast.CProgram) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ast.RewriteNegHyp(prog)
+	s, err := strat.Stratify(prog)
+	if err != nil {
+		t.Fatalf("stratify: %v", err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	dom := ref.Domain(cp)
+	uni := NewUniform(cp, dom, topdown.Options{})
+	cas, err := NewCascade(cp, s, dom)
+	if err != nil {
+		t.Fatalf("cascade: %v", err)
+	}
+	return uni, cas, cp
+}
+
+func askBoth(t *testing.T, uni *topdown.Engine, cas *Cascade, cp *ast.CProgram, query string) bool {
+	t.Helper()
+	pr, err := parser.ParsePremise(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, cp.Syms, vars, &names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := uni.AskPremise(cpr, uni.EmptyState())
+	if err != nil {
+		t.Fatalf("uniform %q: %v", query, err)
+	}
+	c, err := cas.AskPremise(cpr, cas.EmptyState())
+	if err != nil {
+		t.Fatalf("cascade %q: %v", query, err)
+	}
+	if u != c {
+		t.Fatalf("query %q: uniform=%v cascade=%v", query, u, c)
+	}
+	return u
+}
+
+func TestCascadeParity(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		uni, cas, cp := buildBoth(t, workload.ParityProgram(n))
+		if got := askBoth(t, uni, cas, cp, "even"); got != (n%2 == 0) {
+			t.Errorf("n=%d: even=%v", n, got)
+		}
+	}
+}
+
+func TestCascadeHamiltonian(t *testing.T) {
+	graphs := []workload.Digraph{
+		{N: 1},
+		{N: 3, Edges: [][2]int{{0, 1}, {1, 2}}},
+		{N: 3, Edges: [][2]int{{0, 1}, {0, 2}}},
+		{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}},
+		{N: 4, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}}},
+	}
+	for gi, g := range graphs {
+		uni, cas, cp := buildBoth(t, workload.HamiltonianProgram(g))
+		want := workload.HasHamiltonianPath(g)
+		if got := askBoth(t, uni, cas, cp, "yes"); got != want {
+			t.Errorf("graph %d: yes=%v want %v", gi, got, want)
+		}
+		if got := askBoth(t, uni, cas, cp, "no"); got != !want {
+			t.Errorf("graph %d: no=%v want %v", gi, got, !want)
+		}
+	}
+}
+
+func TestCascadeChainAndOrderLoop(t *testing.T) {
+	for _, n := range []int{1, 4, 8} {
+		uni, cas, cp := buildBoth(t, workload.ChainProgram(n))
+		if !askBoth(t, uni, cas, cp, "a1") {
+			t.Errorf("chain n=%d: a1 false", n)
+		}
+		uni, cas, cp = buildBoth(t, workload.OrderLoopProgram(n))
+		if !askBoth(t, uni, cas, cp, "a") {
+			t.Errorf("orderloop n=%d: a false", n)
+		}
+	}
+}
+
+func TestCascadeKStrata(t *testing.T) {
+	// In KStrataProgram with no b/c/d facts, a1 is false (d1 is not
+	// derivable), so a2 :- d2, not a1 is still false (d2 missing), etc.
+	// Add the d<i> facts for even i only and check the alternation:
+	// a1 false -> a2 needs d2 and ~a1: with d2 present, a2 true;
+	// a3 needs d3 (absent) -> false.
+	src := workload.KStrataProgram(3, 1) + "d2.\n"
+	uni, cas, cp := buildBoth(t, src)
+	if askBoth(t, uni, cas, cp, "a1") {
+		t.Error("a1 should be false (no d1)")
+	}
+	if !askBoth(t, uni, cas, cp, "a2") {
+		t.Error("a2 should be true (d2 and not a1)")
+	}
+	if askBoth(t, uni, cas, cp, "a3") {
+		t.Error("a3 should be false (no d3)")
+	}
+}
+
+// TestCascadeAgainstReference cross-checks cascade, uniform engine and the
+// naive interpreter on every atom of linearly stratifiable fuzz programs.
+func TestCascadeAgainstReference(t *testing.T) {
+	iters := 120
+	if testing.Short() {
+		iters = 20
+	}
+	checked := 0
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed + 5000)))
+		src := workload.RandomStratifiedProgram(rng, workload.DefaultFuzz())
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := strat.Stratify(prog)
+		if err != nil {
+			continue // fuzz can produce non-linear programs; skip those
+		}
+		checked++
+		cp, err := ast.Compile(prog, symbols.NewTable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom := ref.Domain(cp)
+		ip := ref.New(cp)
+		uni := NewUniform(cp, dom, topdown.Options{MaxGoals: 5_000_000})
+		cas, err := NewCascade(cp, s, dom)
+		if err != nil {
+			t.Fatalf("seed %d: cascade: %v\n%s", seed, err, src)
+		}
+		for p := symbols.Pred(0); int(p) < cp.Syms.NumPreds(); p++ {
+			if cp.Syms.PredArity(p) != 1 {
+				continue
+			}
+			for _, cst := range dom {
+				args := []symbols.Const{cst}
+				want := ip.Holds(ip.Interner().ID(p, args), ip.EmptyState())
+				gu, err := uni.Ask(uni.Interner().ID(p, args), uni.EmptyState())
+				if err != nil {
+					t.Fatalf("seed %d: uniform: %v", seed, err)
+				}
+				gc, err := cas.Ask(cas.Interner().ID(p, args), cas.EmptyState())
+				if err != nil {
+					t.Fatalf("seed %d: cascade: %v\n%s", seed, err, src)
+				}
+				if gu != want || gc != want {
+					t.Errorf("seed %d: %s(%s): ref=%v uniform=%v cascade=%v\n%s",
+						seed, cp.Syms.PredName(p), cp.Syms.ConstName(cst), want, gu, gc, src)
+				}
+			}
+		}
+	}
+	if checked < iters/4 {
+		t.Errorf("only %d/%d fuzz programs were linearly stratifiable; generator too hot", checked, iters)
+	}
+}
+
+// TestCascadeDeletionFuzz cross-checks cascade, uniform engine and the
+// reference interpreter on programs with hypothetical deletions.
+func TestCascadeDeletionFuzz(t *testing.T) {
+	iters := 80
+	if testing.Short() {
+		iters = 15
+	}
+	opts := workload.DefaultFuzz()
+	opts.DelProb = 0.5
+	checked := 0
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed + 12000)))
+		src := workload.RandomStratifiedProgram(rng, opts)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := strat.Stratify(prog)
+		if err != nil {
+			continue
+		}
+		checked++
+		cp, err := ast.Compile(prog, symbols.NewTable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom := ref.Domain(cp)
+		ip := ref.New(cp)
+		uni := NewUniform(cp, dom, topdown.Options{MaxGoals: 5_000_000})
+		cas, err := NewCascade(cp, s, dom)
+		if err != nil {
+			t.Fatalf("seed %d: cascade: %v\n%s", seed, err, src)
+		}
+		for p := symbols.Pred(0); int(p) < cp.Syms.NumPreds(); p++ {
+			if cp.Syms.PredArity(p) != 1 {
+				continue
+			}
+			for _, cst := range dom {
+				args := []symbols.Const{cst}
+				want := ip.Holds(ip.Interner().ID(p, args), ip.EmptyState())
+				gu, err := uni.Ask(uni.Interner().ID(p, args), uni.EmptyState())
+				if err != nil {
+					t.Fatalf("seed %d: uniform: %v\n%s", seed, err, src)
+				}
+				gc, err := cas.Ask(cas.Interner().ID(p, args), cas.EmptyState())
+				if err != nil {
+					t.Fatalf("seed %d: cascade: %v\n%s", seed, err, src)
+				}
+				if gu != want || gc != want {
+					t.Errorf("seed %d: %s(%s): ref=%v uniform=%v cascade=%v\n%s",
+						seed, cp.Syms.PredName(p), cp.Syms.ConstName(cst), want, gu, gc, src)
+				}
+			}
+		}
+	}
+	if checked < iters/4 {
+		t.Errorf("only %d/%d deletion fuzz programs were linearly stratifiable", checked, iters)
+	}
+}
+
+func TestSolutions(t *testing.T) {
+	src := `
+		take(tony, his101).
+		take(tony, eng201).
+		take(mary, his101).
+		grad(S) :- take(S, his101), take(S, eng201).
+	`
+	uni, cas, cp := buildBoth(t, src)
+	pr, err := parser.ParsePremise("grad(S)[add: take(S, eng201)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, cp.Syms, vars, &names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Asker{uni, cas} {
+		sols, err := Solutions(a, cpr, len(names), a.EmptyState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, s := range sols {
+			got[cp.Syms.ConstName(s[0])] = true
+		}
+		// Example 2's shape: everyone who could graduate with one more
+		// course — tony (already can) and mary (his101 + hypothetical
+		// eng201).
+		if !got["tony"] || !got["mary"] || len(got) != 2 {
+			t.Errorf("solutions = %v", got)
+		}
+	}
+}
+
+func TestSolutionsGroundQuery(t *testing.T) {
+	uni, _, cp := buildBoth(t, "p(a).\nq(X) :- p(X).")
+	pr, _ := parser.ParsePremise("q(a)")
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, cp.Syms, vars, &names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols, err := Solutions(uni, cpr, len(names), uni.EmptyState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 || len(sols[0]) != 0 {
+		t.Errorf("ground query solutions = %v", sols)
+	}
+}

@@ -1,0 +1,92 @@
+package facts
+
+import (
+	"sort"
+
+	"hypodatalog/internal/symbols"
+)
+
+type indexKey struct {
+	pred symbols.Pred
+	pos  int
+	val  symbols.Const
+}
+
+// DB is the base (extensional) database: a set of interned ground atoms
+// with a per-predicate list and per-argument hash indexes. A DB is built
+// once and then read concurrently; Insert must not race with reads.
+type DB struct {
+	in     *Interner
+	set    map[AtomID]struct{}
+	byPred map[symbols.Pred][]AtomID
+	index  map[indexKey][]AtomID
+}
+
+// NewDB returns an empty database over the interner.
+func NewDB(in *Interner) *DB {
+	return &DB{
+		in:     in,
+		set:    make(map[AtomID]struct{}),
+		byPred: make(map[symbols.Pred][]AtomID),
+		index:  make(map[indexKey][]AtomID),
+	}
+}
+
+// Interner returns the interner backing the database.
+func (db *DB) Interner() *Interner { return db.in }
+
+// Insert adds an interned atom to the database. Duplicate inserts are
+// no-ops. It reports whether the atom was newly added.
+func (db *DB) Insert(id AtomID) bool {
+	if _, ok := db.set[id]; ok {
+		return false
+	}
+	db.set[id] = struct{}{}
+	pred := db.in.Pred(id)
+	db.byPred[pred] = append(db.byPred[pred], id)
+	for pos, val := range db.in.Args(id) {
+		k := indexKey{pred, pos, val}
+		db.index[k] = append(db.index[k], id)
+	}
+	return true
+}
+
+// Has reports whether the atom is in the base database.
+func (db *DB) Has(id AtomID) bool {
+	_, ok := db.set[id]
+	return ok
+}
+
+// Len reports the number of atoms in the database.
+func (db *DB) Len() int { return len(db.set) }
+
+// ByPred returns the atoms with the given predicate. The returned slice
+// must not be modified.
+func (db *DB) ByPred(p symbols.Pred) []AtomID { return db.byPred[p] }
+
+// ByPredArg returns the atoms with predicate p whose argument at position
+// pos equals val, using the hash index. The returned slice must not be
+// modified.
+func (db *DB) ByPredArg(p symbols.Pred, pos int, val symbols.Const) []AtomID {
+	return db.index[indexKey{p, pos, val}]
+}
+
+// All returns every atom id in the database, sorted. The slice is freshly
+// allocated.
+func (db *DB) All() []AtomID {
+	out := make([]AtomID, 0, len(db.set))
+	for id := range db.set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns an independent copy of the database sharing the interner.
+func (db *DB) Clone() *DB {
+	out := NewDB(db.in)
+	for id := range db.set {
+		out.Insert(id)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package facts provides the ground-level data plane of the system: a
+// ground-atom interner assigning dense ids, an indexed base database, and
+// the immutable Delta overlays that represent hypothetical states
+// DB + {B1, ..., Bm} during inference.
+package facts
+
+import (
+	"encoding/binary"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/symbols"
+)
+
+// AtomID is a dense identifier for an interned ground atom.
+type AtomID int32
+
+// NoAtom is returned by lookups that find nothing.
+const NoAtom AtomID = -1
+
+type groundAtom struct {
+	pred symbols.Pred
+	args []symbols.Const
+}
+
+// Interner assigns dense ids to ground atoms. It is shared by a base
+// database and all hypothetical states layered on top of it.
+// The zero value is not usable; call NewInterner.
+type Interner struct {
+	syms  *symbols.Table
+	atoms []groundAtom
+	index map[string]AtomID
+	buf   []byte // scratch for key encoding
+}
+
+// NewInterner returns an empty interner over the given symbol table.
+func NewInterner(syms *symbols.Table) *Interner {
+	return &Interner{
+		syms:  syms,
+		index: make(map[string]AtomID),
+	}
+}
+
+// Syms returns the symbol table the interner was built over.
+func (in *Interner) Syms() *symbols.Table { return in.syms }
+
+// encodeKey packs pred and args into in.buf and returns it. The result is
+// only valid until the next call.
+func (in *Interner) encodeKey(pred symbols.Pred, args []symbols.Const) []byte {
+	need := 4 * (1 + len(args))
+	if cap(in.buf) < need {
+		in.buf = make([]byte, need)
+	}
+	b := in.buf[:need]
+	binary.LittleEndian.PutUint32(b[0:], uint32(pred))
+	for i, a := range args {
+		binary.LittleEndian.PutUint32(b[4*(i+1):], uint32(a))
+	}
+	return b
+}
+
+// ID interns the ground atom pred(args...) and returns its id. The args
+// slice is copied on first interning.
+func (in *Interner) ID(pred symbols.Pred, args []symbols.Const) AtomID {
+	key := in.encodeKey(pred, args)
+	if id, ok := in.index[string(key)]; ok {
+		return id
+	}
+	id := AtomID(len(in.atoms))
+	stored := groundAtom{pred: pred}
+	if len(args) > 0 {
+		stored.args = append([]symbols.Const(nil), args...)
+	}
+	in.atoms = append(in.atoms, stored)
+	in.index[string(key)] = id
+	return id
+}
+
+// Lookup returns the id of pred(args...) if it has been interned.
+func (in *Interner) Lookup(pred symbols.Pred, args []symbols.Const) (AtomID, bool) {
+	key := in.encodeKey(pred, args)
+	id, ok := in.index[string(key)]
+	return id, ok
+}
+
+// Pred returns the predicate of an interned atom.
+func (in *Interner) Pred(id AtomID) symbols.Pred { return in.atoms[id].pred }
+
+// Args returns the argument constants of an interned atom. The returned
+// slice must not be modified.
+func (in *Interner) Args(id AtomID) []symbols.Const { return in.atoms[id].args }
+
+// Len reports how many atoms have been interned.
+func (in *Interner) Len() int { return len(in.atoms) }
+
+// InternGround interns a ground compiled atom. It panics if the atom
+// contains variables (callers ground atoms before interning).
+func (in *Interner) InternGround(a ast.CAtom) AtomID {
+	args := make([]symbols.Const, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.ConstID()
+	}
+	return in.ID(a.Pred, args)
+}
+
+// Format renders an interned atom using the symbol table.
+func (in *Interner) Format(id AtomID) string {
+	g := in.atoms[id]
+	if len(g.args) == 0 {
+		return in.syms.PredName(g.pred)
+	}
+	s := in.syms.PredName(g.pred) + "("
+	for i, a := range g.args {
+		if i > 0 {
+			s += ", "
+		}
+		s += in.syms.ConstName(a)
+	}
+	return s + ")"
+}

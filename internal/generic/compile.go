@@ -1,0 +1,102 @@
+package generic
+
+import (
+	"fmt"
+	"strings"
+
+	"hypodatalog/internal/turing"
+)
+
+// This file implements the constructive core of Theorem 2 (section 6.2):
+// a compiler from an NP oracle-machine cascade computing a generic yes/no
+// query to a CONSTANT-FREE hypothetical rulebase that evaluates the query
+// on an *unordered* domain.
+//
+// The pieces, exactly as in the paper:
+//
+//   - the section 6.2.1 rules assert every linear order of the domain
+//     hypothetically (OrderRules) and, under each, try to derive accept;
+//   - Horn rules extend the asserted order to an l-tuple counter
+//     (l = 2 here: first2/next2/last2 over pairs, lexicographic);
+//   - the database is encoded as a bitmap on M_k's work tape: under the
+//     asserted order, the cell at position (first, x) holds symbol 1 iff
+//     dbPred(x), 0 otherwise, and every later row is blank — the
+//     negation-as-failure writing the 0s is, as the paper notes, crucial;
+//   - the machine-simulation rules of section 5.1, generated over the
+//     pair counter (turing.EncodeRulesCounter).
+//
+// Because the query is generic, the machine accepts the bitmap under
+// every asserted order or under none (section 6.2.3), so yes/no is well
+// defined despite the domain having no a-priori order.
+
+// CompileGeneric emits the constant-free rulebase R(ψ) for the generic
+// yes/no query computed by the machine cascade m over databases of the
+// schema (domPred/1, dbPred/1): domPred lists the domain, dbPred is the
+// queried unary relation. The machine's tape alphabet must contain '0',
+// '1' and its blank; it reads the bitmap of dbPred (one bit per domain
+// element, in asserted order) from its work tape.
+//
+// Appending domain and relation facts to the result yields a complete
+// program whose 0-ary predicate `yes` answers the query. The counter has
+// n^2 values, so the machines may use up to n^2 time steps and tape
+// cells. Domains need at least 2 elements for the counter to have a
+// successor at all.
+func CompileGeneric(m *turing.Machine, domPred, dbPred string) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	if !strings.ContainsRune(string(m.Alphabet), '0') || !strings.ContainsRune(string(m.Alphabet), '1') {
+		return "", fmt.Errorf("generic: machine alphabet must contain '0' and '1' to read bitmaps")
+	}
+	var b strings.Builder
+
+	// (a) Assert every linear order; each asserts first1/next1/last1 and
+	// then queries accept.
+	b.WriteString("% ---- section 6.2.1: hypothetically asserted orders ----\n")
+	b.WriteString(OrderRules(domPred))
+
+	// (b) The l=2 counter over the asserted order (lexicographic pairs).
+	b.WriteString("% ---- section 6.2.2: pair counter over the order ----\n")
+	fmt.Fprintf(&b, "first2(X, X) :- first1(X).\n")
+	fmt.Fprintf(&b, "next2(X, Y1, X, Y2) :- %s(X), next1(Y1, Y2).\n", domPred)
+	fmt.Fprintf(&b, "next2(X1, Yl, X2, Yf) :- next1(X1, X2), last1(Yl), first1(Yf).\n")
+	fmt.Fprintf(&b, "last2(X, Y) :- last1(X), last1(Y).\n")
+
+	// (c) Bitmap initialisation of M_k's work tape; blanks below.
+	levels := m.Levels()
+	k := len(levels)
+	b.WriteString("% ---- section 6.2.2: database bitmap on M_k's tape ----\n")
+	fmt.Fprintf(&b, "%s(F, X, T1, T2) :- first1(F), %s(X), first2(T1, T2).\n",
+		cellName(k, '1'), dbPred)
+	fmt.Fprintf(&b, "%s(F, X, T1, T2) :- first1(F), %s(X), not %s(X), first2(T1, T2).\n",
+		cellName(k, '0'), domPred, dbPred)
+	fmt.Fprintf(&b, "%s(J1, J2, T1, T2) :- %s(J1), %s(J2), not first1(J1), first2(T1, T2).\n",
+		cellName(k, m.Blank), domPred, domPred)
+	for j, mach := range levels {
+		i := k - j
+		if i == k {
+			continue
+		}
+		fmt.Fprintf(&b, "%s(J1, J2, T1, T2) :- %s(J1), %s(J2), first2(T1, T2).\n",
+			cellName(i, mach.Blank), domPred, domPred)
+	}
+
+	// (d) The machine simulation over the pair counter.
+	rules, err := turing.EncodeRulesCounter(m, turing.Counter{
+		L: 2, First: "first2", Next: "next2", Last: "last2",
+	})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(rules)
+	return b.String(), nil
+}
+
+// cellName mirrors the turing compiler's cell predicate naming.
+func cellName(level int, sym byte) string {
+	name := fmt.Sprintf("s%d", sym)
+	if sym >= 'a' && sym <= 'z' || sym >= '0' && sym <= '9' {
+		name = "s" + string(sym)
+	}
+	return fmt.Sprintf("cell_%d_%s", level, name)
+}

@@ -1,0 +1,216 @@
+package horn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/symbols"
+)
+
+func build(t *testing.T, src string, strategy Strategy) (*Engine, *ast.CProgram) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	e, err := New(cp, strategy)
+	if err != nil {
+		t.Fatalf("horn.New: %v", err)
+	}
+	return e, cp
+}
+
+func holds(t *testing.T, e *Engine, cp *ast.CProgram, atomSrc string) bool {
+	t.Helper()
+	a, err := parser.ParseAtom(atomSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := make([]symbols.Const, a.Arity())
+	for i, tm := range a.Args {
+		if tm.IsVar {
+			t.Fatalf("atom %q not ground", atomSrc)
+		}
+		c, ok := cp.Syms.LookupConst(tm.Name)
+		if !ok {
+			return false
+		}
+		args[i] = c
+	}
+	p, ok := cp.Syms.LookupPred(a.Pred, a.Arity())
+	if !ok {
+		return false
+	}
+	id := e.Interner().ID(p, args)
+	return e.Holds(id)
+}
+
+func chainTC(n int) string {
+	src := `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("edge(v%d, v%d).\n", i, i+1)
+	}
+	return src
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	for _, strategy := range []Strategy{Naive, SemiNaive} {
+		e, cp := build(t, chainTC(5), strategy)
+		if !holds(t, e, cp, "tc(v0, v5)") {
+			t.Errorf("strategy %v: tc(v0,v5) false", strategy)
+		}
+		if holds(t, e, cp, "tc(v5, v0)") {
+			t.Errorf("strategy %v: tc(v5,v0) true", strategy)
+		}
+	}
+}
+
+func TestNonLinearTC(t *testing.T) {
+	src := `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), tc(Z, Y).
+		edge(a, b). edge(b, c). edge(c, d).
+	`
+	e, cp := build(t, src, SemiNaive)
+	if !holds(t, e, cp, "tc(a, d)") {
+		t.Error("non-linear tc(a,d) false")
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	src := `
+		node(a). node(b). node(c).
+		edge(a, b).
+		reach(a).
+		reach(Y) :- reach(X), edge(X, Y).
+		unreach(X) :- node(X), not reach(X).
+	`
+	e, cp := build(t, src, SemiNaive)
+	if !holds(t, e, cp, "unreach(c)") {
+		t.Error("unreach(c) false")
+	}
+	if holds(t, e, cp, "unreach(b)") {
+		t.Error("unreach(b) true")
+	}
+}
+
+func TestNegationLocalVariable(t *testing.T) {
+	// empty holds iff no p atom is derivable at all.
+	src := "empty :- not p(X).\nq(a).\n"
+	e, cp := build(t, src, SemiNaive)
+	if !holds(t, e, cp, "empty") {
+		t.Error("empty should hold with no p facts")
+	}
+	src2 := "empty :- not p(X).\np(a).\n"
+	e2, cp2 := build(t, src2, SemiNaive)
+	if holds(t, e2, cp2, "empty") {
+		t.Error("empty should fail when p(a) exists")
+	}
+}
+
+func TestRejectsHypothetical(t *testing.T) {
+	prog, err := parser.Parse("a :- b[add: c].")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cp, SemiNaive); err == nil {
+		t.Error("expected hypothetical-premise rejection")
+	}
+}
+
+func TestRejectsRecursionThroughNegation(t *testing.T) {
+	prog, err := parser.Parse("a :- not b.\nb :- not a.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cp, SemiNaive); err == nil {
+		t.Error("expected recursion-through-negation rejection")
+	}
+}
+
+func TestRejectsNonRangeRestricted(t *testing.T) {
+	prog, err := parser.Parse("p(X) :- q.\nq.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cp, SemiNaive); err == nil {
+		t.Error("expected range-restriction rejection")
+	}
+}
+
+// TestNaiveSemiNaiveAgree compares the two strategies on random graphs.
+func TestNaiveSemiNaiveAgree(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 4 + rng.Intn(5)
+		src := `
+			tc(X, Y) :- edge(X, Y).
+			tc(X, Y) :- tc(X, Z), edge(Z, Y).
+			sym(X, Y) :- tc(X, Y), tc(Y, X).
+			island(X) :- node(X), not tc(X, Y).
+		`
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("node(v%d).\n", i)
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.25 {
+					src += fmt.Sprintf("edge(v%d, v%d).\n", i, j)
+				}
+			}
+		}
+		eN, _ := build(t, src, Naive)
+		eS, _ := build(t, src, SemiNaive)
+		// The engines intern atoms in different orders, so compare the
+		// models as sets of formatted atoms.
+		mN := map[string]bool{}
+		for _, id := range eN.Model() {
+			mN[eN.Interner().Format(id)] = true
+		}
+		mS := map[string]bool{}
+		for _, id := range eS.Model() {
+			mS[eS.Interner().Format(id)] = true
+		}
+		for a := range mN {
+			if !mS[a] {
+				t.Errorf("seed %d: missing in semi-naive: %s", seed, a)
+			}
+		}
+		for a := range mS {
+			if !mN[a] {
+				t.Errorf("seed %d: extra in semi-naive: %s", seed, a)
+			}
+		}
+	}
+}
+
+func TestSemiNaiveDoesLessWork(t *testing.T) {
+	eN, _ := build(t, chainTC(40), Naive)
+	eS, _ := build(t, chainTC(40), SemiNaive)
+	eN.Compute()
+	eS.Compute()
+	if eS.Stats().JoinProbes >= eN.Stats().JoinProbes {
+		t.Errorf("semi-naive probes %d >= naive probes %d",
+			eS.Stats().JoinProbes, eN.Stats().JoinProbes)
+	}
+}

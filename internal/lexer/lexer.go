@@ -1,0 +1,286 @@
+// Package lexer tokenizes the hypothetical Datalog surface syntax.
+//
+// The token classes are identifiers (lower-case first letter: predicate and
+// constant symbols), variables (upper-case first letter or underscore),
+// integer literals (constants), quoted atoms ('like this', constants), and
+// the punctuation of the rule language: ( ) [ ] , . : :- ?- and the
+// negation keyword "not" (or the prefix operator ~).
+//
+// Comments run from % or // to end of line.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Variable
+	Int
+	LParen
+	RParen
+	LBracket
+	RBracket
+	Comma
+	Period
+	Colon
+	Implies // :-
+	Query   // ?-
+	Not     // "not" keyword or ~
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Variable:
+		return "variable"
+	case Int:
+		return "integer"
+	case LParen:
+		return "'('"
+	case RParen:
+		return "')'"
+	case LBracket:
+		return "'['"
+	case RBracket:
+		return "']'"
+	case Comma:
+		return "','"
+	case Period:
+		return "'.'"
+	case Colon:
+		return "':'"
+	case Implies:
+		return "':-'"
+	case Query:
+		return "'?-'"
+	case Not:
+		return "'not'"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Token is a lexed token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int // 1-based
+	Col  int // 1-based, in runes
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokens lexes the entire input, returning the token stream (terminated by
+// an EOF token) or the first lexical error.
+func Tokens(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			l.skipLine()
+		case r == '/' && l.peek2() == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) skipLine() {
+	for l.pos < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return Token{Kind: LParen, Line: line, Col: col}, nil
+	case r == ')':
+		l.advance()
+		return Token{Kind: RParen, Line: line, Col: col}, nil
+	case r == '[':
+		l.advance()
+		return Token{Kind: LBracket, Line: line, Col: col}, nil
+	case r == ']':
+		l.advance()
+		return Token{Kind: RBracket, Line: line, Col: col}, nil
+	case r == ',':
+		l.advance()
+		return Token{Kind: Comma, Line: line, Col: col}, nil
+	case r == '.':
+		l.advance()
+		return Token{Kind: Period, Line: line, Col: col}, nil
+	case r == '~':
+		l.advance()
+		return Token{Kind: Not, Text: "~", Line: line, Col: col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: Implies, Line: line, Col: col}, nil
+		}
+		return Token{Kind: Colon, Line: line, Col: col}, nil
+	case r == '?':
+		l.advance()
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: Query, Line: line, Col: col}, nil
+		}
+		return Token{}, &Error{line, col, "expected '?-'"}
+	case r == '\'':
+		return l.quotedAtom(line, col)
+	case unicode.IsDigit(r):
+		return l.number(line, col)
+	case r == '_' || unicode.IsUpper(r):
+		text := l.word()
+		return Token{Kind: Variable, Text: text, Line: line, Col: col}, nil
+	case unicode.IsLower(r):
+		text := l.word()
+		if text == "not" {
+			return Token{Kind: Not, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Kind: Ident, Text: text, Line: line, Col: col}, nil
+	default:
+		return Token{}, &Error{line, col, fmt.Sprintf("unexpected character %q", r)}
+	}
+}
+
+func (l *Lexer) word() string {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(l.advance())
+		} else {
+			break
+		}
+	}
+	return b.String()
+}
+
+func (l *Lexer) number(line, col int) (Token, error) {
+	var b strings.Builder
+	for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+		b.WriteRune(l.advance())
+	}
+	// A digit-led word like 3abc is a lexical error rather than two tokens.
+	if l.pos < len(l.src) {
+		if r := l.peek(); r == '_' || unicode.IsLetter(r) {
+			return Token{}, &Error{line, col, "identifier may not start with a digit"}
+		}
+	}
+	return Token{Kind: Int, Text: b.String(), Line: line, Col: col}, nil
+}
+
+func (l *Lexer) quotedAtom(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, &Error{line, col, "unterminated quoted atom"}
+		}
+		r := l.advance()
+		if r == '\'' {
+			return Token{Kind: Ident, Text: b.String(), Line: line, Col: col}, nil
+		}
+		if r == '\\' {
+			if l.pos >= len(l.src) {
+				return Token{}, &Error{line, col, "unterminated escape in quoted atom"}
+			}
+			r = l.advance()
+		}
+		b.WriteRune(r)
+	}
+}

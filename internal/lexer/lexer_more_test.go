@@ -1,0 +1,85 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuotedEscapes(t *testing.T) {
+	toks, err := Tokens(`p('it\'s', 'a\\b')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Text != "it's" {
+		t.Errorf("first quoted = %q", toks[2].Text)
+	}
+	if toks[4].Text != `a\b` {
+		t.Errorf("second quoted = %q", toks[4].Text)
+	}
+}
+
+func TestUnterminatedEscape(t *testing.T) {
+	if _, err := Tokens(`p('abc\`); err == nil {
+		t.Error("unterminated escape accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{EOF, Ident, Variable, Int, LParen, RParen, LBracket,
+		RBracket, Comma, Period, Colon, Implies, Query, Not, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("Kind(%d) has empty String", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind = %q", Kind(99).String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Text: "abc"}
+	if got := tok.String(); !strings.Contains(got, `"abc"`) {
+		t.Errorf("Token.String = %q", got)
+	}
+	if got := (Token{Kind: Comma}).String(); got != "','" {
+		t.Errorf("punct token = %q", got)
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	_, err := Tokens("p(#)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 1:") {
+		t.Errorf("error = %q", err)
+	}
+}
+
+// TestLexerNeverPanics: arbitrary strings either tokenize or error.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		toks, err := Tokens(src)
+		if err != nil {
+			return true
+		}
+		// Token stream must end with EOF and contain no zero-kind garbage
+		// besides it.
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRLFAndTabs(t *testing.T) {
+	toks, err := Tokens("p.\r\n\tq.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // p . q . EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+}

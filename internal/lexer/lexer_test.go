@@ -1,0 +1,122 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokens(src)
+	if err != nil {
+		t.Fatalf("Tokens(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, "grad(S) :- take(S, his101).")
+	want := []Kind{Ident, LParen, Variable, RParen, Implies, Ident, LParen,
+		Variable, Comma, Ident, RParen, Period, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHypotheticalBrackets(t *testing.T) {
+	got := kinds(t, "a :- b[add: c].")
+	want := []Kind{Ident, Implies, Ident, LBracket, Ident, Colon, Ident,
+		RBracket, Period, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNegationForms(t *testing.T) {
+	for _, src := range []string{"not p", "~p", "~ p"} {
+		toks, err := Tokens(src)
+		if err != nil {
+			t.Fatalf("Tokens(%q): %v", src, err)
+		}
+		if toks[0].Kind != Not {
+			t.Errorf("%q: first token %v, want Not", src, toks[0])
+		}
+		if toks[1].Kind != Ident || toks[1].Text != "p" {
+			t.Errorf("%q: second token %v, want ident p", src, toks[1])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "% whole line\np. // trailing\nq.")
+	want := []Kind{Ident, Period, Ident, Period, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestQueryToken(t *testing.T) {
+	got := kinds(t, "?- p(a).")
+	if got[0] != Query {
+		t.Fatalf("got %v, want leading Query token", got)
+	}
+}
+
+func TestIntegersAreConstants(t *testing.T) {
+	toks, err := Tokens("next(0, 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != Int || toks[2].Text != "0" {
+		t.Fatalf("got %v want Int 0", toks[2])
+	}
+}
+
+func TestQuotedAtom(t *testing.T) {
+	toks, err := Tokens("p('Hello World')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != Ident || toks[2].Text != "Hello World" {
+		t.Fatalf("got %v", toks[2])
+	}
+}
+
+func TestVariablesUpperAndUnderscore(t *testing.T) {
+	toks, err := Tokens("X _y Abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != Variable {
+			t.Errorf("token %d = %v, want Variable", i, toks[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"p(#)", "3abc", "'unterminated", "?x"} {
+		if _, err := Tokens(src); err == nil {
+			t.Errorf("Tokens(%q): expected error", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokens("p.\n  q.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := toks[2]
+	if q.Line != 2 || q.Col != 3 {
+		t.Fatalf("q at %d:%d, want 2:3", q.Line, q.Col)
+	}
+}

@@ -1,0 +1,41 @@
+package parser
+
+import (
+	"testing"
+
+	"hypodatalog/internal/workload"
+)
+
+// FuzzParse checks parser robustness: arbitrary input never panics, and
+// anything that parses round-trips through the printer to an equivalent
+// program (print → parse → print is a fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"grad(S) :- take(S, his101), take(S, eng201).",
+		"a :- b[add: c, d(X)][del: e].",
+		"even :- not selectx(X).",
+		"?- grad(tony)[add: take(tony, cs452)].",
+		"p('quoted atom', 0, X) :- q(_Y), ~r.",
+		"% comment\np. // another\n",
+		workload.ParityProgram(2),
+		"p(", ":-", "a :- b[add:].", "?x", "3abc", "'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := prog.String()
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if prog2.String() != printed {
+			t.Fatalf("print->parse->print not a fixpoint:\nfirst:  %q\nsecond: %q", printed, prog2.String())
+		}
+	})
+}

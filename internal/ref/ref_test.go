@@ -1,0 +1,163 @@
+package ref
+
+import (
+	"testing"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/symbols"
+)
+
+func build(t *testing.T, src string) *Interp {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cp)
+}
+
+func holds(t *testing.T, ip *Interp, atom string) bool {
+	t.Helper()
+	a, err := parser.ParseAtom(atom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := ip.Interner().Syms()
+	p, ok := syms.LookupPred(a.Pred, a.Arity())
+	if !ok {
+		return false
+	}
+	args := make([]symbols.Const, a.Arity())
+	for i, tm := range a.Args {
+		c, ok := syms.LookupConst(tm.Name)
+		if !ok {
+			return false
+		}
+		args[i] = c
+	}
+	return ip.Holds(ip.Interner().ID(p, args), ip.EmptyState())
+}
+
+func TestPlainDatalog(t *testing.T) {
+	ip := build(t, `
+		edge(a, b). edge(b, c).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	if !holds(t, ip, "tc(a, c)") {
+		t.Error("tc(a,c) false")
+	}
+	if holds(t, ip, "tc(c, a)") {
+		t.Error("tc(c,a) true")
+	}
+}
+
+func TestHypotheticalPremise(t *testing.T) {
+	ip := build(t, `
+		p(a).
+		q(X) :- r(X)[add: s(X)].
+		r(X) :- p(X), s(X).
+	`)
+	if !holds(t, ip, "q(a)") {
+		t.Error("q(a) false")
+	}
+	if holds(t, ip, "r(a)") {
+		t.Error("r(a) true without the hypothesis")
+	}
+}
+
+func TestNegationLocalVar(t *testing.T) {
+	ip := build(t, "ok :- not p(X).\nd(a).\n")
+	if !holds(t, ip, "ok") {
+		t.Error("ok should hold when no p exists")
+	}
+	ip2 := build(t, "ok :- not p(X).\np(a).\n")
+	if holds(t, ip2, "ok") {
+		t.Error("ok should fail when p(a) exists")
+	}
+}
+
+func TestHoldsPremise(t *testing.T) {
+	ip := build(t, "p(a).\ngrad(X) :- p(X), q(X).")
+	pr, err := parser.ParsePremise("grad(a)[add: q(a)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, ip.Interner().Syms(), vars, &names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ip.HoldsPremise(cpr, ip.EmptyState()) {
+		t.Error("hypothetical premise false")
+	}
+	neg, _ := parser.ParsePremise("not grad(a)")
+	cneg, err := ast.CompilePremise(neg, ip.Interner().Syms(), map[string]int{}, &[]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ip.HoldsPremise(cneg, ip.EmptyState()) {
+		t.Error("negated premise false (grad(a) should not hold plainly)")
+	}
+}
+
+func TestDerivableIncludesStateAndDerived(t *testing.T) {
+	ip := build(t, "p(a).\nq(X) :- p(X).")
+	all := ip.Derivable(ip.EmptyState())
+	if len(all) != 2 {
+		t.Fatalf("derivable = %d atoms", len(all))
+	}
+}
+
+func TestDomainCollection(t *testing.T) {
+	prog, err := parser.Parse("p(a).\nq(X) :- r(X, b)[add: w(c)].")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := cp.Syms.Const("zzz")
+	dom := Domain(cp, extra)
+	if len(dom) != 4 { // a, b, c, zzz
+		t.Fatalf("dom = %d", len(dom))
+	}
+	// No duplicates when extra already occurs.
+	dom2 := Domain(cp, cp.Syms.Const("a"))
+	if len(dom2) != 3 {
+		t.Fatalf("dom2 = %d", len(dom2))
+	}
+}
+
+func TestMonotoneUnderAdds(t *testing.T) {
+	// Negation-free programs are monotone: anything derivable in DB stays
+	// derivable in DB+Δ.
+	ip := build(t, `
+		p(a). p(b).
+		q(X) :- p(X).
+		r(X) :- q(X), s(X).
+	`)
+	syms := ip.Interner().Syms()
+	sPred, _ := syms.LookupPred("s", 1)
+	aConst, _ := syms.LookupConst("a")
+	st := ip.EmptyState()
+	before := ip.Derivable(st)
+	ext := st.Add(ip.Interner().ID(sPred, []symbols.Const{aConst}))
+	after := ip.Derivable(ext)
+	for id := range before {
+		if !after[id] {
+			t.Errorf("monotonicity violated: %s lost", ip.Interner().Format(id))
+		}
+	}
+	rPred, _ := syms.LookupPred("r", 1)
+	if !after[ip.Interner().ID(rPred, []symbols.Const{aConst})] {
+		t.Error("r(a) not derivable after adding s(a)")
+	}
+}

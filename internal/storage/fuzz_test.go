@@ -1,0 +1,43 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/workload"
+)
+
+// FuzzRead checks that arbitrary bytes never panic the snapshot reader
+// (corrupt input must fail with an error, not crash), and that valid
+// snapshots embedded as seeds still load.
+func FuzzRead(f *testing.F) {
+	for _, src := range []string{
+		"p(a).",
+		workload.ParityProgram(3),
+		workload.ChainProgram(4),
+	} {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, prog); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("HDLSNAP\x01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever loads must be writable again.
+		var buf bytes.Buffer
+		if err := Write(&buf, prog); err != nil {
+			t.Fatalf("rewrite of loaded snapshot failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+// Package storage persists hypothetical Datalog programs and their fact
+// bases as versioned binary snapshots.
+//
+// Rules and queries are stored as canonical source text (they are tiny
+// and the printer/parser round-trip is the stable interface); facts are
+// stored compactly — a string table followed by per-predicate tuple
+// blocks of varint-encoded symbol indexes — so large extensional
+// databases do not pay text-parsing costs. The whole snapshot is guarded
+// by a CRC32 and a version byte.
+//
+// Layout (all integers are uvarints unless noted):
+//
+//	magic   "HDLSNAP\x01"
+//	crc     uint32 little-endian over everything after this field
+//	rulesLen, rules source bytes
+//	nConsts, then each: len, bytes
+//	nPreds,  then each: nameLen, name bytes, arity
+//	nBlocks, then each: predIndex, nTuples, nTuples*arity const indexes
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+)
+
+var magic = []byte("HDLSNAP\x01")
+
+// maxSaneLen guards length fields against corrupt or hostile input.
+const maxSaneLen = 1 << 28
+
+// Write serialises a program (rules, queries and facts) to w.
+func Write(w io.Writer, prog *ast.Program) error {
+	var body []byte
+
+	// Rules and queries as canonical text (facts are stored in binary).
+	noFacts := &ast.Program{Rules: prog.Rules, Queries: prog.Queries}
+	src := noFacts.String()
+	body = appendUvarint(body, uint64(len(src)))
+	body = append(body, src...)
+
+	// Symbol tables for the facts.
+	constIdx := map[string]uint64{}
+	var consts []string
+	internConst := func(s string) uint64 {
+		if i, ok := constIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(consts))
+		constIdx[s] = i
+		consts = append(consts, s)
+		return i
+	}
+	type predKey struct {
+		name  string
+		arity int
+	}
+	predIdx := map[predKey]uint64{}
+	var preds []predKey
+	tuples := map[uint64][][]uint64{}
+	for _, f := range prog.Facts {
+		if !f.IsGround() {
+			return fmt.Errorf("storage: fact %s is not ground", f)
+		}
+		k := predKey{f.Pred, f.Arity()}
+		pi, ok := predIdx[k]
+		if !ok {
+			pi = uint64(len(preds))
+			predIdx[k] = pi
+			preds = append(preds, k)
+		}
+		row := make([]uint64, f.Arity())
+		for i, t := range f.Args {
+			row[i] = internConst(t.Name)
+		}
+		tuples[pi] = append(tuples[pi], row)
+	}
+
+	body = appendUvarint(body, uint64(len(consts)))
+	for _, c := range consts {
+		body = appendUvarint(body, uint64(len(c)))
+		body = append(body, c...)
+	}
+	body = appendUvarint(body, uint64(len(preds)))
+	for _, p := range preds {
+		body = appendUvarint(body, uint64(len(p.name)))
+		body = append(body, p.name...)
+		body = appendUvarint(body, uint64(p.arity))
+	}
+	body = appendUvarint(body, uint64(len(tuples)))
+	for pi := uint64(0); pi < uint64(len(preds)); pi++ {
+		rows := tuples[pi]
+		if len(rows) == 0 {
+			continue
+		}
+		body = appendUvarint(body, pi)
+		body = appendUvarint(body, uint64(len(rows)))
+		for _, row := range rows {
+			for _, c := range row {
+				body = appendUvarint(body, c)
+			}
+		}
+	}
+
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// Read deserialises a program previously written by Write.
+func Read(r io.Reader) (*ast.Program, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("storage: reading magic: %w", err)
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("storage: bad magic (not a snapshot, or unsupported version)")
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("storage: reading checksum: %w", err)
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return nil, fmt.Errorf("storage: checksum mismatch (corrupt snapshot)")
+	}
+
+	d := &decoder{buf: body}
+	srcLen := d.uvarint()
+	src := d.bytes(srcLen)
+	if d.err != nil {
+		return nil, d.err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("storage: embedded rules do not parse: %w", err)
+	}
+
+	nConsts := d.uvarint()
+	if nConsts > maxSaneLen {
+		return nil, fmt.Errorf("storage: implausible constant count %d", nConsts)
+	}
+	consts := make([]string, nConsts)
+	for i := range consts {
+		consts[i] = string(d.bytes(d.uvarint()))
+	}
+	nPreds := d.uvarint()
+	if nPreds > maxSaneLen {
+		return nil, fmt.Errorf("storage: implausible predicate count %d", nPreds)
+	}
+	type predKey struct {
+		name  string
+		arity int
+	}
+	preds := make([]predKey, nPreds)
+	for i := range preds {
+		preds[i].name = string(d.bytes(d.uvarint()))
+		preds[i].arity = int(d.uvarint())
+		if preds[i].arity > 1024 {
+			return nil, fmt.Errorf("storage: implausible arity %d", preds[i].arity)
+		}
+	}
+	nBlocks := d.uvarint()
+	if nBlocks > nPreds {
+		return nil, fmt.Errorf("storage: more fact blocks (%d) than predicates (%d)", nBlocks, nPreds)
+	}
+	for b := uint64(0); b < nBlocks; b++ {
+		pi := d.uvarint()
+		if pi >= nPreds {
+			return nil, fmt.Errorf("storage: fact block references predicate %d of %d", pi, nPreds)
+		}
+		p := preds[pi]
+		nRows := d.uvarint()
+		if nRows > maxSaneLen {
+			return nil, fmt.Errorf("storage: implausible row count %d", nRows)
+		}
+		for row := uint64(0); row < nRows; row++ {
+			args := make([]ast.Term, p.arity)
+			for i := range args {
+				ci := d.uvarint()
+				if d.err != nil {
+					return nil, d.err
+				}
+				if ci >= nConsts {
+					return nil, fmt.Errorf("storage: constant index %d of %d", ci, nConsts)
+				}
+				args[i] = ast.Const(consts[ci])
+			}
+			prog.Facts = append(prog.Facts, ast.Atom{Pred: p.name, Args: args})
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.pos {
+		return nil, fmt.Errorf("storage: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	return prog, nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("storage: truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSaneLen || d.pos+int(n) > len(d.buf) {
+		d.err = fmt.Errorf("storage: truncated data at offset %d (want %d bytes)", d.pos, n)
+		return nil
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out
+}

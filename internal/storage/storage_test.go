@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/workload"
+)
+
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, prog); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got.String()
+}
+
+func canon(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.String()
+}
+
+func TestRoundTripPrograms(t *testing.T) {
+	sources := []string{
+		"p(a).\nq(X) :- p(X).\n",
+		workload.ParityProgram(5),
+		workload.HamiltonianProgram(workload.Digraph{N: 4, Edges: [][2]int{{0, 1}, {1, 2}}}),
+		workload.ChainProgram(6),
+		"goal :- m(X, Y), t(X), goal[add: t(Y)][del: t(X)].\nt(a).\nm(a, b).\n?- goal.\n",
+		"", // empty program
+	}
+	for _, src := range sources {
+		got := roundTrip(t, src)
+		want := canon(t, src)
+		if !sameClauses(got, want) {
+			t.Errorf("round trip mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+		}
+	}
+}
+
+// sameClauses compares programs as clause sets: the snapshot groups facts
+// by predicate, so fact order may legitimately change.
+func sameClauses(a, b string) bool {
+	setOf := func(s string) map[string]int {
+		m := map[string]int{}
+		for _, line := range strings.Split(s, "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" {
+				m[line]++
+			}
+		}
+		return m
+	}
+	ma, mb := setOf(a), setOf(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLargeFactBaseCompact(t *testing.T) {
+	var src strings.Builder
+	src.WriteString("tc(X, Y) :- edge(X, Y).\n")
+	for i := 0; i < 2000; i++ {
+		src.WriteString("edge(v")
+		src.WriteString(strings.Repeat("x", 1+i%3))
+		src.WriteString(", w)." + "\n")
+	}
+	prog, err := parser.Parse(src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	// The binary fact encoding interns the repeated constants, so the
+	// snapshot must be far smaller than the source text.
+	if buf.Len() >= len(src.String())/2 {
+		t.Errorf("snapshot %d bytes for %d bytes of source", buf.Len(), len(src.String()))
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Facts) != len(prog.Facts) {
+		t.Errorf("facts %d, want %d", len(got.Facts), len(prog.Facts))
+	}
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	prog, err := parser.Parse(workload.ParityProgram(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xff
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Every single-bit corruption of the body must be caught by the CRC.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		bad := append([]byte{}, good...)
+		i := 12 + rng.Intn(len(bad)-12)
+		bad[i] ^= 1 << uint(rng.Intn(8))
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{0, 4, len(good) / 2, len(good) - 1} {
+		if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestRejectsNonGroundFacts(t *testing.T) {
+	prog, err := parser.Parse("p(a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Facts[0].Args[0].IsVar = true
+	var buf bytes.Buffer
+	if err := Write(&buf, prog); err == nil {
+		t.Error("non-ground fact accepted")
+	}
+}
+
+func TestRandomProgramsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := workload.RandomStratifiedProgram(rng, workload.DefaultFuzz())
+		got := roundTrip(t, src)
+		want := canon(t, src)
+		if !sameClauses(got, want) {
+			t.Errorf("seed %d: round trip mismatch", seed)
+		}
+	}
+}

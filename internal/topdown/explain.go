@@ -1,0 +1,365 @@
+package topdown
+
+import (
+	"fmt"
+	"strings"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/facts"
+	"hypodatalog/internal/symbols"
+)
+
+// ProofKind classifies a node of a derivation tree.
+type ProofKind int
+
+// Proof node kinds.
+const (
+	// ProofFact: the goal is in the (hypothetically extended) database.
+	ProofFact ProofKind = iota
+	// ProofRule: the goal follows from a rule instance; Children prove
+	// the premises.
+	ProofRule
+	// ProofNegation: a negated premise ~A, established by the failure of
+	// every instance of A (no subtree — failure has no finite witness).
+	ProofNegation
+	// ProofHyp: a hypothetical premise A[add: ...]; the single child
+	// proves A in the extended state.
+	ProofHyp
+)
+
+// Proof is one node of a derivation tree for R, DB+Δ ⊢ A.
+type Proof struct {
+	Kind ProofKind
+	// Goal is the proven atom (for ProofNegation, the failed atom pattern
+	// rendered ground when possible).
+	Goal string
+	// Rule is the instantiated rule head :- body for ProofRule nodes.
+	Rule string
+	// Added and Deleted list the hypothetically inserted and removed atoms
+	// for ProofHyp nodes.
+	Added   []string
+	Deleted []string
+	// Children are the sub-proofs (premises for ProofRule; the inner
+	// proof for ProofHyp).
+	Children []*Proof
+}
+
+// String renders the proof as an indented tree.
+func (p *Proof) String() string {
+	var b strings.Builder
+	p.render(&b, 0)
+	return b.String()
+}
+
+func (p *Proof) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch p.Kind {
+	case ProofFact:
+		fmt.Fprintf(b, "%s%s  [fact]\n", indent, p.Goal)
+	case ProofRule:
+		fmt.Fprintf(b, "%s%s  [rule %s]\n", indent, p.Goal, p.Rule)
+	case ProofNegation:
+		fmt.Fprintf(b, "%snot %s  [no instance provable]\n", indent, p.Goal)
+	case ProofHyp:
+		mods := ""
+		if len(p.Added) > 0 {
+			mods = "add: " + strings.Join(p.Added, ", ")
+		}
+		if len(p.Deleted) > 0 {
+			if mods != "" {
+				mods += "; "
+			}
+			mods += "del: " + strings.Join(p.Deleted, ", ")
+		}
+		fmt.Fprintf(b, "%s%s  [under %s]\n", indent, p.Goal, mods)
+	}
+	for _, c := range p.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Size counts the nodes of the proof tree.
+func (p *Proof) Size() int {
+	n := 1
+	for _, c := range p.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Explain produces a derivation tree for a provable ground goal, or nil
+// when the goal does not hold. It reuses the engine's memo table, so
+// explaining after asking is cheap.
+func (e *Engine) Explain(goal facts.AtomID, st facts.State) (*Proof, error) {
+	ok, err := e.Ask(goal, st)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	seen := map[tableKey]bool{}
+	return e.explain(goal, st, seen)
+}
+
+// explain reconstructs one derivation, guarding against cyclic
+// reconstruction with an on-path set (a provable goal always has an
+// acyclic derivation, so skipping on-path repeats is safe).
+func (e *Engine) explain(goal facts.AtomID, st facts.State, onPath map[tableKey]bool) (*Proof, error) {
+	if st.Has(goal) {
+		return &Proof{Kind: ProofFact, Goal: e.in.Format(goal)}, nil
+	}
+	key := tableKey{goal, st.Key()}
+	if onPath[key] {
+		return nil, nil
+	}
+	onPath[key] = true
+	defer delete(onPath, key)
+
+	pred := e.in.Pred(goal)
+	for _, ri := range e.prog.ByHead[pred] {
+		rule := &e.prog.Rules[ri]
+		binding := newBinding(rule.NumVars)
+		if !unifyHead(rule.Head, e.in.Args(goal), binding) {
+			continue
+		}
+		children, ok, err := e.explainBody(rule, binding, 0, st, onPath)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return &Proof{
+				Kind:     ProofRule,
+				Goal:     e.in.Format(goal),
+				Rule:     e.formatRuleInstance(rule, binding),
+				Children: children,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// explainBody finds a satisfying instantiation of the premises from index
+// pi on (in source order — explanations favour readability over the
+// planner's ordering) and returns their sub-proofs.
+func (e *Engine) explainBody(rule *ast.CRule, binding []symbols.Const, pi int, st facts.State, onPath map[tableKey]bool) ([]*Proof, bool, error) {
+	if pi == len(rule.Body) {
+		return nil, true, nil
+	}
+	pr := &rule.Body[pi]
+	var result []*Proof
+	found := false
+
+	tryRest := func(node *Proof) (bool, error) {
+		children, ok, err := e.explainBody(rule, binding, pi+1, st, onPath)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		result = append([]*Proof{node}, children...)
+		found = true
+		return true, nil
+	}
+
+	switch pr.Kind {
+	case ast.Plain:
+		err := e.forEachPremiseInstance(rule, pr, binding, st, func() (bool, error) {
+			goal := e.groundAtom(pr.Atom, binding)
+			ok, err := e.Ask(goal, st)
+			if err != nil || !ok {
+				return false, err
+			}
+			sub, err := e.explain(goal, st, onPath)
+			if err != nil {
+				return false, err
+			}
+			if sub == nil {
+				return false, nil
+			}
+			return tryRest(sub)
+		})
+		return result, found, err
+	case ast.Hyp:
+		err := e.forEachPremiseInstance(rule, pr, binding, st, func() (bool, error) {
+			next := st
+			var added, deleted []string
+			for _, a := range pr.Adds {
+				id := e.groundAtom(a, binding)
+				next = next.Add(id)
+				added = append(added, e.in.Format(id))
+			}
+			for _, a := range pr.Dels {
+				id := e.groundAtom(a, binding)
+				next = next.Del(id)
+				deleted = append(deleted, e.in.Format(id))
+			}
+			goal := e.groundAtom(pr.Atom, binding)
+			ok, err := e.Ask(goal, next)
+			if err != nil || !ok {
+				return false, err
+			}
+			sub, err := e.explain(goal, next, onPath)
+			if err != nil {
+				return false, err
+			}
+			if sub == nil {
+				return false, nil
+			}
+			return tryRest(&Proof{
+				Kind:     ProofHyp,
+				Goal:     e.in.Format(goal),
+				Added:    added,
+				Deleted:  deleted,
+				Children: []*Proof{sub},
+			})
+		})
+		return result, found, err
+	case ast.Negated:
+		var enumSlots, localSlots []int
+		for _, s := range premiseUnboundSlots(pr, binding) {
+			if rule.PosVar[s] {
+				enumSlots = append(enumSlots, s)
+			} else {
+				localSlots = append(localSlots, s)
+			}
+		}
+		err := e.enumerate(enumSlots, binding, func() (bool, error) {
+			holds, err := e.negHolds(pr.Atom, binding, localSlots, st)
+			if err != nil {
+				return false, err
+			}
+			if holds {
+				return false, nil
+			}
+			return tryRest(&Proof{
+				Kind: ProofNegation,
+				Goal: e.formatPattern(pr.Atom, binding, rule.VarNames),
+			})
+		})
+		return result, found, err
+	default:
+		return nil, false, fmt.Errorf("topdown: explain: premise kind %v", pr.Kind)
+	}
+}
+
+// forEachPremiseInstance enumerates instantiations of a premise's unbound
+// variables, preferring state matches for extensional atoms and the
+// domain otherwise, until leaf returns true.
+func (e *Engine) forEachPremiseInstance(rule *ast.CRule, pr *ast.CPremise, binding []symbols.Const, st facts.State, leaf func() (bool, error)) error {
+	if pr.Kind == ast.Plain && e.isExtensional(pr.Atom.Pred) {
+		stop := fmt.Errorf("stop")
+		err := e.matchState(pr.Atom, binding, st, func() error {
+			done, err := leaf()
+			if err != nil {
+				return err
+			}
+			if done {
+				return stop
+			}
+			return nil
+		})
+		if err != nil && err.Error() != "stop" {
+			return err
+		}
+		return nil
+	}
+	slots := premiseUnboundSlots(pr, binding)
+	return e.enumerate(slots, binding, leaf)
+}
+
+// enumerate binds slots over the domain until leaf returns true; the
+// successful binding is left in place, failures are restored.
+func (e *Engine) enumerate(slots []int, binding []symbols.Const, leaf func() (bool, error)) error {
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(slots) {
+			return leaf()
+		}
+		for _, c := range e.dom {
+			binding[slots[i]] = c
+			done, err := rec(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if done {
+				return true, nil
+			}
+		}
+		binding[slots[i]] = unbound
+		return false, nil
+	}
+	_, err := rec(0)
+	return err
+}
+
+// formatRuleInstance renders a rule with its current (possibly partial)
+// binding applied.
+func (e *Engine) formatRuleInstance(rule *ast.CRule, binding []symbols.Const) string {
+	var b strings.Builder
+	b.WriteString(e.formatPattern(rule.Head, binding, rule.VarNames))
+	if len(rule.Body) > 0 {
+		b.WriteString(" :- ")
+		for i := range rule.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			pr := &rule.Body[i]
+			if pr.Kind == ast.Negated {
+				b.WriteString("not ")
+			}
+			b.WriteString(e.formatPattern(pr.Atom, binding, rule.VarNames))
+			if pr.Kind == ast.Hyp {
+				if len(pr.Adds) > 0 {
+					b.WriteString("[add: ")
+					for j, a := range pr.Adds {
+						if j > 0 {
+							b.WriteString(", ")
+						}
+						b.WriteString(e.formatPattern(a, binding, rule.VarNames))
+					}
+					b.WriteString("]")
+				}
+				if len(pr.Dels) > 0 {
+					b.WriteString("[del: ")
+					for j, a := range pr.Dels {
+						if j > 0 {
+							b.WriteString(", ")
+						}
+						b.WriteString(e.formatPattern(a, binding, rule.VarNames))
+					}
+					b.WriteString("]")
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// formatPattern renders an atom under a partial binding: bound slots show
+// their constants, unbound slots their variable names.
+func (e *Engine) formatPattern(a ast.CAtom, binding []symbols.Const, varNames []string) string {
+	syms := e.prog.Syms
+	if len(a.Args) == 0 {
+		return syms.PredName(a.Pred)
+	}
+	var b strings.Builder
+	b.WriteString(syms.PredName(a.Pred))
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case !t.IsVar():
+			b.WriteString(syms.ConstName(t.ConstID()))
+		case binding[t.VarSlot()] != unbound:
+			b.WriteString(syms.ConstName(binding[t.VarSlot()]))
+		default:
+			b.WriteString(varNames[t.VarSlot()])
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

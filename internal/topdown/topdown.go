@@ -1,0 +1,753 @@
+// Package topdown is the goal-directed evaluation engine for hypothetical
+// Datalog. It is the deterministic realisation of the paper's PROVE_Σ
+// procedure (section 5.2.1): goals are expanded through rules exactly as in
+// lines 1-3 of the procedure, hypothetical premises extend the database
+// state, and negated premises (which the paper routes to PROVE_Δ) are
+// evaluated by recursive proof in an independent region, which is sound
+// because stratification forbids loops across negation.
+//
+// Where the paper's procedure chooses nondeterministically, this engine
+// searches depth-first with:
+//
+//   - an on-stack check on (goal, state) pairs — complete because every
+//     derivable goal has a derivation with no repeated (goal, state) pair
+//     on a root-to-leaf path;
+//   - a table of proven results — successes are unconditional and always
+//     cached; failures are cached only when *clean*, i.e. the failed
+//     subtree never consulted an in-progress ancestor, tracked with a
+//     lowlink-style minimum-touched-frame index;
+//   - a premise planner that orders rule-body premises greedily by
+//     boundness, realising the "some ground substitution over dom(R,DB)"
+//     semantics of Definition 3 without blind enumeration.
+package topdown
+
+import (
+	"fmt"
+	"math"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/facts"
+	"hypodatalog/internal/symbols"
+)
+
+// Resolver decides goals whose predicate has no defining rule in this
+// engine's program view. The stratified cascade uses it to route subgoals
+// below Σ_i to PROVE_Δi; the resolver's answer must be unconditional
+// (independent of any in-progress computation in this engine).
+type Resolver func(goal facts.AtomID, st facts.State) (bool, error)
+
+// Options configure an Engine. The zero value enables all features.
+type Options struct {
+	// Resolver handles goals of predicates not defined in this engine's
+	// rule set. When nil, such predicates are extensional: only state
+	// membership makes them true.
+	Resolver Resolver
+	// ExternalIDB marks predicates that are intensional but defined
+	// outside this engine's rule set (and answered by Resolver).
+	// Predicates neither in the engine's rule set nor in ExternalIDB are
+	// treated as extensional and matched against the state by index.
+	ExternalIDB map[symbols.Pred]bool
+	// NoTabling disables the (goal, state) result table. Proofs remain
+	// correct (the on-stack check still guarantees termination) but can be
+	// exponentially slower. Used by the ablation experiment.
+	NoTabling bool
+	// NoPlanner evaluates rule bodies strictly left to right, enumerating
+	// unbound variables over the domain as encountered.
+	NoPlanner bool
+	// MaxGoals aborts evaluation with ErrBudget after this many goal
+	// expansions. Zero means no limit.
+	MaxGoals int64
+}
+
+// ErrBudget is returned when Options.MaxGoals is exhausted.
+var ErrBudget = fmt.Errorf("topdown: goal budget exhausted")
+
+// Stats are evaluation counters, reset by ResetStats. They back the
+// Appendix A experiment (polynomial goal-sequence length).
+type Stats struct {
+	Goals      int64 // prove() entries
+	TableHits  int64
+	LoopCuts   int64 // on-stack hits
+	MaxDepth   int   // deepest proof stack
+	TableSize  int   // entries currently in the table
+	Enumerated int64 // domain bindings tried by the planner
+	NegCalls   int64 // nested negation regions started
+}
+
+// Engine proves ground goals against hypothetical states.
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	prog *ast.CProgram
+	in   *facts.Interner
+	base *facts.DB
+	dom  []symbols.Const
+	opts Options
+
+	table   map[tableKey]bool
+	onStack map[tableKey]int
+
+	stats Stats
+}
+
+type tableKey struct {
+	goal  facts.AtomID
+	state string
+}
+
+const maxFrame = math.MaxInt
+
+// New builds an engine over a compiled program. The base database is
+// populated from the program's facts; dom is the constant domain used when
+// the planner must enumerate (pass ref.Domain(cp) for the paper's
+// dom(R, DB)).
+func New(cp *ast.CProgram, dom []symbols.Const, opts Options) *Engine {
+	in := facts.NewInterner(cp.Syms)
+	base := facts.NewDB(in)
+	for _, f := range cp.Facts {
+		base.Insert(in.InternGround(f))
+	}
+	return &Engine{
+		prog:    cp,
+		in:      in,
+		base:    base,
+		dom:     dom,
+		opts:    opts,
+		table:   make(map[tableKey]bool),
+		onStack: make(map[tableKey]int),
+	}
+}
+
+// NewWithBase builds an engine sharing an existing base database (and its
+// interner). The program's facts are NOT re-inserted.
+func NewWithBase(cp *ast.CProgram, base *facts.DB, dom []symbols.Const, opts Options) *Engine {
+	return &Engine{
+		prog:    cp,
+		in:      base.Interner(),
+		base:    base,
+		dom:     dom,
+		opts:    opts,
+		table:   make(map[tableKey]bool),
+		onStack: make(map[tableKey]int),
+	}
+}
+
+// Base returns the engine's base database.
+func (e *Engine) Base() *facts.DB { return e.base }
+
+// EmptyState returns the state of the unmodified base database.
+func (e *Engine) EmptyState() facts.State { return facts.NewState(e.base) }
+
+// Interner returns the engine's ground-atom interner.
+func (e *Engine) Interner() *facts.Interner { return e.in }
+
+// Dom returns the engine's enumeration domain.
+func (e *Engine) Dom() []symbols.Const { return e.dom }
+
+// Stats returns a snapshot of the evaluation counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.TableSize = len(e.table)
+	return s
+}
+
+// ResetStats zeroes the counters (the table is kept).
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// ResetTable clears the memo table.
+func (e *Engine) ResetTable() { e.table = make(map[tableKey]bool) }
+
+// Ask reports whether the interned ground atom is derivable in the state:
+// R, DB+Δ ⊢ A.
+func (e *Engine) Ask(goal facts.AtomID, st facts.State) (bool, error) {
+	ok, _, err := e.prove(goal, st, 0)
+	return ok, err
+}
+
+// AskPremise evaluates a ground compiled premise (plain, negated, or
+// hypothetical) in the state.
+func (e *Engine) AskPremise(p ast.CPremise, st facts.State) (bool, error) {
+	if !p.Atom.IsGround() {
+		return false, fmt.Errorf("topdown: AskPremise requires a ground premise, got %s",
+			ast.FormatCAtom(p.Atom, e.prog.Syms, nil))
+	}
+	switch p.Kind {
+	case ast.Plain:
+		return e.Ask(e.in.InternGround(p.Atom), st)
+	case ast.Negated:
+		ok, err := e.Ask(e.in.InternGround(p.Atom), st)
+		return !ok, err
+	case ast.Hyp:
+		next := st
+		for _, a := range p.Adds {
+			if !a.IsGround() {
+				return false, fmt.Errorf("topdown: non-ground hypothetical add %s",
+					ast.FormatCAtom(a, e.prog.Syms, nil))
+			}
+			next = next.Add(e.in.InternGround(a))
+		}
+		for _, a := range p.Dels {
+			if !a.IsGround() {
+				return false, fmt.Errorf("topdown: non-ground hypothetical del %s",
+					ast.FormatCAtom(a, e.prog.Syms, nil))
+			}
+			next = next.Del(e.in.InternGround(a))
+		}
+		return e.Ask(e.in.InternGround(p.Atom), next)
+	default:
+		return false, fmt.Errorf("topdown: unsupported premise kind %v", p.Kind)
+	}
+}
+
+// prove implements the tabled DFS. depth doubles as this goal's frame
+// index; the second result is the minimum frame index of any in-progress
+// ancestor the (failed) subtree consulted, or maxFrame when untouched.
+func (e *Engine) prove(goal facts.AtomID, st facts.State, depth int) (bool, int, error) {
+	e.stats.Goals++
+	if e.opts.MaxGoals > 0 && e.stats.Goals > e.opts.MaxGoals {
+		return false, maxFrame, ErrBudget
+	}
+	if depth > e.stats.MaxDepth {
+		e.stats.MaxDepth = depth
+	}
+	if st.Has(goal) {
+		return true, maxFrame, nil
+	}
+	pred := e.in.Pred(goal)
+	if !e.prog.IDB[pred] {
+		if e.opts.Resolver != nil && e.opts.ExternalIDB[pred] {
+			ok, err := e.opts.Resolver(goal, st)
+			return ok, maxFrame, err
+		}
+		// Extensional predicate: only state membership can make it true.
+		return false, maxFrame, nil
+	}
+	key := tableKey{goal, st.Key()}
+	if !e.opts.NoTabling {
+		if v, ok := e.table[key]; ok {
+			e.stats.TableHits++
+			return v, maxFrame, nil
+		}
+	}
+	if f, ok := e.onStack[key]; ok {
+		e.stats.LoopCuts++
+		return false, f, nil
+	}
+	e.onStack[key] = depth
+	defer delete(e.onStack, key)
+
+	minTouched := maxFrame
+	for _, ri := range e.prog.ByHead[pred] {
+		rule := &e.prog.Rules[ri]
+		binding := newBinding(rule.NumVars)
+		if !unifyHead(rule.Head, e.in.Args(goal), binding) {
+			continue
+		}
+		ok, touched, err := e.evalBody(rule, binding, fullMask(len(rule.Body)), st, depth+1)
+		if err != nil {
+			return false, maxFrame, err
+		}
+		if touched < minTouched {
+			minTouched = touched
+		}
+		if ok {
+			if !e.opts.NoTabling {
+				e.table[key] = true
+			}
+			return true, maxFrame, nil
+		}
+	}
+	if !e.opts.NoTabling && minTouched >= depth {
+		// Clean failure: nothing above this frame was consulted.
+		e.table[key] = false
+	}
+	return false, minTouched, nil
+}
+
+// isExtensional reports whether a predicate is neither defined by this
+// engine's rules nor owned by the resolver.
+func (e *Engine) isExtensional(p symbols.Pred) bool {
+	return !e.prog.IDB[p] && !e.opts.ExternalIDB[p]
+}
+
+// unbound marks an unbound variable slot.
+const unbound symbols.Const = -1
+
+func newBinding(n int) []symbols.Const {
+	b := make([]symbols.Const, n)
+	for i := range b {
+		b[i] = unbound
+	}
+	return b
+}
+
+// unifyHead matches a rule head against ground goal arguments, extending
+// binding. It reports failure on constant mismatch or conflicting variable
+// bindings (repeated head variables).
+func unifyHead(head ast.CAtom, goalArgs []symbols.Const, binding []symbols.Const) bool {
+	for i, t := range head.Args {
+		g := goalArgs[i]
+		if t.IsVar() {
+			s := t.VarSlot()
+			if binding[s] == unbound {
+				binding[s] = g
+			} else if binding[s] != g {
+				return false
+			}
+		} else if t.ConstID() != g {
+			return false
+		}
+	}
+	return true
+}
+
+// fullMask returns a bitmask with the low n bits set (bodies are capped at
+// 64 premises, far beyond anything the compiler produces in practice).
+func fullMask(n int) uint64 {
+	if n >= 64 {
+		panic("topdown: rule body longer than 64 premises")
+	}
+	return (uint64(1) << n) - 1
+}
+
+// evalBody proves the premises indicated by mask under binding, choosing
+// the next premise with the planner. Returns (proved, minTouchedFrame).
+func (e *Engine) evalBody(rule *ast.CRule, binding []symbols.Const, mask uint64, st facts.State, depth int) (bool, int, error) {
+	if mask == 0 {
+		return true, maxFrame, nil
+	}
+	idx := e.pickPremise(rule, binding, mask, st)
+	pr := &rule.Body[idx]
+	rest := mask &^ (uint64(1) << idx)
+
+	// Enumerate any unbound variables the premise needs, then evaluate it
+	// and recurse on the remaining premises.
+	switch pr.Kind {
+	case ast.Plain:
+		if e.isExtensional(pr.Atom.Pred) {
+			// Extensional: matching the state is complete.
+			return e.evalEDBPremise(rule, pr, binding, rest, st, depth)
+		}
+		return e.evalEnumerated(rule, pr, binding, rest, st, depth)
+	case ast.Negated:
+		return e.evalNegated(rule, pr, binding, rest, st, depth)
+	case ast.Hyp:
+		return e.evalEnumerated(rule, pr, binding, rest, st, depth)
+	default:
+		return false, maxFrame, fmt.Errorf("topdown: premise kind %v in compiled rule", pr.Kind)
+	}
+}
+
+// evalEDBPremise matches an extensional premise against the state, which
+// is complete because extensional predicates have no rules. Each match
+// extends the binding.
+func (e *Engine) evalEDBPremise(rule *ast.CRule, pr *ast.CPremise, binding []symbols.Const, rest uint64, st facts.State, depth int) (bool, int, error) {
+	minTouched := maxFrame
+	ok := false
+	err := e.matchState(pr.Atom, binding, st, func() error {
+		res, touched, err := e.evalBody(rule, binding, rest, st, depth)
+		if err != nil {
+			return err
+		}
+		if touched < minTouched {
+			minTouched = touched
+		}
+		if res {
+			ok = true
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return false, maxFrame, err
+	}
+	if ok {
+		return true, maxFrame, nil
+	}
+	return false, minTouched, nil
+}
+
+// errStop is an internal sentinel to stop match enumeration early.
+var errStop = fmt.Errorf("topdown: stop")
+
+// evalEnumerated handles intensional plain premises and hypothetical
+// premises: unbound variables range over the domain (Definition 3's
+// "ground substitution over dom(R, DB)"), and each ground instance is
+// proved recursively.
+func (e *Engine) evalEnumerated(rule *ast.CRule, pr *ast.CPremise, binding []symbols.Const, rest uint64, st facts.State, depth int) (bool, int, error) {
+	slots := premiseUnboundSlots(pr, binding)
+	minTouched := maxFrame
+	proved := false
+
+	var tryGround func(i int) error
+	tryGround = func(i int) error {
+		if i < len(slots) {
+			for _, c := range e.dom {
+				e.stats.Enumerated++
+				binding[slots[i]] = c
+				if err := tryGround(i + 1); err != nil {
+					return err
+				}
+			}
+			binding[slots[i]] = unbound
+			return nil
+		}
+		next := st
+		if pr.Kind == ast.Hyp {
+			for _, a := range pr.Adds {
+				next = next.Add(e.groundAtom(a, binding))
+			}
+			for _, a := range pr.Dels {
+				next = next.Del(e.groundAtom(a, binding))
+			}
+		}
+		goal := e.groundAtom(pr.Atom, binding)
+		res, touched, err := e.prove(goal, next, depth)
+		if err != nil {
+			return err
+		}
+		if touched < minTouched {
+			minTouched = touched
+		}
+		if !res {
+			return nil
+		}
+		res2, touched2, err := e.evalBody(rule, binding, rest, st, depth)
+		if err != nil {
+			return err
+		}
+		if touched2 < minTouched {
+			minTouched = touched2
+		}
+		if res2 {
+			proved = true
+			return errStop
+		}
+		return nil
+	}
+	err := tryGround(0)
+	if err != nil && err != errStop {
+		return false, maxFrame, err
+	}
+	// Restore slots bound during a successful early stop.
+	if !proved {
+		for _, s := range slots {
+			binding[s] = unbound
+		}
+		return false, minTouched, nil
+	}
+	return true, maxFrame, nil
+}
+
+// evalNegated evaluates ~A. Unbound variables that occur positively
+// elsewhere in the rule are enumerated over the domain (outer existential,
+// per Definition 3); variables occurring only in negated premises are
+// quantified inside the negation — ~A(x) with negation-local x holds iff
+// no instantiation of x makes A provable. This is the reading the paper's
+// Examples 6 and 7 rely on (EVEN ← ~SELECT(x̄) fires when nothing is
+// selectable).
+func (e *Engine) evalNegated(rule *ast.CRule, pr *ast.CPremise, binding []symbols.Const, rest uint64, st facts.State, depth int) (bool, int, error) {
+	slots := premiseUnboundSlots(pr, binding)
+	var enumSlots, localSlots []int
+	for _, s := range slots {
+		if rule.PosVar[s] {
+			enumSlots = append(enumSlots, s)
+		} else {
+			localSlots = append(localSlots, s)
+		}
+	}
+	minTouched := maxFrame
+	proved := false
+
+	var tryGround func(i int) error
+	tryGround = func(i int) error {
+		if i < len(enumSlots) {
+			for _, c := range e.dom {
+				e.stats.Enumerated++
+				binding[enumSlots[i]] = c
+				if err := tryGround(i + 1); err != nil {
+					return err
+				}
+			}
+			binding[enumSlots[i]] = unbound
+			return nil
+		}
+		holds, err := e.negHolds(pr.Atom, binding, localSlots, st)
+		if err != nil {
+			return err
+		}
+		if holds {
+			return nil // some instance of A is provable; ~A fails here
+		}
+		res, touched, err := e.evalBody(rule, binding, rest, st, depth)
+		if err != nil {
+			return err
+		}
+		if touched < minTouched {
+			minTouched = touched
+		}
+		if res {
+			proved = true
+			return errStop
+		}
+		return nil
+	}
+	err := tryGround(0)
+	if err != nil && err != errStop {
+		return false, maxFrame, err
+	}
+	if !proved {
+		for _, s := range slots {
+			binding[s] = unbound
+		}
+		return false, minTouched, nil
+	}
+	return true, maxFrame, nil
+}
+
+// negHolds reports whether some instantiation of the negation-local slots
+// makes the atom provable in the state.
+func (e *Engine) negHolds(atom ast.CAtom, binding []symbols.Const, localSlots []int, st facts.State) (bool, error) {
+	if len(localSlots) == 0 {
+		return e.negCheck(e.groundAtom(atom, binding), st)
+	}
+	found := false
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(localSlots) {
+			ok, err := e.negCheck(e.groundAtom(atom, binding), st)
+			if err != nil {
+				return err
+			}
+			if ok {
+				found = true
+				return errStop
+			}
+			return nil
+		}
+		for _, c := range e.dom {
+			e.stats.Enumerated++
+			binding[localSlots[i]] = c
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := rec(0)
+	for _, s := range localSlots {
+		binding[s] = unbound
+	}
+	if err != nil && err != errStop {
+		return false, err
+	}
+	return found, nil
+}
+
+// negCheck decides R, DB+Δ ⊢ A for a negated premise in a fresh region.
+// Stratification guarantees the goal's predicate is strictly below every
+// in-progress frame's predicate, so the nested proof cannot consult them;
+// its result is unconditional.
+func (e *Engine) negCheck(goal facts.AtomID, st facts.State) (bool, error) {
+	e.stats.NegCalls++
+	savedStack := e.onStack
+	e.onStack = make(map[tableKey]int)
+	ok, _, err := e.prove(goal, st, 0)
+	e.onStack = savedStack
+	return ok, err
+}
+
+// groundAtom interns a premise atom under a (fully binding) substitution.
+func (e *Engine) groundAtom(a ast.CAtom, binding []symbols.Const) facts.AtomID {
+	args := make([]symbols.Const, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			v := binding[t.VarSlot()]
+			if v == unbound {
+				panic("topdown: grounding with unbound variable")
+			}
+			args[i] = v
+		} else {
+			args[i] = t.ConstID()
+		}
+	}
+	return e.in.ID(a.Pred, args)
+}
+
+// premiseUnboundSlots returns the unbound variable slots of a premise
+// (atom plus adds), each once, in first-occurrence order.
+func premiseUnboundSlots(pr *ast.CPremise, binding []symbols.Const) []int {
+	var slots []int
+	seen := map[int]bool{}
+	note := func(a ast.CAtom) {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				s := t.VarSlot()
+				if binding[s] == unbound && !seen[s] {
+					seen[s] = true
+					slots = append(slots, s)
+				}
+			}
+		}
+	}
+	note(pr.Atom)
+	for _, a := range pr.Adds {
+		note(a)
+	}
+	for _, a := range pr.Dels {
+		note(a)
+	}
+	return slots
+}
+
+// matchState enumerates the atoms in the state (base plus delta) matching
+// the pattern under the current binding, invoking yield with the binding
+// extended for each match and restoring it afterwards. Used only for
+// extensional predicates, where the state is the complete extension.
+func (e *Engine) matchState(pattern ast.CAtom, binding []symbols.Const, st facts.State, yield func() error) error {
+	// Pick the most selective index: a bound argument position.
+	bestPos, bestVal := -1, unbound
+	for i, t := range pattern.Args {
+		var v symbols.Const
+		if t.IsVar() {
+			v = binding[t.VarSlot()]
+		} else {
+			v = t.ConstID()
+		}
+		if v != unbound {
+			bestPos, bestVal = i, v
+			break
+		}
+	}
+	var candidates []facts.AtomID
+	if bestPos >= 0 {
+		candidates = e.base.ByPredArg(pattern.Pred, bestPos, bestVal)
+	} else {
+		candidates = e.base.ByPred(pattern.Pred)
+	}
+	tryMatch := func(id facts.AtomID) error {
+		args := e.in.Args(id)
+		var boundHere []int
+		ok := true
+		for i, t := range pattern.Args {
+			if t.IsVar() {
+				s := t.VarSlot()
+				switch binding[s] {
+				case unbound:
+					binding[s] = args[i]
+					boundHere = append(boundHere, s)
+				case args[i]:
+				default:
+					ok = false
+				}
+			} else if t.ConstID() != args[i] {
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		var err error
+		if ok {
+			err = yield()
+		}
+		for _, s := range boundHere {
+			binding[s] = unbound
+		}
+		return err
+	}
+	for _, id := range candidates {
+		if st.Delta.Deleted(id) {
+			continue // hypothetically deleted
+		}
+		if err := tryMatch(id); err != nil {
+			return err
+		}
+	}
+	// Delta atoms of this predicate (deltas are small; scan them).
+	for _, id := range st.Delta.IDs() {
+		if e.in.Pred(id) != pattern.Pred {
+			continue
+		}
+		if e.base.Has(id) {
+			continue // already seen via the base scan
+		}
+		if err := tryMatch(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickPremise chooses the next premise to evaluate from mask: the one with
+// the lowest estimated cost given the current binding.
+func (e *Engine) pickPremise(rule *ast.CRule, binding []symbols.Const, mask uint64, st facts.State) int {
+	if e.opts.NoPlanner {
+		for i := 0; i < len(rule.Body); i++ {
+			if mask&(uint64(1)<<i) != 0 {
+				return i
+			}
+		}
+	}
+	best, bestCost := -1, math.Inf(1)
+	for i := 0; i < len(rule.Body); i++ {
+		if mask&(uint64(1)<<i) == 0 {
+			continue
+		}
+		c := e.premiseCost(&rule.Body[i], binding, st)
+		if c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// premiseCost estimates the branching a premise introduces right now.
+func (e *Engine) premiseCost(pr *ast.CPremise, binding []symbols.Const, st facts.State) float64 {
+	unboundCount := len(premiseUnboundSlots(pr, binding))
+	domN := float64(len(e.dom))
+	if domN == 0 {
+		domN = 1
+	}
+	switch pr.Kind {
+	case ast.Plain:
+		if e.isExtensional(pr.Atom.Pred) {
+			if unboundCount == 0 {
+				return 0
+			}
+			// Index-supported match: estimate candidates.
+			n := len(e.base.ByPred(pr.Atom.Pred)) + st.Delta.Len()
+			for i, t := range pr.Atom.Args {
+				var v symbols.Const
+				if t.IsVar() {
+					v = binding[t.VarSlot()]
+				} else {
+					v = t.ConstID()
+				}
+				if v != unbound {
+					m := len(e.base.ByPredArg(pr.Atom.Pred, i, v)) + st.Delta.Len()
+					if m < n {
+						n = m
+					}
+				}
+			}
+			return 1 + float64(n)
+		}
+		if unboundCount == 0 {
+			return 2 // a single recursive proof
+		}
+		return 10 * math.Pow(domN, float64(unboundCount))
+	case ast.Negated:
+		if unboundCount == 0 {
+			return 3
+		}
+		// Prefer to bind the variables elsewhere first.
+		return 100 * math.Pow(domN, float64(unboundCount))
+	case ast.Hyp:
+		if unboundCount == 0 {
+			return 5
+		}
+		return 20 * math.Pow(domN, float64(unboundCount))
+	default:
+		return math.Inf(1)
+	}
+}

@@ -1,0 +1,371 @@
+package topdown
+
+import (
+	"fmt"
+	"testing"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/ref"
+	"hypodatalog/internal/strat"
+	"hypodatalog/internal/symbols"
+)
+
+// compileSrc parses, validates and compiles a program.
+func compileSrc(t *testing.T, src string) *ast.CProgram {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ast.RewriteNegHyp(prog)
+	if errs := ast.Validate(prog); len(errs) > 0 {
+		t.Fatalf("validate: %v", errs[0])
+	}
+	if err := strat.CheckNegation(prog); err != nil {
+		t.Fatalf("stratify: %v", err)
+	}
+	cp, err := ast.Compile(prog, symbols.NewTable())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return cp
+}
+
+// newEngine builds a topdown engine with the paper's dom(R, DB).
+func newEngine(t *testing.T, src string, opts Options) (*Engine, *ast.CProgram) {
+	t.Helper()
+	cp := compileSrc(t, src)
+	return New(cp, ref.Domain(cp), opts), cp
+}
+
+// ask evaluates a premise given in surface syntax, e.g.
+// "grad(tony)[add: take(tony, cs452)]" or "not yes".
+func ask(t *testing.T, e *Engine, cp *ast.CProgram, query string) bool {
+	t.Helper()
+	pr, err := parser.ParsePremise(query)
+	if err != nil {
+		t.Fatalf("parse query %q: %v", query, err)
+	}
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, cp.Syms, vars, &names)
+	if err != nil {
+		t.Fatalf("compile query %q: %v", query, err)
+	}
+	if len(names) > 0 {
+		t.Fatalf("query %q is not ground", query)
+	}
+	ok, err := e.AskPremise(cpr, e.EmptyState())
+	if err != nil {
+		t.Fatalf("ask %q: %v", query, err)
+	}
+	return ok
+}
+
+func expect(t *testing.T, e *Engine, cp *ast.CProgram, query string, want bool) {
+	t.Helper()
+	if got := ask(t, e, cp, query); got != want {
+		t.Errorf("query %s = %v, want %v", query, got, want)
+	}
+}
+
+const universitySrc = `
+	% Examples 1-3 of the paper: university rules.
+	take(tony, his101).
+	take(tony, eng201).
+	take(mary, his101).
+	grad(S) :- take(S, his101), take(S, eng201).
+
+	% Example 3: two-discipline graduation via hypothetical premises.
+	take2(sue, m1). take2(sue, m2). take2(sue, p1).
+	grad2(S, math) :- take2(S, m1), take2(S, m2), take2(S, m3).
+	grad2(S, phys) :- take2(S, p1), take2(S, p2).
+	within1(S, D) :- grad2(S, D)[add: take2(S, C)].
+	grad2(S, mathphys) :- within1(S, math), within1(S, phys).
+`
+
+func TestExample1HypotheticalQuery(t *testing.T) {
+	e, cp := newEngine(t, universitySrc, Options{})
+	// Tony already graduates.
+	expect(t, e, cp, "grad(tony)", true)
+	// Example 1: "if Mary took eng201, would she be eligible?"
+	expect(t, e, cp, "grad(mary)", false)
+	expect(t, e, cp, "grad(mary)[add: take(mary, eng201)]", true)
+	expect(t, e, cp, "grad(mary)[add: take(mary, his101)]", false)
+}
+
+func TestExample3WithinOne(t *testing.T) {
+	e, cp := newEngine(t, universitySrc, Options{})
+	// Sue is one course short of math (needs m3) and one short of physics
+	// (needs p2), so she qualifies for the joint degree.
+	expect(t, e, cp, "grad2(sue, math)", false)
+	expect(t, e, cp, "within1(sue, math)", true)
+	expect(t, e, cp, "within1(sue, phys)", true)
+	expect(t, e, cp, "grad2(sue, mathphys)", true)
+	// Tony has taken nothing in take2, so he is not within one course.
+	expect(t, e, cp, "within1(tony, math)", false)
+}
+
+// chainSrc builds Example 4: A_i <- A_{i+1}[add: B_i], A_{n+1} <- D, where
+// D <- B_1, ..., B_n (so A_1 holds iff all hypotheses accumulate).
+func chainSrc(n int) string {
+	src := ""
+	for i := 1; i <= n; i++ {
+		src += fmt.Sprintf("a%d :- a%d[add: b%d].\n", i, i+1, i)
+	}
+	src += fmt.Sprintf("a%d :- d.\n", n+1)
+	src += "d :- "
+	for i := 1; i <= n; i++ {
+		if i > 1 {
+			src += ", "
+		}
+		src += fmt.Sprintf("b%d", i)
+	}
+	src += ".\n"
+	return src
+}
+
+func TestExample4HypChain(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		e, cp := newEngine(t, chainSrc(n), Options{})
+		// A_1 requires the whole chain of additions B_1..B_n.
+		expect(t, e, cp, "a1", true)
+		// A_2 misses B_1, so D cannot be proven.
+		if n >= 1 {
+			expect(t, e, cp, "a2", false)
+		}
+	}
+}
+
+const orderLoopSrc = `
+	% Example 5: iterate over a stored linear order a1..a4, adding b(x).
+	first(e1). next(e1, e2). next(e2, e3). next(e3, e4). last(e4).
+	a :- first(X), ap(X)[add: b(X)].
+	ap(X) :- next(X, Y), ap(Y)[add: b(Y)].
+	ap(X) :- last(X), d.
+	d :- b(e1), b(e2), b(e3), b(e4).
+`
+
+func TestExample5OrderLoop(t *testing.T) {
+	e, cp := newEngine(t, orderLoopSrc, Options{})
+	expect(t, e, cp, "a", true)
+	// ap(e2) only accumulates b(e2)..b(e4), so d fails.
+	expect(t, e, cp, "ap(e2)[add: b(e2)]", false)
+}
+
+// paritySrc is Example 6 over a unary relation item/1 with n elements.
+func paritySrc(n int) string {
+	src := `
+		even :- selectx(X), odd[add: copied(X)].
+		odd :- selectx(X), even[add: copied(X)].
+		even :- not selectx(X).
+		selectx(X) :- item(X), not copied(X).
+	`
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("item(x%d).\n", i)
+	}
+	return src
+}
+
+func TestExample6Parity(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		e, cp := newEngine(t, paritySrc(n), Options{})
+		wantEven := n%2 == 0
+		if got := ask(t, e, cp, "even"); got != wantEven {
+			t.Errorf("n=%d: even = %v, want %v", n, got, wantEven)
+		}
+		if n > 0 {
+			if got := ask(t, e, cp, "odd"); got != !wantEven {
+				t.Errorf("n=%d: odd = %v, want %v", n, got, !wantEven)
+			}
+		}
+	}
+}
+
+// hamSrc is Example 7 (plus Example 8's NO rule) for a given digraph.
+func hamSrc(nodes []string, edges [][2]string) string {
+	src := `
+		yes :- node(X), path(X)[add: pnode(X)].
+		path(X) :- selecty(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+		path(X) :- not selecty(Y).
+		selecty(Y) :- node(Y), not pnode(Y).
+		no :- not yes.
+	`
+	for _, n := range nodes {
+		src += fmt.Sprintf("node(%s).\n", n)
+	}
+	for _, e := range edges {
+		src += fmt.Sprintf("edge(%s, %s).\n", e[0], e[1])
+	}
+	return src
+}
+
+func TestExample7Hamiltonian(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []string
+		edges [][2]string
+		want  bool
+	}{
+		{"single node", []string{"n1"}, nil, true},
+		{"two connected", []string{"n1", "n2"}, [][2]string{{"n1", "n2"}}, true},
+		{"two disconnected", []string{"n1", "n2"}, nil, false},
+		{"path of 4", []string{"n1", "n2", "n3", "n4"},
+			[][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n3", "n4"}}, true},
+		{"star has no ham path", []string{"c", "l1", "l2", "l3"},
+			[][2]string{{"c", "l1"}, {"c", "l2"}, {"c", "l3"}}, false},
+		{"cycle", []string{"n1", "n2", "n3"},
+			[][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n3", "n1"}}, true},
+		{"needs the right start", []string{"n1", "n2", "n3"},
+			[][2]string{{"n2", "n1"}, {"n2", "n3"}, {"n3", "n1"}}, true},
+		{"wrong direction", []string{"n1", "n2", "n3"},
+			[][2]string{{"n1", "n2"}, {"n1", "n3"}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, cp := newEngine(t, hamSrc(tc.nodes, tc.edges), Options{})
+			expect(t, e, cp, "yes", tc.want)
+			// Example 8: NO <- ~YES flips the answer.
+			expect(t, e, cp, "no", !tc.want)
+		})
+	}
+}
+
+func TestStatsAndTable(t *testing.T) {
+	e, cp := newEngine(t, paritySrc(4), Options{})
+	expect(t, e, cp, "even", true)
+	s := e.Stats()
+	if s.Goals == 0 || s.MaxDepth == 0 {
+		t.Errorf("stats not collected: %+v", s)
+	}
+	// Second ask should hit the table.
+	e.ResetStats()
+	expect(t, e, cp, "even", true)
+	if e.Stats().TableHits == 0 {
+		t.Errorf("expected table hits on repeat query, got %+v", e.Stats())
+	}
+	e.ResetTable()
+	if e.Stats().TableSize != 0 {
+		t.Errorf("table not cleared")
+	}
+}
+
+func TestNoTablingMatches(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		src := paritySrc(n)
+		e1, cp1 := newEngine(t, src, Options{})
+		e2, cp2 := newEngine(t, src, Options{NoTabling: true})
+		if ask(t, e1, cp1, "even") != ask(t, e2, cp2, "even") {
+			t.Errorf("n=%d: tabling changes the answer", n)
+		}
+	}
+}
+
+func TestNoPlannerMatches(t *testing.T) {
+	// Bodies ordered so left-to-right evaluation still terminates: the
+	// planner-free engine enumerates unbound variables over the domain.
+	src := hamSrc([]string{"n1", "n2", "n3"},
+		[][2]string{{"n1", "n2"}, {"n2", "n3"}})
+	e1, cp1 := newEngine(t, src, Options{})
+	e2, cp2 := newEngine(t, src, Options{NoPlanner: true})
+	if ask(t, e1, cp1, "yes") != ask(t, e2, cp2, "yes") {
+		t.Error("planner changes the answer")
+	}
+}
+
+func TestGoalBudget(t *testing.T) {
+	e, cp := newEngine(t, paritySrc(6), Options{MaxGoals: 5})
+	pr, err := parser.ParsePremise("even")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, cp.Syms, vars, &names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AskPremise(cpr, e.EmptyState()); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestAgainstReference differentially tests the engine against the naive
+// Definition 3 interpreter on all the example programs and every ground
+// atom over their domains.
+func TestAgainstReference(t *testing.T) {
+	// The full university program (Example 3) is excluded: its grad2/within1
+	// hypothetical recursion makes the naive fixpoint reference materialise
+	// an exponential state space. A trimmed variant with the same structure
+	// but a two-constant course pool is used instead.
+	sources := map[string]string{
+		"university-small": `
+			t(s1, m1).
+			g(S, m) :- t(S, m1), t(S, m2).
+			w(S) :- g(S, m)[add: t(S, C)].
+		`,
+		"chain":     chainSrc(3),
+		"orderloop": orderLoopSrc,
+		"parity2":   paritySrc(2),
+		"parity3":   paritySrc(3),
+		"ham": hamSrc([]string{"n1", "n2", "n3"},
+			[][2]string{{"n1", "n2"}, {"n2", "n3"}, {"n3", "n1"}}),
+		"negchain": `
+			p(a). q(b).
+			r(X) :- p(X), not q(X).
+			s(X) :- r(X)[add: p(X)].
+			w(X) :- not r(X), q(X).
+		`,
+		"mutual": `
+			e(a, b). e(b, c).
+			even(X) :- start(X).
+			even(X) :- e(Y, X), odd(Y).
+			odd(X) :- e(Y, X), even(Y).
+			start(a).
+		`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			cp := compileSrc(t, src)
+			ip := ref.New(cp)
+			e := New(cp, ref.Domain(cp), Options{})
+			checkAllAtoms(t, cp, ip, e)
+		})
+	}
+}
+
+// checkAllAtoms compares engine and reference on every ground atom
+// constructible from the program's predicates and domain.
+func checkAllAtoms(t *testing.T, cp *ast.CProgram, ip *ref.Interp, e *Engine) {
+	t.Helper()
+	dom := ip.Dom()
+	st := e.EmptyState()
+	rst := ip.EmptyState()
+	for p := symbols.Pred(0); int(p) < cp.Syms.NumPreds(); p++ {
+		arity := cp.Syms.PredArity(p)
+		args := make([]symbols.Const, arity)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == arity {
+				idE := e.Interner().ID(p, args)
+				idR := ip.Interner().ID(p, args)
+				got, err := e.Ask(idE, st)
+				if err != nil {
+					t.Fatalf("ask: %v", err)
+				}
+				want := ip.Holds(idR, rst)
+				if got != want {
+					t.Errorf("atom %s: engine=%v ref=%v",
+						e.Interner().Format(idE), got, want)
+				}
+				return
+			}
+			for _, c := range dom {
+				args[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+}

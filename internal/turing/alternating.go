@@ -1,0 +1,352 @@
+package turing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the PSPACE context that section 4 of the paper
+// builds on: alternating Turing machines and their encoding as
+// hypothetical rulebases via the non-linear rule form (2),
+//
+//	A ← B, A[add:C_1], A[add:C_2], ..., A[add:C_n],
+//
+// the form that linear stratification exists to exclude. A universal
+// state's rule carries one recursive hypothetical premise per successor —
+// every branch must accept — which is exactly form (2); existential states
+// get one rule per transition, as in section 5.1. The encodings are
+// evaluable by the uniform engine (PSPACE fragment) but are NOT linearly
+// stratifiable, which the tests assert.
+
+// AMachine is a single-tape alternating Turing machine. States listed in
+// Universal require all applicable transitions to accept; all other
+// states are existential. A configuration with an accepting state
+// accepts; a universal configuration with no applicable transition
+// accepts vacuously; an existential one with none rejects.
+type AMachine struct {
+	Name        string
+	Start       string
+	Accepting   map[string]bool
+	Universal   map[string]bool
+	Blank       byte
+	Alphabet    []byte
+	Transitions []ATransition
+}
+
+// ATransition is one move: in state From reading Read, write Write, move
+// the head, and enter To.
+type ATransition struct {
+	From  string
+	Read  byte
+	Write byte
+	Move  Move
+	To    string
+}
+
+// Validate checks structural sanity.
+func (m *AMachine) Validate() error {
+	if m.Start == "" {
+		return fmt.Errorf("turing: alternating machine %s has no start state", m.Name)
+	}
+	if !contains(m.Alphabet, m.Blank) {
+		return fmt.Errorf("turing: alternating machine %s alphabet misses its blank", m.Name)
+	}
+	for _, tr := range m.Transitions {
+		if !contains(m.Alphabet, tr.Read) || !contains(m.Alphabet, tr.Write) {
+			return fmt.Errorf("turing: alternating machine %s transition %v uses symbols outside its alphabet", m.Name, tr)
+		}
+	}
+	return nil
+}
+
+// aStates collects the machine's state names (sorted).
+func (m *AMachine) aStates() []string {
+	set := map[string]bool{m.Start: true}
+	for q := range m.Accepting {
+		set[q] = true
+	}
+	for q := range m.Universal {
+		set[q] = true
+	}
+	for _, tr := range m.Transitions {
+		set[tr.From] = true
+		set[tr.To] = true
+	}
+	var out []string
+	for q := range set {
+		out = append(out, q)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Accepts reports whether the machine accepts the input within a tape and
+// clock of n cells — the direct-simulation ground truth.
+func (m *AMachine) Accepts(input string, n int) (bool, error) {
+	if err := m.Validate(); err != nil {
+		return false, err
+	}
+	if len(input) > n {
+		return false, fmt.Errorf("turing: input longer than tape bound %d", n)
+	}
+	tape := input + strings.Repeat(string(m.Blank), n-len(input))
+	memo := map[string]int{} // 0 unknown, 1 accept, 2 reject
+	type cfg struct {
+		state string
+		tape  string
+		pos   int
+		time  int
+	}
+	var accept func(c cfg) bool
+	accept = func(c cfg) bool {
+		if m.Accepting[c.state] {
+			return true
+		}
+		key := fmt.Sprintf("%s|%d|%d|%s", c.state, c.pos, c.time, c.tape)
+		if v := memo[key]; v != 0 {
+			return v == 1
+		}
+		universal := m.Universal[c.state]
+		read := c.tape[c.pos]
+		var matching []ATransition
+		for _, tr := range m.Transitions {
+			if tr.From == c.state && tr.Read == read {
+				matching = append(matching, tr)
+			}
+		}
+		result := false
+		switch {
+		case universal && len(matching) == 0:
+			// Vacuous for-all; in the encoding this rule has no clock
+			// premise, so it accepts at any time.
+			result = true
+		case c.time+1 >= n:
+			// Clock exhausted: no transition (and no encoding rule) fires.
+			result = false
+		default:
+			// Universal: every branch must move legally and accept (a
+			// branch that falls off the tape fails the whole for-all,
+			// matching the encoding, whose single rule needs every
+			// branch's move premise). Existential: some branch suffices.
+			result = universal
+			for _, tr := range matching {
+				next := cfg{state: tr.To, time: c.time + 1, pos: c.pos}
+				tp := []byte(c.tape)
+				tp[c.pos] = tr.Write
+				next.tape = string(tp)
+				switch tr.Move {
+				case Left:
+					next.pos--
+				case Right:
+					next.pos++
+				}
+				branchOK := next.pos >= 0 && next.pos < n && accept(next)
+				if universal && !branchOK {
+					result = false
+					break
+				}
+				if !universal && branchOK {
+					result = true
+					break
+				}
+			}
+		}
+		if result {
+			memo[key] = 1
+		} else {
+			memo[key] = 2
+		}
+		return result
+	}
+	return accept(cfg{state: m.Start, tape: tape, time: 0}), nil
+}
+
+// EncodeAlternating emits the hypothetical rulebase simulating the
+// alternating machine over the stored first/next/last counter, using the
+// non-linear rule form (2) for universal states. Combine with
+// EncodeAlternatingDB for the input.
+func EncodeAlternating(m *AMachine) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% ---- alternating machine %s (PSPACE encoding, rule form (2)) ----\n", m.Name)
+
+	ctl := func(q string) string { return "actl_" + stName(q) }
+	cell := func(sym byte) string { return "acell_" + symName(sym) }
+
+	// Accepting ids.
+	for _, q := range m.aStates() {
+		if m.Accepting[q] {
+			fmt.Fprintf(&b, "aaccept(T) :- %s(J, T).\n", ctl(q))
+		}
+	}
+
+	// Group transitions by (state, read symbol).
+	type key struct {
+		q string
+		c byte
+	}
+	groups := map[key][]ATransition{}
+	for _, tr := range m.Transitions {
+		k := key{tr.From, tr.Read}
+		groups[k] = append(groups[k], tr)
+	}
+
+	// Deterministic iteration order.
+	for _, q := range m.aStates() {
+		for _, sym := range m.Alphabet {
+			trs := groups[key{q, sym}]
+			if len(trs) == 0 {
+				continue
+			}
+			if m.Universal[q] {
+				// One rule with every successor as its own recursive
+				// hypothetical premise — rule form (2).
+				prem := []string{"next(T, Tn)", fmt.Sprintf("%s(J, T)", ctl(q)),
+					fmt.Sprintf("%s(J, T)", cell(sym))}
+				var recs []string
+				for bi, tr := range trs {
+					jn := fmt.Sprintf("J%d", bi)
+					switch tr.Move {
+					case Left:
+						prem = append(prem, fmt.Sprintf("next(%s, J)", jn))
+					case Right:
+						prem = append(prem, fmt.Sprintf("next(J, %s)", jn))
+					default:
+						jn = "J"
+					}
+					recs = append(recs, fmt.Sprintf("aaccept(Tn)[add: %s(%s, Tn), %s(J, Tn)]",
+						ctl(tr.To), jn, cell(tr.Write)))
+				}
+				fmt.Fprintf(&b, "aaccept(T) :- %s, %s.\n",
+					strings.Join(prem, ", "), strings.Join(recs, ", "))
+			} else {
+				// Existential: one rule per transition, as in section 5.1.
+				for _, tr := range trs {
+					prem := []string{"next(T, Tn)", fmt.Sprintf("%s(J, T)", ctl(q)),
+						fmt.Sprintf("%s(J, T)", cell(sym))}
+					jn := "J"
+					switch tr.Move {
+					case Left:
+						prem = append(prem, "next(Jn, J)")
+						jn = "Jn"
+					case Right:
+						prem = append(prem, "next(J, Jn)")
+						jn = "Jn"
+					}
+					fmt.Fprintf(&b, "aaccept(T) :- %s, aaccept(Tn)[add: %s(%s, Tn), %s(J, Tn)].\n",
+						strings.Join(prem, ", "), ctl(tr.To), jn, cell(tr.Write))
+				}
+			}
+		}
+	}
+
+	// Universal states with no applicable transition accept vacuously:
+	// one rule per (universal state, symbol) pair without transitions.
+	for _, q := range m.aStates() {
+		if !m.Universal[q] || m.Accepting[q] {
+			continue
+		}
+		for _, sym := range m.Alphabet {
+			if len(groups[key{q, sym}]) == 0 {
+				fmt.Fprintf(&b, "aaccept(T) :- %s(J, T), %s(J, T).\n", ctl(q), cell(sym))
+			}
+		}
+	}
+
+	// Frame axioms.
+	for _, sym := range m.Alphabet {
+		fmt.Fprintf(&b, "%s(J, Tn) :- next(T, Tn), %s(J, T), not aactive(J, T).\n",
+			cell(sym), cell(sym))
+	}
+	for _, q := range m.aStates() {
+		fmt.Fprintf(&b, "aactive(J, T) :- %s(J, T).\n", ctl(q))
+	}
+
+	// Start rule.
+	fmt.Fprintf(&b, "accept :- first(X), aaccept(X)[add: %s(X, X)].\n", ctl(m.Start))
+	return b.String(), nil
+}
+
+// EncodeAlternatingDB emits the counter and initial tape for an
+// alternating-machine encoding.
+func EncodeAlternatingDB(m *AMachine, input string, n int) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	if len(input) > n {
+		return "", fmt.Errorf("turing: input longer than tape bound %d", n)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "first(t0).\n")
+	for t := 0; t+1 < n; t++ {
+		fmt.Fprintf(&b, "next(t%d, t%d).\n", t, t+1)
+	}
+	fmt.Fprintf(&b, "last(t%d).\n", n-1)
+	for pos := 0; pos < n; pos++ {
+		sym := m.Blank
+		if pos < len(input) {
+			sym = input[pos]
+		}
+		fmt.Fprintf(&b, "acell_%s(t%d, t0).\n", symName(sym), pos)
+	}
+	return b.String(), nil
+}
+
+// AllOnesForall accepts strings of 1s (up to the first blank) using a
+// UNIVERSAL scanning state: reading a '0' branches into a live path and a
+// dead one, so the for-all fails exactly on inputs containing a 0.
+// Deliberately the same language as AllOnes, decided by alternation.
+func AllOnesForall() *AMachine {
+	return &AMachine{
+		Name:      "all-ones-forall",
+		Start:     "u0",
+		Accepting: map[string]bool{"qa": true},
+		Universal: map[string]bool{"u0": true},
+		Blank:     'x',
+		Alphabet:  Alphabet01,
+		Transitions: []ATransition{
+			{From: "u0", Read: '1', Write: '1', Move: Right, To: "u0"},
+			{From: "u0", Read: 'x', Write: 'x', Move: Stay, To: "qa"},
+			// On a 0 the universal state must satisfy BOTH branches; qd is
+			// a dead existential state, so any 0 rejects.
+			{From: "u0", Read: '0', Write: '0', Move: Right, To: "u0"},
+			{From: "u0", Read: '0', Write: '0', Move: Stay, To: "qd"},
+		},
+	}
+}
+
+// HasDoubleOne accepts strings containing "11": an existential scan
+// commits to a position, then a universal state checks both that the
+// committed cell holds a 1 (immediate accept branch) and that the next
+// cell does too. A genuine ∃∀ alternation.
+func HasDoubleOne() *AMachine {
+	return &AMachine{
+		Name:      "has-double-one",
+		Start:     "e0",
+		Accepting: map[string]bool{"qa": true},
+		Universal: map[string]bool{"uv": true},
+		Blank:     'x',
+		Alphabet:  Alphabet01,
+		Transitions: []ATransition{
+			// Existential scan; may commit on any 1.
+			{From: "e0", Read: '0', Write: '0', Move: Right, To: "e0"},
+			{From: "e0", Read: '1', Write: '1', Move: Right, To: "e0"},
+			{From: "e0", Read: '1', Write: '1', Move: Stay, To: "uv"},
+			// Universal check: both branches must accept.
+			{From: "uv", Read: '1', Write: '1', Move: Stay, To: "qa"},
+			{From: "uv", Read: '1', Write: '1', Move: Right, To: "qn"},
+			// The second branch requires the NEXT cell to be a 1 too.
+			{From: "qn", Read: '1', Write: '1', Move: Stay, To: "qa"},
+		},
+	}
+}

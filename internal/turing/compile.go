@@ -1,0 +1,286 @@
+package turing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the paper's section 5.1 construction: given a
+// cascade of NP oracle machines M_k, ..., M_1, emit
+//
+//   - R(L): a hypothetical rulebase with exactly k strata, independent of
+//     the input string (EncodeRules), and
+//   - DB(s̄): a database encoding a counter 0..N-1 and the initial tape
+//     contents (EncodeDB),
+//
+// such that R(L), DB(s̄) ⊢ accept iff the cascade accepts s̄. The predicate
+// naming scheme follows the paper: cell_i_<sym>(J̄, T̄), control_i_<q>(J̄1,
+// J̄2, T̄), accept_i(T̄), oracle_i(T̄), active_i(J̄, T̄), plus the counter
+// first/next/last and the 0-ary goal accept.
+//
+// Counter values may be l-tuples (section 6.2.2 uses l = 2 over a
+// hypothetically asserted order); Counter abstracts the arity and the
+// first/next/last predicate names so the same machine encoding serves
+// both the section 5.1 lower bound (l = 1 over a stored counter) and the
+// section 6 constant-free expressibility construction.
+
+// Counter describes the time/position counter predicates: First and Last
+// have arity L, Next has arity 2L.
+type Counter struct {
+	L                 int
+	First, Next, Last string
+}
+
+// DefaultCounter is the section 5.1 stored counter: first/next/last over
+// single values.
+func DefaultCounter() Counter { return Counter{L: 1, First: "first", Next: "next", Last: "last"} }
+
+// vars returns the L variable names for one counter value, derived from a
+// prefix ("T" -> [T] for L=1, [Ta, Tb] for L=2).
+func (c Counter) vars(prefix string) []string {
+	if c.L == 1 {
+		return []string{prefix}
+	}
+	out := make([]string, c.L)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%c", prefix, 'a'+i)
+	}
+	return out
+}
+
+func (c Counter) firstAtom(v []string) string {
+	return fmt.Sprintf("%s(%s)", c.First, strings.Join(v, ", "))
+}
+
+func (c Counter) nextAtom(from, to []string) string {
+	return fmt.Sprintf("%s(%s, %s)", c.Next, strings.Join(from, ", "), strings.Join(to, ", "))
+}
+
+func args(groups ...[]string) string {
+	var all []string
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	return strings.Join(all, ", ")
+}
+
+// symName renders a tape symbol as a constant-safe token.
+func symName(c byte) string {
+	if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+		return "s" + string(c)
+	}
+	return fmt.Sprintf("s%d", c)
+}
+
+// stName renders a machine state as a predicate-safe token.
+func stName(q string) string {
+	return strings.ToLower(strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, q))
+}
+
+// states collects the state names of one machine, sorted for determinism.
+func states(m *Machine) []string {
+	set := map[string]bool{m.Start: true}
+	for q := range m.Accepting {
+		set[q] = true
+	}
+	for _, s := range []string{m.QueryState, m.YesState, m.NoState} {
+		if s != "" {
+			set[s] = true
+		}
+	}
+	for _, tr := range m.Transitions {
+		set[tr.From] = true
+		set[tr.To] = true
+	}
+	out := make([]string, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cellPred(level int, sym byte) string { return fmt.Sprintf("cell_%d_%s", level, symName(sym)) }
+
+func controlPred(level int, q string) string {
+	return fmt.Sprintf("control_%d_%s", level, stName(q))
+}
+
+// EncodeRules emits R(L) for the cascade headed by m with the section 5.1
+// stored counter. The rulebase does not depend on the input string — only
+// on the machines — which is the property that makes the construction a
+// data-complexity lower bound.
+func EncodeRules(m *Machine) (string, error) {
+	return EncodeRulesCounter(m, DefaultCounter())
+}
+
+// EncodeRulesCounter emits the machine-simulation rules of R(L) using the
+// given counter predicates. All rules are constant-free.
+func EncodeRulesCounter(m *Machine, c Counter) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	levels := m.Levels()
+	k := len(levels)
+	var b strings.Builder
+
+	tv, tnv := c.vars("T"), c.vars("U")
+	j1v, j1n := c.vars("J"), c.vars("K")
+	j2v, j2n := c.vars("L"), c.vars("M")
+	xv := c.vars("X")
+
+	// Machine levels[j] is M_{k-j}; write strata top-down like the paper.
+	for j, mach := range levels {
+		i := k - j
+		fmt.Fprintf(&b, "%% ---- machine M_%d (%s) ----\n", i, mach.Name)
+
+		// (i) accepting ids.
+		for _, q := range states(mach) {
+			if mach.Accepting[q] {
+				fmt.Fprintf(&b, "accept_%d(%s) :- %s(%s).\n",
+					i, args(tv), controlPred(i, q), args(j1v, j2v, tv))
+			}
+		}
+
+		// (ii) transition rules.
+		for _, tr := range mach.Transitions {
+			var prem []string
+			prem = append(prem, c.nextAtom(tv, tnv))
+			prem = append(prem, fmt.Sprintf("%s(%s)", controlPred(i, tr.From), args(j1v, j2v, tv)))
+			prem = append(prem, fmt.Sprintf("%s(%s)", cellPred(i, tr.Read), args(j1v, tv)))
+			newWork := j1v
+			switch tr.MoveWork {
+			case Left:
+				prem = append(prem, c.nextAtom(j1n, j1v))
+				newWork = j1n
+			case Right:
+				prem = append(prem, c.nextAtom(j1v, j1n))
+				newWork = j1n
+			}
+			newOracle := j2v
+			var adds []string
+			if tr.WriteOracle != 0 {
+				prem = append(prem, c.nextAtom(j2v, j2n))
+				newOracle = j2n
+				adds = append(adds, fmt.Sprintf("%s(%s)", cellPred(i-1, tr.WriteOracle), args(j2v, tnv)))
+			}
+			adds = append([]string{
+				fmt.Sprintf("%s(%s)", controlPred(i, tr.To), args(newWork, newOracle, tnv)),
+				fmt.Sprintf("%s(%s)", cellPred(i, tr.WriteWork), args(j1v, tnv)),
+			}, adds...)
+			fmt.Fprintf(&b, "accept_%d(%s) :- %s, accept_%d(%s)[add: %s].\n",
+				i, args(tv), strings.Join(prem, ", "), i, args(tnv), strings.Join(adds, ", "))
+		}
+
+		// (iii) oracle invocation.
+		if mach.QueryState != "" {
+			qq := controlPred(i, mach.QueryState)
+			fmt.Fprintf(&b, "accept_%d(%s) :- %s, %s(%s), oracle_%d(%s), accept_%d(%s)[add: %s(%s)].\n",
+				i, args(tv), c.nextAtom(tv, tnv), qq, args(j1v, j2v, tv), i-1, args(tv),
+				i, args(tnv), controlPred(i, mach.YesState), args(j1v, j2v, tnv))
+			fmt.Fprintf(&b, "accept_%d(%s) :- %s, %s(%s), not oracle_%d(%s), accept_%d(%s)[add: %s(%s)].\n",
+				i, args(tv), c.nextAtom(tv, tnv), qq, args(j1v, j2v, tv), i-1, args(tv),
+				i, args(tnv), controlPred(i, mach.NoState), args(j1v, j2v, tnv))
+			fmt.Fprintf(&b, "oracle_%d(%s) :- %s, accept_%d(%s)[add: %s(%s)].\n",
+				i-1, args(tv), c.firstAtom(xv), i-1, args(tv),
+				controlPred(i-1, levels[j+1].Start), args(xv, xv, tv))
+		}
+	}
+
+	// The frame axioms live in the bottom stratum.
+	b.WriteString("% ---- frame axioms ----\n")
+	for j, mach := range levels {
+		i := k - j
+		for _, sym := range mach.Alphabet {
+			fmt.Fprintf(&b, "%s(%s) :- %s, %s(%s), not active_%d(%s).\n",
+				cellPred(i, sym), args(j1v, tnv), c.nextAtom(tv, tnv),
+				cellPred(i, sym), args(j1v, tv), i, args(j1v, tv))
+		}
+		// Work head of M_i is active unless M_i is suspended in its query
+		// state.
+		for _, q := range states(mach) {
+			if mach.QueryState != "" && q == mach.QueryState {
+				continue
+			}
+			fmt.Fprintf(&b, "active_%d(%s) :- %s(%s).\n",
+				i, args(j1v, tv), controlPred(i, q), args(j1v, j2v, tv))
+		}
+		// Oracle head of M_{i+1} writes onto tape i.
+		if j > 0 {
+			above := levels[j-1]
+			for _, q := range states(above) {
+				if above.QueryState != "" && q == above.QueryState {
+					continue
+				}
+				fmt.Fprintf(&b, "active_%d(%s) :- %s(%s).\n",
+					i, args(j2v, tv), controlPred(i+1, q), args(j1v, j2v, tv))
+			}
+		}
+	}
+
+	// Top-level goal: complete M_k's initial id and start the simulation.
+	fmt.Fprintf(&b, "accept :- %s, accept_%d(%s)[add: %s(%s)].\n",
+		c.firstAtom(xv), k, args(xv), controlPred(k, m.Start), args(xv, xv, xv))
+	return b.String(), nil
+}
+
+// EncodeDB emits DB(s̄): the counter 0..n-1 and the initial tape contents —
+// the input on M_k's work tape, blanks everywhere else. (Section 5.1 uses
+// the stored l=1 counter.)
+func EncodeDB(m *Machine, input string, n int) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	if len(input) > n {
+		return "", fmt.Errorf("turing: input longer than tape bound %d", n)
+	}
+	for i := 0; i < len(input); i++ {
+		if !contains(m.Alphabet, input[i]) {
+			return "", fmt.Errorf("turing: input symbol %q outside M_%d's alphabet", input[i], m.Depth())
+		}
+	}
+	levels := m.Levels()
+	k := len(levels)
+	var b strings.Builder
+	b.WriteString("% ---- counter ----\n")
+	fmt.Fprintf(&b, "first(t0).\n")
+	for t := 0; t+1 < n; t++ {
+		fmt.Fprintf(&b, "next(t%d, t%d).\n", t, t+1)
+	}
+	fmt.Fprintf(&b, "last(t%d).\n", n-1)
+	b.WriteString("% ---- initial tapes ----\n")
+	for j, mach := range levels {
+		i := k - j
+		for pos := 0; pos < n; pos++ {
+			sym := mach.Blank
+			if i == k && pos < len(input) {
+				sym = input[pos]
+			}
+			fmt.Fprintf(&b, "%s(t%d, t0).\n", cellPred(i, sym), pos)
+		}
+	}
+	return b.String(), nil
+}
+
+// Encode emits the full program R(L) ∪ DB(s̄) plus the accept query.
+func Encode(m *Machine, input string, n int) (string, error) {
+	rules, err := EncodeRules(m)
+	if err != nil {
+		return "", err
+	}
+	db, err := EncodeDB(m, input, n)
+	if err != nil {
+		return "", err
+	}
+	return rules + db + "?- accept.\n", nil
+}

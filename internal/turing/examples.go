@@ -1,0 +1,149 @@
+package turing
+
+// Prebuilt machine cascades used by the tests, the Theorem 1 experiment,
+// and the examples. All use the alphabet {x, 0, 1} with x as blank.
+
+// Alphabet01 is the shared three-symbol alphabet; 'x' is the blank.
+var Alphabet01 = []byte{'x', '0', '1'}
+
+// HasOne is a deterministic one-level machine accepting the strings that
+// contain a '1' (scanning right until it finds one or falls off the tape).
+func HasOne() *Machine {
+	return &Machine{
+		Name:      "has-one",
+		Start:     "q0",
+		Accepting: map[string]bool{"qa": true},
+		Blank:     'x',
+		Alphabet:  Alphabet01,
+		Transitions: []Transition{
+			{From: "q0", Read: '0', WriteWork: '0', MoveWork: Right, To: "q0"},
+			{From: "q0", Read: 'x', WriteWork: 'x', MoveWork: Right, To: "q0"},
+			{From: "q0", Read: '1', WriteWork: '1', MoveWork: Stay, To: "qa"},
+		},
+	}
+}
+
+// GuessOne accepts the same language as HasOne but nondeterministically:
+// in each step it may either move right or "commit" to the current cell,
+// accepting only if that cell holds a '1'. It exercises the
+// nondeterministic search of both the simulator and the encoding.
+func GuessOne() *Machine {
+	return &Machine{
+		Name:      "guess-one",
+		Start:     "q0",
+		Accepting: map[string]bool{"qa": true},
+		Blank:     'x',
+		Alphabet:  Alphabet01,
+		Transitions: []Transition{
+			// Either skip right...
+			{From: "q0", Read: '0', WriteWork: '0', MoveWork: Right, To: "q0"},
+			{From: "q0", Read: '1', WriteWork: '1', MoveWork: Right, To: "q0"},
+			{From: "q0", Read: 'x', WriteWork: 'x', MoveWork: Right, To: "q0"},
+			// ...or commit to the scanned cell.
+			{From: "q0", Read: '1', WriteWork: '1', MoveWork: Stay, To: "qa"},
+		},
+	}
+}
+
+// AllOnes accepts strings over {0,1} that consist only of 1s up to the
+// first blank (the empty string accepts). Reading the bitmap of a unary
+// relation, it decides "does the relation cover the whole domain?" — a
+// generic query used by the section 6 expressibility construction.
+func AllOnes() *Machine {
+	return &Machine{
+		Name:      "all-ones",
+		Start:     "q0",
+		Accepting: map[string]bool{"qa": true},
+		Blank:     'x',
+		Alphabet:  Alphabet01,
+		Transitions: []Transition{
+			{From: "q0", Read: '1', WriteWork: '1', MoveWork: Right, To: "q0"},
+			{From: "q0", Read: 'x', WriteWork: 'x', MoveWork: Stay, To: "qa"},
+			// Reading a 0 has no transition: the path rejects.
+		},
+	}
+}
+
+// EndsWithOne accepts strings over {0,1} whose last symbol before the
+// first blank is '1'. It scans right to the blank, then steps LEFT and
+// checks the symbol — the only prebuilt machine that exercises left moves
+// (and therefore the encoding's next(J1n, J1) premise).
+func EndsWithOne() *Machine {
+	return &Machine{
+		Name:      "ends-with-one",
+		Start:     "q0",
+		Accepting: map[string]bool{"qa": true},
+		Blank:     'x',
+		Alphabet:  Alphabet01,
+		Transitions: []Transition{
+			// Scan right over content.
+			{From: "q0", Read: '0', WriteWork: '0', MoveWork: Right, To: "q0"},
+			{From: "q0", Read: '1', WriteWork: '1', MoveWork: Right, To: "q0"},
+			// At the first blank, step back left.
+			{From: "q0", Read: 'x', WriteWork: 'x', MoveWork: Left, To: "qb"},
+			// Accept iff the cell there is a 1.
+			{From: "qb", Read: '1', WriteWork: '1', MoveWork: Stay, To: "qa"},
+		},
+	}
+}
+
+// copyThenAsk builds the two-level cascade: M_2 copies its input (up to
+// the first blank) onto the oracle tape, then queries the HasOne oracle
+// and accepts on the given answer. acceptOnYes selects whether M_2
+// accepts the oracle's yes (same language as HasOne) or its no (the
+// complement — this is the path that exercises the stratum-boundary
+// negation ~ORACLE of section 5.1.3).
+func copyThenAsk(name string, acceptOnYes bool) *Machine {
+	acc := "pn"
+	if acceptOnYes {
+		acc = "py"
+	}
+	return &Machine{
+		Name:       name,
+		Start:      "p0",
+		Accepting:  map[string]bool{acc: true},
+		QueryState: "pq",
+		YesState:   "py",
+		NoState:    "pn",
+		Blank:      'x',
+		Alphabet:   Alphabet01,
+		Oracle:     HasOne(),
+		Transitions: []Transition{
+			{From: "p0", Read: '0', WriteWork: '0', MoveWork: Right, WriteOracle: '0', To: "p0"},
+			{From: "p0", Read: '1', WriteWork: '1', MoveWork: Right, WriteOracle: '1', To: "p0"},
+			{From: "p0", Read: 'x', WriteWork: 'x', MoveWork: Stay, WriteOracle: 'x', To: "pq"},
+		},
+	}
+}
+
+// CopyThenAskYes is the two-level cascade accepting inputs with a '1'
+// (via the oracle's yes answer).
+func CopyThenAskYes() *Machine { return copyThenAsk("copy-ask-yes", true) }
+
+// CopyThenAskNo is the two-level cascade accepting inputs without any '1'
+// (via the oracle's no answer) — a coNP-shaped use of the oracle.
+func CopyThenAskNo() *Machine { return copyThenAsk("copy-ask-no", false) }
+
+// ThreeLevel builds a k=3 cascade: M_3 copies its input to M_2, which
+// copies its input to M_1 (HasOne); M_3 accepts iff M_2 answers no, and
+// M_2 accepts iff M_1 answers yes. Net effect: M_3 accepts inputs with no
+// '1'. Its value is exercising three strata of the encoding.
+func ThreeLevel() *Machine {
+	m2 := copyThenAsk("mid-copy-ask-yes", true)
+	return &Machine{
+		Name:       "three-level",
+		Start:      "r0",
+		Accepting:  map[string]bool{"rn": true},
+		QueryState: "rq",
+		YesState:   "ry",
+		NoState:    "rn",
+		Blank:      'x',
+		Alphabet:   Alphabet01,
+		Oracle:     m2,
+		Transitions: []Transition{
+			{From: "r0", Read: '0', WriteWork: '0', MoveWork: Right, WriteOracle: '0', To: "r0"},
+			{From: "r0", Read: '1', WriteWork: '1', MoveWork: Right, WriteOracle: '1', To: "r0"},
+			{From: "r0", Read: 'x', WriteWork: 'x', MoveWork: Stay, WriteOracle: 'x', To: "rq"},
+		},
+	}
+}

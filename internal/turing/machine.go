@@ -1,0 +1,247 @@
+// Package turing implements the substrate of Theorem 1's lower bound
+// (section 5.1): nondeterministic oracle Turing machines — a direct
+// simulator, and the paper's compiler from a cascade of machines
+// M_k, ..., M_1 into a hypothetical rulebase R(L) with k strata plus a
+// database DB(s̄).
+//
+// # Machine model
+//
+// Each machine M_i has one read/write work tape and, if it has an oracle,
+// one write-only oracle tape whose head only moves right; the oracle tape
+// of M_i is the work tape of M_{i-1}. Every non-query step writes its work
+// cell (possibly rewriting the same symbol); on machines with an oracle,
+// every non-query step also writes one symbol at the oracle head and
+// advances it. Entering the query state suspends M_i for one time step:
+// the oracle M_{i-1} is started in its initial state on the current oracle
+// tape (its own tapes start blank at every invocation, and any writes it
+// performs are discarded when it returns), and M_i resumes in YesState or
+// NoState. A computation accepts when it reaches an accepting state.
+//
+// Time and tape are bounded by a shared clock 0..N-1 (the counter of
+// DB(s̄)); an oracle invoked at time t has only the remaining N-1-t steps,
+// exactly as in the encoding, where the nested ACCEPT_{i-1} recursion
+// consumes the same counter.
+package turing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Move directions for the work head.
+type Move int
+
+// Work-head movements.
+const (
+	Stay Move = iota
+	Left
+	Right
+)
+
+func (m Move) String() string {
+	switch m {
+	case Stay:
+		return "S"
+	case Left:
+		return "L"
+	case Right:
+		return "R"
+	default:
+		return "?"
+	}
+}
+
+// Transition is one nondeterministic choice: in state From reading Read at
+// the work head, write WriteWork, move the work head, optionally write
+// WriteOracle at the oracle head (which then advances one cell; only legal
+// on machines with an oracle), and enter state To.
+type Transition struct {
+	From        string
+	Read        byte
+	WriteWork   byte
+	MoveWork    Move
+	WriteOracle byte // 0 = no oracle write (required 0 when no oracle)
+	To          string
+}
+
+// Machine is a nondeterministic (oracle) Turing machine.
+type Machine struct {
+	Name        string
+	Start       string
+	Accepting   map[string]bool
+	QueryState  string // "" if the machine never queries
+	YesState    string
+	NoState     string
+	Blank       byte
+	Alphabet    []byte // must include Blank
+	Transitions []Transition
+	Oracle      *Machine // machine one level down, nil at the bottom
+}
+
+// Levels returns the machines of the cascade from the top down:
+// M_k, M_{k-1}, ..., M_1.
+func (m *Machine) Levels() []*Machine {
+	var out []*Machine
+	for cur := m; cur != nil; cur = cur.Oracle {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Depth returns k, the number of machines in the cascade.
+func (m *Machine) Depth() int { return len(m.Levels()) }
+
+// Validate checks structural sanity: states referenced by transitions
+// exist implicitly; oracle writes only on machines with oracles; query
+// plumbing is complete when QueryState is set.
+func (m *Machine) Validate() error {
+	for _, lv := range m.Levels() {
+		if lv.Start == "" {
+			return fmt.Errorf("turing: machine %s has no start state", lv.Name)
+		}
+		if !contains(lv.Alphabet, lv.Blank) {
+			return fmt.Errorf("turing: machine %s alphabet misses its blank", lv.Name)
+		}
+		if lv.QueryState != "" {
+			if lv.Oracle == nil {
+				return fmt.Errorf("turing: machine %s queries but has no oracle", lv.Name)
+			}
+			if lv.YesState == "" || lv.NoState == "" {
+				return fmt.Errorf("turing: machine %s misses yes/no states", lv.Name)
+			}
+		}
+		for _, tr := range lv.Transitions {
+			if tr.From == lv.QueryState && lv.QueryState != "" {
+				return fmt.Errorf("turing: machine %s has a transition out of the query state %s; the query mechanism handles it", lv.Name, tr.From)
+			}
+			if tr.WriteOracle != 0 && lv.Oracle == nil {
+				return fmt.Errorf("turing: machine %s writes an oracle tape it does not have", lv.Name)
+			}
+			if tr.WriteOracle == 0 && lv.Oracle != nil {
+				return fmt.Errorf("turing: machine %s transition %v must write the oracle tape (the model writes every step)", lv.Name, tr)
+			}
+			if !contains(lv.Alphabet, tr.Read) || !contains(lv.Alphabet, tr.WriteWork) {
+				return fmt.Errorf("turing: machine %s transition %v uses symbols outside its alphabet", lv.Name, tr)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(bs []byte, b byte) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// config is a simulator configuration of one machine.
+type config struct {
+	state     string
+	work      string // full tape contents, length N
+	workPos   int
+	oracle    string // oracle tape contents (empty when no oracle)
+	oraclePos int
+	time      int
+}
+
+func (c config) key() string {
+	return fmt.Sprintf("%s|%d|%d|%d|%s|%s", c.state, c.workPos, c.oraclePos, c.time, c.work, c.oracle)
+}
+
+// Accepts reports whether the cascade headed by m accepts input on a tape
+// and clock of N cells, starting at time 0 — the direct-simulation ground
+// truth that the rulebase encoding is tested against.
+func (m *Machine) Accepts(input string, n int) (bool, error) {
+	if err := m.Validate(); err != nil {
+		return false, err
+	}
+	if len(input) > n {
+		return false, fmt.Errorf("turing: input longer than tape bound %d", n)
+	}
+	tape := input + strings.Repeat(string(m.Blank), n-len(input))
+	return m.run(tape, 0, n), nil
+}
+
+// run explores all computation paths of m on the given work tape starting
+// at startTime, with times bounded by 0..n-1. It memoises visited
+// configurations (time is part of the key, so the search space is finite
+// and acyclic in time).
+func (m *Machine) run(workTape string, startTime, n int) bool {
+	visited := map[string]bool{}
+	var oracleTape string
+	if m.Oracle != nil {
+		oracleTape = strings.Repeat(string(m.Oracle.Blank), n)
+	}
+	start := config{
+		state:  m.Start,
+		work:   workTape,
+		oracle: oracleTape,
+		time:   startTime,
+	}
+	var accept func(c config) bool
+	accept = func(c config) bool {
+		if m.Accepting[c.state] {
+			return true
+		}
+		k := c.key()
+		if visited[k] {
+			return false
+		}
+		visited[k] = true
+		if c.time+1 >= n {
+			return false // no NEXT(t, t') — the clock is exhausted
+		}
+		if m.QueryState != "" && c.state == m.QueryState {
+			// Oracle invocation: the oracle runs on a copy of the oracle
+			// tape, starting at the current time, and its writes are
+			// discarded (they happen in a nested hypothetical state).
+			ans := m.Oracle.run(c.oracle, c.time, n)
+			next := c
+			next.time++
+			if ans {
+				next.state = m.YesState
+			} else {
+				next.state = m.NoState
+			}
+			return accept(next)
+		}
+		read := c.work[c.workPos]
+		for _, tr := range m.Transitions {
+			if tr.From != c.state || tr.Read != read {
+				continue
+			}
+			next := c
+			next.state = tr.To
+			next.time++
+			w := []byte(c.work)
+			w[c.workPos] = tr.WriteWork
+			next.work = string(w)
+			switch tr.MoveWork {
+			case Left:
+				next.workPos--
+			case Right:
+				next.workPos++
+			}
+			if next.workPos < 0 || next.workPos >= n {
+				continue // fell off the tape: this path dies
+			}
+			if tr.WriteOracle != 0 {
+				if c.oraclePos >= n {
+					continue
+				}
+				o := []byte(c.oracle)
+				o[c.oraclePos] = tr.WriteOracle
+				next.oracle = string(o)
+				next.oraclePos++
+			}
+			if accept(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return accept(start)
+}

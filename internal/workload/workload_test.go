@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/strat"
+	"hypodatalog/internal/symbols"
+)
+
+// parseAndCheck verifies a generated program parses, validates, compiles,
+// and has stratified negation.
+func parseAndCheck(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if errs := ast.Validate(prog); len(errs) > 0 {
+		t.Fatalf("validate: %v\n%s", errs[0], src)
+	}
+	if err := strat.CheckNegation(prog); err != nil {
+		t.Fatalf("negation: %v\n%s", err, src)
+	}
+	if _, err := ast.Compile(prog, symbols.NewTable()); err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	return prog
+}
+
+func TestGeneratorsCompile(t *testing.T) {
+	for _, n := range []int{1, 8, 100, 300} {
+		parseAndCheck(t, ChainProgram(n))
+		parseAndCheck(t, OrderLoopProgram(n))
+		parseAndCheck(t, ParityProgram(n))
+	}
+	g := Digraph{N: 5, Edges: [][2]int{{0, 1}, {1, 2}, {3, 4}}}
+	parseAndCheck(t, HamiltonianProgram(g))
+	parseAndCheck(t, KStrataProgram(6, 3))
+}
+
+func TestGeneratedRulesRespectPremiseLimit(t *testing.T) {
+	for _, src := range []string{ChainProgram(300), OrderLoopProgram(300)} {
+		prog := parseAndCheck(t, src)
+		for _, r := range prog.Rules {
+			if len(r.Body) > 64 {
+				t.Fatalf("rule with %d premises: %s", len(r.Body), r.String())
+			}
+		}
+	}
+}
+
+func TestKStrataProgramShape(t *testing.T) {
+	prog := parseAndCheck(t, KStrataProgram(5, 2))
+	s, err := strat.Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumStrata != 5 {
+		t.Errorf("strata = %d, want 5", s.NumStrata)
+	}
+}
+
+func TestRandomDigraphEdgeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomDigraph(rng, 10, 0.5)
+	if g.N != 10 {
+		t.Fatal("wrong N")
+	}
+	for _, e := range g.Edges {
+		if e[0] == e[1] || e[0] < 0 || e[0] >= 10 || e[1] < 0 || e[1] >= 10 {
+			t.Fatalf("bad edge %v", e)
+		}
+	}
+	// p=0 and p=1 extremes.
+	if len(RandomDigraph(rng, 6, 0).Edges) != 0 {
+		t.Error("p=0 produced edges")
+	}
+	if len(RandomDigraph(rng, 6, 1).Edges) != 30 {
+		t.Error("p=1 missed edges")
+	}
+}
+
+func TestPlantedHamiltonianAlwaysHasPath(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g := PlantedHamiltonian(rng, n, rng.Float64()*0.3)
+		return HasHamiltonianPath(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasHamiltonianPathKnownCases(t *testing.T) {
+	cases := []struct {
+		g    Digraph
+		want bool
+	}{
+		{Digraph{N: 0}, false},
+		{Digraph{N: 1}, true},
+		{Digraph{N: 2}, false},
+		{Digraph{N: 2, Edges: [][2]int{{1, 0}}}, true},
+		{Digraph{N: 3, Edges: [][2]int{{0, 1}, {0, 2}}}, false},
+		{Digraph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}}}, true},
+		{Digraph{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}, true},
+	}
+	for i, tc := range cases {
+		if got := HasHamiltonianPath(tc.g); got != tc.want {
+			t.Errorf("case %d: got %v", i, got)
+		}
+	}
+}
+
+func TestPlantedNoDuplicateEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := PlantedHamiltonian(rng, 8, 0.5)
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestRandomStratifiedProgramAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := RandomStratifiedProgram(rng, DefaultFuzz())
+		parseAndCheck(t, src)
+	}
+}
+
+func TestParityProgramContainsPaperRules(t *testing.T) {
+	src := ParityProgram(2)
+	for _, want := range []string{
+		"even :- selectx(X), odd[add: copied(X)].",
+		"even :- not selectx(X).",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package hypo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool evaluates queries against one program from many goroutines.
+//
+// The single-engine API is deliberately not safe for concurrent use (the
+// memo tables and interners are lock-free); a Pool keeps a free list of
+// independent engines — each with its own ground-atom interner and tables
+// — and hands one to each in-flight query. The program's symbol table is
+// itself safe for concurrent interning, so queries may mention fresh
+// constants from any goroutine.
+//
+// Engines are reused, so their memo tables stay warm across queries that
+// land on the same engine.
+type Pool struct {
+	prog    *Program
+	opts    Options
+	engines sync.Pool
+}
+
+// NewPool builds an engine pool. It constructs one engine eagerly so that
+// configuration errors (e.g. cascade mode without a linear
+// stratification) surface immediately.
+func NewPool(p *Program, opts Options) (*Pool, error) {
+	first, err := New(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Pool{prog: p, opts: opts}
+	pl.engines.New = func() any {
+		e, err := New(p, opts)
+		if err != nil {
+			// New succeeded once with identical inputs; a later failure
+			// would be a programming error (e.g. the program was mutated).
+			panic(fmt.Sprintf("hypo: Pool engine construction failed: %v", err))
+		}
+		return e
+	}
+	pl.engines.Put(first)
+	return pl, nil
+}
+
+// withEngine runs f with a pooled engine.
+func (pl *Pool) withEngine(f func(*Engine) error) error {
+	e := pl.engines.Get().(*Engine)
+	defer pl.engines.Put(e)
+	return f(e)
+}
+
+// Ask evaluates a ground query premise; see Engine.Ask.
+func (pl *Pool) Ask(query string) (bool, error) {
+	var out bool
+	err := pl.withEngine(func(e *Engine) error {
+		var err error
+		out, err = e.Ask(query)
+		return err
+	})
+	return out, err
+}
+
+// Query evaluates a premise that may contain variables; see Engine.Query.
+func (pl *Pool) Query(query string) ([]Binding, error) {
+	var out []Binding
+	err := pl.withEngine(func(e *Engine) error {
+		var err error
+		out, err = e.Query(query)
+		return err
+	})
+	return out, err
+}

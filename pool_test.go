@@ -1,0 +1,91 @@
+package hypo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hypodatalog/internal/workload"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p := mustParse(t, uniSrc)
+	pool, err := NewPool(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Ask("grad(tony)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("grad(tony) false via pool")
+	}
+	bs, err := pool.Query("grad(S)[add: take(S, C)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) == 0 {
+		t.Error("no bindings via pool")
+	}
+	if _, err := pool.Ask("grad(S)"); err == nil {
+		t.Error("non-ground Ask accepted")
+	}
+}
+
+func TestPoolRejectsBadConfig(t *testing.T) {
+	p := mustParse(t, "a :- b, a[add: c1], a[add: c2].\n")
+	if _, err := NewPool(p, Options{Mode: ModeCascade}); err == nil {
+		t.Error("cascade pool over non-linear program should fail")
+	}
+}
+
+// TestPoolConcurrent hammers a pool from many goroutines, with queries
+// that intern fresh constants, so `go test -race` exercises the shared
+// symbol table. Answers must match the single-threaded engine.
+func TestPoolConcurrent(t *testing.T) {
+	src := workload.ParityProgram(6) + workload.ChainProgram(4)
+	p := mustParse(t, src)
+	pool, err := NewPool(p, Options{
+		Mode:        ModeUniform,
+		ExtraDomain: []string{"freshconstant", "anotherfresh"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []struct {
+		q    string
+		want bool
+	}{
+		{"even", true},
+		{"a1", true},
+		{"a2", false},
+		{"even[add: item(freshconstant)]", false}, // |A| becomes 7: odd
+		{"odd[add: item(anotherfresh)]", true},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				qc := queries[(g+i)%len(queries)]
+				got, err := pool.Ask(qc.q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != qc.want {
+					errs <- fmt.Errorf("goroutine %d: %s = %v, want %v", g, qc.q, got, qc.want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package hypo
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShippedPrograms loads every .hdl file under examples/programs and
+// checks its embedded queries against expected answers.
+func TestShippedPrograms(t *testing.T) {
+	expect := map[string]map[string]bool{
+		"university.hdl": {
+			"grad(mary)[add: take(mary, eng201)]": true,
+		},
+		"parity.hdl": {
+			"even": true,
+			"odd":  false,
+		},
+		"hamiltonian.hdl": {
+			"yes": true,
+			"no":  false,
+		},
+		"example9.hdl": {
+			"a2": true,
+		},
+		"tokengame.hdl": {
+			"goal":                    true,
+			"goal[del: move(v2, v3)]": false,
+		},
+		"nationality.hdl": {
+			"eligible(henry)":  true,
+			"eligible(ada)":    true,
+			"eligible(george)": false,
+			// The counterfactual also works one level up: were Henry not
+			// alive, Ada would still be eligible through the nested
+			// hypothetical.
+			"eligible(ada)[del: alive(henry)]": true,
+			// But without her father link, she is not.
+			"eligible(ada)[del: father(ada, henry)]": false,
+		},
+	}
+	files, err := filepath.Glob("examples/programs/*.hdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("only %d shipped programs found", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			prog, err := ParseFile(f)
+			if err != nil {
+				t.Fatalf("ParseFile: %v", err)
+			}
+			eng, err := New(prog, Options{})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			// Every embedded query must evaluate without error.
+			for _, q := range prog.Queries() {
+				if _, err := eng.Query(q); err != nil {
+					t.Errorf("query %q: %v", q, err)
+				}
+			}
+			for q, want := range expect[filepath.Base(f)] {
+				got, err := eng.Ask(q)
+				if err != nil {
+					t.Fatalf("Ask(%q): %v", q, err)
+				}
+				if got != want {
+					t.Errorf("Ask(%q) = %v, want %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainPublicAPI checks the derivation-tree rendering end to end.
+func TestExplainPublicAPI(t *testing.T) {
+	prog, err := ParseFile("examples/programs/parity.hdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(prog, Options{Mode: ModeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := eng.Explain("even")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[rule", "[fact]", "under add: copied(", "no instance provable"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("missing %q in explanation:\n%s", want, tree)
+		}
+	}
+	// Unprovable: empty explanation, no error.
+	tree, err = eng.Explain("odd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree != "" {
+		t.Errorf("explanation of unprovable goal: %s", tree)
+	}
+	// Cascade mode refuses.
+	eng2, err := New(prog, Options{Mode: ModeCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Explain("even"); err == nil {
+		t.Error("cascade Explain should fail")
+	}
+	// Hypothetical query explanation.
+	uniProg, err := ParseFile("examples/programs/university.hdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng3, err := New(uniProg, Options{Mode: ModeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err = eng3.Explain("grad(mary)[add: take(mary, eng201)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree, "take(mary, eng201)  [fact]") {
+		t.Errorf("hypothetical explanation wrong:\n%s", tree)
+	}
+}
