@@ -11,22 +11,28 @@
 //
 // Flags:
 //
-//	-q query    evaluate this query (repeatable)
-//	-i          interactive prompt after file queries
-//	-mode m     auto | uniform | cascade (default auto)
-//	-stats      print evaluation statistics after each query
-//	-max n      abort a query after n goal expansions (0 = unlimited)
+//	-q query     evaluate this query (repeatable)
+//	-i           interactive prompt after file queries
+//	-mode m      auto | uniform | cascade (default auto)
+//	-stats       print per-query statistics and a final metrics dump
+//	-max n       abort a query after n goal expansions (0 = unlimited)
+//	-deadline d  abort each query after duration d, e.g. 500ms (0 = none)
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"hypodatalog"
+	"hypodatalog/internal/metrics"
 )
 
 type queryList []string
@@ -46,6 +52,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	explain := flag.Bool("explain", false, "print a derivation tree for provable ground queries (uniform mode)")
 	maxGoals := flag.Int64("max", 0, "goal budget per query (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "per-query evaluation deadline, e.g. 500ms (0 = none)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -95,19 +102,22 @@ func main() {
 
 	all := append(append([]string{}, prog.Queries()...), queries...)
 	for _, q := range all {
-		runQuery(eng, q, *stats)
+		runQuery(eng, q, *stats, *deadline)
 		if *explain {
 			printExplanation(eng, q)
 		}
 	}
 
 	if *interactive {
-		repl(eng, prog, *stats)
+		repl(eng, prog, *stats, *deadline)
+	}
+	if *stats {
+		dumpMetrics()
 	}
 }
 
 // repl reads queries (and :commands) from stdin until EOF or :quit.
-func repl(eng *hypo.Engine, prog *hypo.Program, stats bool) {
+func repl(eng *hypo.Engine, prog *hypo.Program, stats bool, deadline time.Duration) {
 	fmt.Println("% enter queries ('grad(S)[add: take(S, C)]'); :help for commands")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("?- ")
@@ -156,15 +166,26 @@ func repl(eng *hypo.Engine, prog *hypo.Program, stats bool) {
 				}
 			}
 		default:
-			runQuery(eng, line, stats)
+			runQuery(eng, line, stats, deadline)
 		}
 		fmt.Print("?- ")
 	}
 }
 
-func runQuery(eng *hypo.Engine, q string, stats bool) {
-	bs, err := eng.Query(q)
+func runQuery(eng *hypo.Engine, q string, stats bool, deadline time.Duration) {
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	bs, err := eng.QueryCtx(ctx, q)
 	if err != nil {
+		var ae *hypo.AbortError
+		if errors.As(err, &ae) {
+			fmt.Printf("?- %s.\n   aborted: %v\n", q, err)
+			return
+		}
 		fmt.Printf("?- %s.\n   error: %v\n", q, err)
 		return
 	}
@@ -207,6 +228,16 @@ func printExplanation(eng *hypo.Engine, q string) {
 	for _, line := range strings.Split(strings.TrimRight(tree, "\n"), "\n") {
 		fmt.Printf("   | %s\n", line)
 	}
+}
+
+// dumpMetrics prints the process-wide metrics snapshot (the same data
+// exported on expvar as "hypo") as indented JSON.
+func dumpMetrics() {
+	out, err := json.MarshalIndent(metrics.Snapshot(), "% ", "  ")
+	if err != nil {
+		return
+	}
+	fmt.Printf("%% metrics %s\n", out)
 }
 
 func fatal(err error) {

@@ -47,13 +47,16 @@
 package hypo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/engine"
+	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
 	"hypodatalog/internal/ref"
 	"hypodatalog/internal/storage"
@@ -61,6 +64,25 @@ import (
 	"hypodatalog/internal/symbols"
 	"hypodatalog/internal/topdown"
 )
+
+// Sentinel errors for aborted evaluations, re-exported from the
+// evaluation layer. Test with errors.Is; recover the abort's work
+// snapshot with errors.As on *AbortError.
+var (
+	// ErrBudget means Options.MaxGoals expansions were spent without an
+	// answer.
+	ErrBudget = topdown.ErrBudget
+	// ErrCanceled means the query's context was canceled mid-evaluation.
+	ErrCanceled = topdown.ErrCanceled
+	// ErrDeadline means the query's context deadline expired
+	// mid-evaluation.
+	ErrDeadline = topdown.ErrDeadline
+)
+
+// AbortError wraps ErrBudget, ErrCanceled or ErrDeadline with the
+// configured limit (for ErrBudget) and a Stats snapshot of the work done
+// before the abort.
+type AbortError = topdown.AbortError
 
 // Program is a parsed, validated, compiled hypothetical Datalog program.
 type Program struct {
@@ -212,6 +234,9 @@ type Options struct {
 	// ExtraDomain adds constants to dom(R, DB) so that queries may
 	// mention symbols absent from the program.
 	ExtraDomain []string
+	// PoolSize bounds the number of engines a Pool keeps alive (and hence
+	// its maximum concurrency). Zero means GOMAXPROCS. Ignored by New.
+	PoolSize int
 }
 
 // Engine answers queries against a program.
@@ -225,15 +250,7 @@ type Engine struct {
 
 // New builds an engine for a program.
 func New(p *Program, opts Options) (*Engine, error) {
-	var extra []symbols.Const
-	for _, name := range opts.ExtraDomain {
-		extra = append(extra, p.syms.Const(name))
-	}
-	dom := ref.Domain(p.comp, extra...)
-	domSet := make(map[symbols.Const]bool, len(dom))
-	for _, c := range dom {
-		domSet[c] = true
-	}
+	dom, domSet := domainInfo(p, opts)
 	mode := opts.Mode
 	if mode == ModeAuto {
 		if p.strt != nil {
@@ -264,20 +281,51 @@ func New(p *Program, opts Options) (*Engine, error) {
 	}
 }
 
+// domainInfo computes dom(R, DB) plus Options.ExtraDomain, as both the
+// slice the engines enumerate over and the set the query validator uses.
+func domainInfo(p *Program, opts Options) ([]symbols.Const, map[symbols.Const]bool) {
+	var extra []symbols.Const
+	for _, name := range opts.ExtraDomain {
+		extra = append(extra, p.syms.Const(name))
+	}
+	dom := ref.Domain(p.comp, extra...)
+	domSet := make(map[symbols.Const]bool, len(dom))
+	for _, c := range dom {
+		domSet[c] = true
+	}
+	return dom, domSet
+}
+
 // Program returns the engine's program.
 func (e *Engine) Program() *Program { return e.prog }
 
 // Ask evaluates a ground query premise given in surface syntax, e.g.
 // "grad(tony)", "not yes", or "grad(s)[add: take(s, c1)]".
 func (e *Engine) Ask(query string) (bool, error) {
-	pr, numVars, err := e.compileQuery(query)
+	return e.AskCtx(context.Background(), query)
+}
+
+// AskCtx is Ask under a context: when ctx is canceled or its deadline
+// expires mid-evaluation, AskCtx returns an *AbortError wrapping
+// ErrCanceled or ErrDeadline within a bounded number of goal expansions.
+// An Engine is single-flight — the context governs the one running query.
+func (e *Engine) AskCtx(ctx context.Context, query string) (bool, error) {
+	fin := e.track()
+	ok, err := e.askCtx(ctx, query)
+	fin(err)
+	return ok, err
+}
+
+func (e *Engine) askCtx(ctx context.Context, query string) (bool, error) {
+	pr, names, err := compileQueryChecked(query, e.prog.syms, e.domSet)
 	if err != nil {
 		return false, err
 	}
-	if numVars > 0 {
+	if len(names) > 0 {
 		return false, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
 	}
-	return e.asker.AskPremise(pr, e.asker.EmptyState())
+	ok, err := e.asker.AskPremiseCtx(ctx, pr, e.asker.EmptyState())
+	return ok, e.enrich(err)
 }
 
 // Binding is one answer to a non-ground query: variable name to constant.
@@ -287,24 +335,31 @@ type Binding map[string]string
 // bindings over dom(R, DB) that make it hold. A ground query returns one
 // empty binding if it holds and none otherwise.
 func (e *Engine) Query(query string) ([]Binding, error) {
-	pr, err := parser.ParsePremise(query)
-	if err != nil {
-		return nil, err
-	}
-	vars := map[string]int{}
-	var names []string
-	cpr, err := ast.CompilePremise(pr, e.prog.syms, vars, &names)
-	if err != nil {
-		return nil, err
-	}
-	return e.queryCompiled(cpr, names)
+	return e.QueryCtx(context.Background(), query)
 }
 
-// queryCompiled runs a pre-compiled query premise; names map variable
-// slots back to surface names. Unlike Query it does not touch the shared
-// symbol table, so Pool can serialise compilation separately.
-func (e *Engine) queryCompiled(cpr ast.CPremise, names []string) ([]Binding, error) {
-	sols, err := engine.Solutions(e.asker, cpr, len(names), e.asker.EmptyState())
+// QueryCtx is Query under a context; see AskCtx for abort semantics.
+func (e *Engine) QueryCtx(ctx context.Context, query string) ([]Binding, error) {
+	fin := e.track()
+	bs, err := e.queryCtx(ctx, query)
+	fin(err)
+	return bs, err
+}
+
+func (e *Engine) queryCtx(ctx context.Context, query string) ([]Binding, error) {
+	cpr, names, err := compileQueryLoose(query, e.prog.syms)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := e.queryCompiledCtx(ctx, cpr, names)
+	return bs, e.enrich(err)
+}
+
+// queryCompiledCtx runs a pre-compiled query premise; names map variable
+// slots back to surface names. Unlike QueryCtx it does not touch the
+// shared symbol table, so Pool can compile before leasing an engine.
+func (e *Engine) queryCompiledCtx(ctx context.Context, cpr ast.CPremise, names []string) ([]Binding, error) {
+	sols, err := engine.SolutionsCtx(ctx, e.asker, cpr, len(names), e.asker.EmptyState())
 	if err != nil {
 		return nil, err
 	}
@@ -323,32 +378,66 @@ func (e *Engine) queryCompiled(cpr ast.CPremise, names []string) ([]Binding, err
 // with the given ground atoms (surface syntax). This is the programmatic
 // form of nesting everything under one [add: ...].
 func (e *Engine) AskUnder(query string, added ...string) (bool, error) {
-	st := e.asker.EmptyState()
-	for _, src := range added {
-		a, err := parser.ParseAtom(src)
-		if err != nil {
-			return false, err
-		}
-		if !a.IsGround() {
-			return false, fmt.Errorf("hypo: added atom %q is not ground", src)
-		}
-		ca, err := compileGroundAtom(a, e.prog.syms)
-		if err != nil {
-			return false, err
-		}
-		if err := e.checkDomain(ast.CPremise{Atom: ca}); err != nil {
-			return false, err
-		}
-		st = st.Add(e.asker.Interner().InternGround(ca))
-	}
-	pr, numVars, err := e.compileQuery(query)
+	return e.AskUnderCtx(context.Background(), query, added...)
+}
+
+// AskUnderCtx is AskUnder under a context; see AskCtx for abort
+// semantics.
+func (e *Engine) AskUnderCtx(ctx context.Context, query string, added ...string) (bool, error) {
+	fin := e.track()
+	ok, err := e.askUnderCtx(ctx, query, added)
+	fin(err)
+	return ok, err
+}
+
+func (e *Engine) askUnderCtx(ctx context.Context, query string, added []string) (bool, error) {
+	pr, adds, err := compileAskUnder(query, added, e.prog.syms, e.domSet)
 	if err != nil {
 		return false, err
 	}
-	if numVars > 0 {
-		return false, fmt.Errorf("hypo: AskUnder needs a ground query")
+	ok, err := e.askUnderCompiled(ctx, pr, adds)
+	return ok, e.enrich(err)
+}
+
+// askUnderCompiled runs a pre-compiled AskUnder; like queryCompiledCtx it
+// never touches the shared symbol table.
+func (e *Engine) askUnderCompiled(ctx context.Context, pr ast.CPremise, adds []ast.CAtom) (bool, error) {
+	st := e.asker.EmptyState()
+	for _, ca := range adds {
+		st = st.Add(e.asker.Interner().InternGround(ca))
 	}
-	return e.asker.AskPremise(pr, st)
+	return e.asker.AskPremiseCtx(ctx, pr, st)
+}
+
+// compileAskUnder compiles an AskUnder query and its added atoms,
+// domain-validating everything before any interning.
+func compileAskUnder(query string, added []string, syms *symbols.Table, domSet map[symbols.Const]bool) (ast.CPremise, []ast.CAtom, error) {
+	adds := make([]ast.CAtom, 0, len(added))
+	for _, src := range added {
+		a, err := parser.ParseAtom(src)
+		if err != nil {
+			return ast.CPremise{}, nil, err
+		}
+		if !a.IsGround() {
+			return ast.CPremise{}, nil, fmt.Errorf("hypo: added atom %q is not ground", src)
+		}
+		if err := checkAtomDomain(a, syms, domSet); err != nil {
+			return ast.CPremise{}, nil, err
+		}
+		ca, err := compileGroundAtom(a, syms)
+		if err != nil {
+			return ast.CPremise{}, nil, err
+		}
+		adds = append(adds, ca)
+	}
+	pr, names, err := compileQueryChecked(query, syms, domSet)
+	if err != nil {
+		return ast.CPremise{}, nil, err
+	}
+	if len(names) > 0 {
+		return ast.CPremise{}, nil, fmt.Errorf("hypo: AskUnder needs a ground query")
+	}
+	return pr, adds, nil
 }
 
 // Explain returns a rendered derivation tree for a provable ground query
@@ -358,11 +447,11 @@ func (e *Engine) Explain(query string) (string, error) {
 	if e.uni == nil {
 		return "", fmt.Errorf("hypo: Explain requires ModeUniform")
 	}
-	pr, numVars, err := e.compileQuery(query)
+	pr, names, err := compileQueryChecked(query, e.prog.syms, e.domSet)
 	if err != nil {
 		return "", err
 	}
-	if numVars > 0 {
+	if len(names) > 0 {
 		return "", fmt.Errorf("hypo: Explain needs a ground query")
 	}
 	st := e.uni.EmptyState()
@@ -411,52 +500,131 @@ func (e *Engine) Stats() topdown.Stats {
 	return sum
 }
 
-func (e *Engine) compileQuery(query string) (ast.CPremise, int, error) {
+// compileQueryChecked parses a query premise, domain-validates it, and
+// only then compiles (interns) it. Validation happens on the surface form
+// via read-only symbol lookups, so a rejected query never grows the
+// shared symbol table — a stream of bad queries against one Program
+// cannot leak interned garbage into every engine sharing it.
+func compileQueryChecked(query string, syms *symbols.Table, domSet map[symbols.Const]bool) (ast.CPremise, []string, error) {
 	pr, err := parser.ParsePremise(query)
 	if err != nil {
-		return ast.CPremise{}, 0, err
+		return ast.CPremise{}, nil, err
+	}
+	if err := checkQueryDomain(pr, syms, domSet); err != nil {
+		return ast.CPremise{}, nil, err
 	}
 	vars := map[string]int{}
 	var names []string
-	cpr, err := ast.CompilePremise(pr, e.prog.syms, vars, &names)
+	cpr, err := ast.CompilePremise(pr, syms, vars, &names)
 	if err != nil {
-		return ast.CPremise{}, 0, err
+		return ast.CPremise{}, nil, err
 	}
-	if err := e.checkDomain(cpr); err != nil {
-		return ast.CPremise{}, 0, err
-	}
-	return cpr, len(names), nil
+	return cpr, names, nil
 }
 
-// checkDomain rejects queries mentioning constants outside dom(R, DB):
-// variable enumeration and negation-as-failure range over the engine's
-// fixed domain, so a fresh constant would silently be excluded from them
-// and could produce wrong answers. Declare such constants up front with
-// Options.ExtraDomain.
-func (e *Engine) checkDomain(pr ast.CPremise) error {
-	check := func(a ast.CAtom) error {
-		for _, t := range a.Args {
-			if !t.IsVar() && !e.domSet[t.ConstID()] {
-				return fmt.Errorf("hypo: query constant %q is outside dom(R, DB); list it in Options.ExtraDomain",
-					e.prog.syms.ConstName(t.ConstID()))
-			}
-		}
-		return nil
+// compileQueryLoose is compileQueryChecked without the domain check —
+// Query answers over dom(R, DB) bindings anyway, so an out-of-domain
+// constant merely yields zero rows rather than a wrong answer.
+func compileQueryLoose(query string, syms *symbols.Table) (ast.CPremise, []string, error) {
+	pr, err := parser.ParsePremise(query)
+	if err != nil {
+		return ast.CPremise{}, nil, err
 	}
-	if err := check(pr.Atom); err != nil {
+	vars := map[string]int{}
+	var names []string
+	cpr, err := ast.CompilePremise(pr, syms, vars, &names)
+	if err != nil {
+		return ast.CPremise{}, nil, err
+	}
+	return cpr, names, nil
+}
+
+// checkQueryDomain rejects queries mentioning constants outside
+// dom(R, DB): variable enumeration and negation-as-failure range over the
+// engine's fixed domain, so a fresh constant would silently be excluded
+// from them and could produce wrong answers. Declare such constants up
+// front with Options.ExtraDomain.
+func checkQueryDomain(pr ast.Premise, syms *symbols.Table, domSet map[symbols.Const]bool) error {
+	if err := checkAtomDomain(pr.Atom, syms, domSet); err != nil {
 		return err
 	}
 	for _, a := range pr.Adds {
-		if err := check(a); err != nil {
+		if err := checkAtomDomain(a, syms, domSet); err != nil {
 			return err
 		}
 	}
 	for _, a := range pr.Dels {
-		if err := check(a); err != nil {
+		if err := checkAtomDomain(a, syms, domSet); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func checkAtomDomain(a ast.Atom, syms *symbols.Table, domSet map[symbols.Const]bool) error {
+	for _, t := range a.Args {
+		if t.IsVar {
+			continue
+		}
+		if c, ok := syms.LookupConst(t.Name); !ok || !domSet[c] {
+			return fmt.Errorf("hypo: query constant %q is outside dom(R, DB); list it in Options.ExtraDomain", t.Name)
+		}
+	}
+	return nil
+}
+
+// track opens a metrics window for one top-level query; the returned
+// func closes it, recording outcome, latency and the engine's stats
+// delta. Hot evaluation loops never touch the metrics package — all
+// accounting happens here, once per query.
+func (e *Engine) track() func(error) {
+	fin := poolTrack()
+	before := e.Stats()
+	return func(err error) {
+		e.noteWork(before)
+		fin(err)
+	}
+}
+
+// poolTrack is the engine-independent half of track: Pool uses it
+// directly because it leases an engine only after compilation succeeds.
+func poolTrack() func(error) {
+	metrics.QueriesStarted.Inc()
+	start := time.Now()
+	return func(err error) { recordOutcome(start, err) }
+}
+
+// noteWork adds the engine's evaluation-stats growth since before to the
+// global counters.
+func (e *Engine) noteWork(before topdown.Stats) {
+	after := e.Stats()
+	metrics.GoalExpansions.Add(after.Goals - before.Goals)
+	metrics.TableHits.Add(after.TableHits - before.TableHits)
+}
+
+// recordOutcome classifies one finished query for the metrics layer;
+// queries_started always equals succeeded + failed + canceled.
+func recordOutcome(start time.Time, err error) {
+	metrics.QueryLatency.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		metrics.QueriesSucceeded.Inc()
+	case errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline):
+		metrics.QueriesCanceled.Inc()
+	default:
+		metrics.QueriesFailed.Inc()
+	}
+}
+
+// enrich fills an AbortError's empty stats snapshot with the engine's
+// summed counters: aborts raised inside a Δ prover or the solution
+// enumerator carry no top-down stats of their own.
+func (e *Engine) enrich(err error) error {
+	var ae *AbortError
+	if errors.As(err, &ae) && ae.Stats == (topdown.Stats{}) {
+		ae.Stats = e.Stats()
+	}
+	return err
 }
 
 func compileGroundAtom(a ast.Atom, syms *symbols.Table) (ast.CAtom, error) {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -563,7 +564,7 @@ func E12Ablation(s Sizes) (*Table, error) {
 			}
 			start := time.Now()
 			if _, err := askZero(e, cp, query); err != nil {
-				if err == topdown.ErrBudget {
+				if errors.Is(err, topdown.ErrBudget) {
 					t.Add(name, n, cfg.name, "budget exceeded", ">"+fmt.Sprint(cfg.opts.MaxGoals), "-")
 					continue
 				}

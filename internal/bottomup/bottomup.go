@@ -12,11 +12,14 @@
 package bottomup
 
 import (
+	"context"
 	"fmt"
 
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/facts"
+	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/symbols"
+	"hypodatalog/internal/topdown"
 )
 
 // Oracle answers goals whose predicates are defined below this Δ part —
@@ -38,7 +41,16 @@ type Prover struct {
 	levels   [][]int               // rules grouped by negation sub-stratum
 	cache    map[string]atomSet    // state key -> materialised atoms
 	maxCache int
+
+	// ctx is the cancellation source of the in-flight *Ctx call, or nil
+	// when the call is not cancellable; the join loop polls it every
+	// ctxCheckInterval steps and the fixpoint loop once per pass.
+	ctx   context.Context
+	steps int64
 }
+
+// ctxCheckInterval is how many join steps pass between context polls.
+const ctxCheckInterval = 1024
 
 type atomSet map[facts.AtomID]struct{}
 
@@ -149,6 +161,47 @@ func (p *Prover) Holds(goal facts.AtomID, st facts.State) (bool, error) {
 	return m.has(goal), nil
 }
 
+// HoldsCtx is Holds with cancellation: a materialisation in progress is
+// aborted with topdown.ErrCanceled / topdown.ErrDeadline (wrapped in a
+// *topdown.AbortError) when ctx is canceled. Aborted materialisations are
+// not cached.
+func (p *Prover) HoldsCtx(ctx context.Context, goal facts.AtomID, st facts.State) (bool, error) {
+	restore, err := p.pushCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	if restore != nil {
+		defer restore()
+	}
+	return p.Holds(goal, st)
+}
+
+// pushCtx installs ctx as the prover's cancellation source for one public
+// call; nil or never-cancellable contexts disable polling (and return a
+// nil restore, keeping that path allocation-free).
+func (p *Prover) pushCtx(ctx context.Context) (func(), error) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, topdown.ContextAbort(err, topdown.Stats{})
+	}
+	saved := p.ctx
+	p.ctx = ctx
+	return func() { p.ctx = saved }, nil
+}
+
+// checkCtx polls the installed context.
+func (p *Prover) checkCtx() error {
+	if p.ctx == nil {
+		return nil
+	}
+	if err := p.ctx.Err(); err != nil {
+		return topdown.ContextAbort(err, topdown.Stats{})
+	}
+	return nil
+}
+
 // Materialise computes (or returns the cached) perfect model of the Δ part
 // over the state, per the paper's PROVE_Δi main loop.
 func (p *Prover) Materialise(st facts.State) (atomSet, error) {
@@ -156,6 +209,7 @@ func (p *Prover) Materialise(st facts.State) (atomSet, error) {
 	if m, ok := p.cache[key]; ok {
 		return m, nil
 	}
+	metrics.DeltaMaterialisations.Inc()
 	derived := atomSet{}
 	for _, lvlRules := range p.levels {
 		if err := p.lfp(lvlRules, st, derived); err != nil {
@@ -172,6 +226,9 @@ func (p *Prover) Materialise(st facts.State) (atomSet, error) {
 // LFP_i / T_i procedures).
 func (p *Prover) lfp(rules []int, st facts.State, derived atomSet) error {
 	for {
+		if err := p.checkCtx(); err != nil {
+			return err
+		}
 		changed := false
 		for _, ri := range rules {
 			c, err := p.applyRule(ri, st, derived)
@@ -253,6 +310,12 @@ func (p *Prover) oracleOwned(pred symbols.Pred) bool {
 }
 
 func (p *Prover) joinAt(r *ast.CRule, order []int, binding []symbols.Const, pi int, st facts.State, derived atomSet, yield func() error) error {
+	p.steps++
+	if p.ctx != nil && p.steps%ctxCheckInterval == 0 {
+		if err := p.checkCtx(); err != nil {
+			return err
+		}
+	}
 	if pi == len(order) {
 		return yield()
 	}

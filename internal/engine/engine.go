@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"hypodatalog/internal/ast"
@@ -31,9 +32,15 @@ type Asker interface {
 	// Ask reports whether the interned ground atom is derivable in the
 	// state: R, DB+Δ ⊢ A.
 	Ask(goal facts.AtomID, st facts.State) (bool, error)
+	// AskCtx is Ask with cancellation: evaluation aborts with an error
+	// wrapping topdown.ErrCanceled or topdown.ErrDeadline when ctx is
+	// canceled mid-proof.
+	AskCtx(ctx context.Context, goal facts.AtomID, st facts.State) (bool, error)
 	// AskPremise evaluates a ground premise (plain, negated or
 	// hypothetical).
 	AskPremise(p ast.CPremise, st facts.State) (bool, error)
+	// AskPremiseCtx is AskPremise with cancellation; see AskCtx.
+	AskPremiseCtx(ctx context.Context, p ast.CPremise, st facts.State) (bool, error)
 	// Interner gives access to the ground-atom interner.
 	Interner() *facts.Interner
 	// EmptyState is the state of the unmodified base database.
@@ -58,6 +65,12 @@ type Cascade struct {
 	numStrata int
 	sigma     []*topdown.Engine // sigma[i]: PROVE_Σ(i+1)
 	delta     []*bottomup.Prover
+
+	// ctx is the cancellation source of the in-flight *Ctx call, or nil.
+	// The Σ engines and Δ provers pick it up on every routed subgoal, so
+	// one context covers the whole cascade. A Cascade is not safe for
+	// concurrent use.
+	ctx context.Context
 }
 
 // NewCascade builds the cascade from a compiled program and its linear
@@ -140,6 +153,46 @@ func (c *Cascade) Ask(goal facts.AtomID, st facts.State) (bool, error) {
 	return c.askAt(goal, st, 2*c.numStrata)
 }
 
+// AskCtx is Ask with cancellation: every Σ engine and Δ prover the query
+// is routed through polls ctx and aborts with an error wrapping
+// topdown.ErrCanceled or topdown.ErrDeadline.
+func (c *Cascade) AskCtx(ctx context.Context, goal facts.AtomID, st facts.State) (bool, error) {
+	restore, err := c.pushCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	if restore != nil {
+		defer restore()
+	}
+	return c.askAt(goal, st, 2*c.numStrata)
+}
+
+// AskPremiseCtx is AskPremise with cancellation; see AskCtx.
+func (c *Cascade) AskPremiseCtx(ctx context.Context, p ast.CPremise, st facts.State) (bool, error) {
+	restore, err := c.pushCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	if restore != nil {
+		defer restore()
+	}
+	return c.AskPremise(p, st)
+}
+
+// pushCtx installs ctx for the duration of one public call; nil or
+// never-cancellable contexts disable polling and return a nil restore.
+func (c *Cascade) pushCtx(ctx context.Context) (func(), error) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, topdown.ContextAbort(err, topdown.Stats{})
+	}
+	saved := c.ctx
+	c.ctx = ctx
+	return func() { c.ctx = saved }, nil
+}
+
 // askAt answers a goal whose predicate must live at partition <= maxPart,
 // routing odd partitions to PROVE_Δ and even ones to PROVE_Σ.
 func (c *Cascade) askAt(goal facts.AtomID, st facts.State, maxPart int) (bool, error) {
@@ -156,9 +209,9 @@ func (c *Cascade) askAt(goal facts.AtomID, st facts.State, maxPart int) (bool, e
 	}
 	stratum := (part + 1) / 2
 	if part%2 == 1 {
-		return c.delta[stratum-1].Holds(goal, st)
+		return c.delta[stratum-1].HoldsCtx(c.ctx, goal, st)
 	}
-	return c.sigma[stratum-1].Ask(goal, st)
+	return c.sigma[stratum-1].AskCtx(c.ctx, goal, st)
 }
 
 // AskPremise evaluates a ground premise against the cascade.
@@ -201,8 +254,16 @@ type Solution []symbols.Const
 // variable slots are numbered by first occurrence; numVars is the size of
 // the premise's binding space (from ast.CompilePremise's names).
 func Solutions(a Asker, p ast.CPremise, numVars int, st facts.State) ([]Solution, error) {
+	return SolutionsCtx(context.Background(), a, p, numVars, st)
+}
+
+// SolutionsCtx is Solutions with cancellation: both the domain
+// enumeration and each per-instance proof poll ctx, so even queries whose
+// cost is dominated by the dom^numVars instantiation loop abort promptly
+// with an error wrapping topdown.ErrCanceled or topdown.ErrDeadline.
+func SolutionsCtx(ctx context.Context, a Asker, p ast.CPremise, numVars int, st facts.State) ([]Solution, error) {
 	if numVars == 0 {
-		ok, err := a.AskPremise(p, st)
+		ok, err := a.AskPremiseCtx(ctx, p, st)
 		if err != nil {
 			return nil, err
 		}
@@ -211,17 +272,25 @@ func Solutions(a Asker, p ast.CPremise, numVars int, st facts.State) ([]Solution
 		}
 		return nil, nil
 	}
+	cancellable := ctx != nil && ctx.Done() != nil
 	dom := a.Dom()
 	binding := make([]symbols.Const, numVars)
 	var out []Solution
+	var tried int64
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == numVars {
+			tried++
+			if cancellable && tried%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return topdown.ContextAbort(err, topdown.Stats{})
+				}
+			}
 			g, err := groundPremise(p, binding)
 			if err != nil {
 				return err
 			}
-			ok, err := a.AskPremise(g, st)
+			ok, err := a.AskPremiseCtx(ctx, g, st)
 			if err != nil {
 				return err
 			}
@@ -243,6 +312,10 @@ func Solutions(a Asker, p ast.CPremise, numVars int, st facts.State) ([]Solution
 	}
 	return out, nil
 }
+
+// ctxCheckInterval is how many query instantiations pass between context
+// polls in SolutionsCtx.
+const ctxCheckInterval = 256
 
 // groundPremise substitutes binding into a premise.
 func groundPremise(p ast.CPremise, binding []symbols.Const) (ast.CPremise, error) {

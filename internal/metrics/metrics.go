@@ -1,0 +1,144 @@
+// Package metrics is the process-wide observability layer for the
+// hypothetical Datalog engines: lock-free atomic counters and latency
+// histograms, exported through the standard library's expvar registry
+// under the name "hypo" (so `GET /debug/vars` on any process that mounts
+// expvar's handler reports them).
+//
+// The hot proving loops never touch this package. Counters are updated
+// once per query (or per pool transition) from the public API layer, so
+// enabling metrics costs a handful of atomic adds per query, not per goal
+// expansion.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram counts observations into fixed buckets (cumulative counts are
+// derivable from the per-bucket counts). Observations above the last
+// bound land in an overflow bucket. All methods are safe for concurrent
+// use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sumNs  atomic.Int64 // sum of observations, in nanoseconds-of-a-second
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one observation (for latencies, in seconds).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(v * float64(time.Second)))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / float64(time.Second) }
+
+// Buckets returns the bucket upper bounds and the per-bucket counts (one
+// extra trailing count for observations above the last bound).
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return h.bounds, out
+}
+
+// The process-wide metric set. Every hypo.Engine and hypo.Pool in the
+// process reports into these.
+var (
+	// Query lifecycle. Every started query ends in exactly one of
+	// succeeded (evaluated to an answer, true or false), failed (parse,
+	// domain, configuration or budget error), or canceled (the caller's
+	// context was canceled or its deadline expired mid-evaluation).
+	QueriesStarted   Counter
+	QueriesSucceeded Counter
+	QueriesFailed    Counter
+	QueriesCanceled  Counter
+
+	// Evaluation work, accumulated from per-engine stats deltas after
+	// each query: top-down goal expansions and memo-table hits.
+	GoalExpansions Counter
+	TableHits      Counter
+
+	// Bottom-up Δ-part materialisations computed (cache misses) by the
+	// cascade's PROVE_Δ provers.
+	DeltaMaterialisations Counter
+
+	// Pool traffic: engines handed out from the free list, engines
+	// returned, and engines constructed because the free list was empty.
+	PoolGets Counter
+	PoolPuts Counter
+	PoolNews Counter
+
+	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
+	QueryLatency = NewHistogram(
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	)
+)
+
+// Snapshot returns the current value of every metric, keyed by the names
+// used in the expvar export.
+func Snapshot() map[string]any {
+	out := map[string]any{
+		"queries_started":        QueriesStarted.Value(),
+		"queries_succeeded":      QueriesSucceeded.Value(),
+		"queries_failed":         QueriesFailed.Value(),
+		"queries_canceled":       QueriesCanceled.Value(),
+		"goal_expansions":        GoalExpansions.Value(),
+		"table_hits":             TableHits.Value(),
+		"delta_materialisations": DeltaMaterialisations.Value(),
+		"pool_gets":              PoolGets.Value(),
+		"pool_puts":              PoolPuts.Value(),
+		"pool_news":              PoolNews.Value(),
+		"query_latency_count":    QueryLatency.Count(),
+		"query_latency_sum":      QueryLatency.Sum(),
+	}
+	bounds, counts := QueryLatency.Buckets()
+	buckets := make(map[string]int64, len(counts))
+	for i, n := range counts {
+		if i < len(bounds) {
+			buckets[fmt.Sprintf("le_%g", bounds[i])] = n
+		} else {
+			buckets["le_inf"] = n
+		}
+	}
+	out["query_latency_buckets"] = buckets
+	return out
+}
+
+func init() {
+	expvar.Publish("hypo", expvar.Func(func() any { return Snapshot() }))
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 99} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bounds=%v counts=%v", bounds, counts)
+	}
+	// 0.0005 and 0.001 land in le_0.001 (bounds are inclusive upper).
+	want := []int64{2, 1, 1, 1}
+	for i, n := range counts {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, n, want[i], counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-99.0565) > 1e-6 {
+		t.Errorf("sum = %v, want 99.0565", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1, 2, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(g % 4))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	_, counts := h.Buckets()
+	var sum int64
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != 4000 {
+		t.Fatalf("bucket sum = %d, want 4000", sum)
+	}
+}
+
+// TestExpvarExport checks that the "hypo" expvar variable is published and
+// renders valid JSON that tracks the live counters.
+func TestExpvarExport(t *testing.T) {
+	v := expvar.Get("hypo")
+	if v == nil {
+		t.Fatal(`expvar.Get("hypo") = nil; init() did not publish`)
+	}
+	before := QueriesStarted.Value()
+	QueriesStarted.Inc()
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar JSON: %v\n%s", err, v.String())
+	}
+	got, ok := snap["queries_started"].(float64)
+	if !ok || int64(got) != before+1 {
+		t.Errorf("queries_started via expvar = %v, want %d", snap["queries_started"], before+1)
+	}
+	if _, ok := snap["query_latency_buckets"]; !ok {
+		t.Error("snapshot missing query_latency_buckets")
+	}
+}
+
+func TestSnapshotKeys(t *testing.T) {
+	snap := Snapshot()
+	for _, k := range []string{
+		"queries_started", "queries_succeeded", "queries_failed", "queries_canceled",
+		"goal_expansions", "table_hits", "delta_materialisations",
+		"pool_gets", "pool_puts", "pool_news",
+		"query_latency_count", "query_latency_sum", "query_latency_buckets",
+	} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("Snapshot missing %q", k)
+		}
+	}
+}

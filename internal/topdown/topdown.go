@@ -22,6 +22,8 @@
 package topdown
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -54,13 +56,62 @@ type Options struct {
 	// NoPlanner evaluates rule bodies strictly left to right, enumerating
 	// unbound variables over the domain as encountered.
 	NoPlanner bool
-	// MaxGoals aborts evaluation with ErrBudget after this many goal
-	// expansions. Zero means no limit.
+	// MaxGoals aborts evaluation after exactly this many goal expansions
+	// with an *AbortError wrapping ErrBudget (the error reports the limit
+	// and a Stats snapshot). Zero means no limit.
 	MaxGoals int64
 }
 
-// ErrBudget is returned when Options.MaxGoals is exhausted.
-var ErrBudget = fmt.Errorf("topdown: goal budget exhausted")
+// Sentinel causes for aborted evaluations. The error returned by the
+// engine wraps one of these in an *AbortError carrying a Stats snapshot,
+// so both errors.Is(err, ErrDeadline) and errors.As(err, &abortErr) work.
+var (
+	// ErrBudget is returned when Options.MaxGoals is exhausted.
+	ErrBudget = errors.New("topdown: goal budget exhausted")
+	// ErrCanceled is returned when the caller's context is canceled
+	// mid-evaluation.
+	ErrCanceled = errors.New("topdown: evaluation canceled")
+	// ErrDeadline is returned when the caller's context deadline expires
+	// mid-evaluation.
+	ErrDeadline = errors.New("topdown: evaluation deadline exceeded")
+)
+
+// AbortError reports an evaluation cut short — by the goal budget, by
+// caller cancellation, or by a deadline — together with a snapshot of the
+// work done up to the abort.
+type AbortError struct {
+	// Reason is ErrBudget, ErrCanceled, or ErrDeadline.
+	Reason error
+	// Limit is the configured Options.MaxGoals for budget aborts, 0
+	// otherwise.
+	Limit int64
+	// Stats is the engine's counters at the moment of the abort.
+	Stats Stats
+}
+
+func (e *AbortError) Error() string {
+	if e.Reason == ErrBudget && e.Limit > 0 {
+		return fmt.Sprintf("%v (limit %d)", e.Reason, e.Limit)
+	}
+	return fmt.Sprintf("%v after %d goal expansions", e.Reason, e.Stats.Goals)
+}
+
+func (e *AbortError) Unwrap() error { return e.Reason }
+
+// ContextAbort wraps a context error (context.Canceled or
+// context.DeadlineExceeded) as an *AbortError with the corresponding
+// sentinel reason. Shared by every evaluation layer that polls a context.
+func ContextAbort(ctxErr error, stats Stats) *AbortError {
+	reason := ErrCanceled
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		reason = ErrDeadline
+	}
+	return &AbortError{Reason: reason, Stats: stats}
+}
+
+// ctxCheckInterval is how many goal expansions pass between context
+// polls. Powers of two keep the hot-path check a mask-and-branch.
+const ctxCheckInterval = 256
 
 // Stats are evaluation counters, reset by ResetStats. They back the
 // Appendix A experiment (polynomial goal-sequence length).
@@ -85,6 +136,11 @@ type Engine struct {
 
 	table   map[tableKey]bool
 	onStack map[tableKey]int
+
+	// ctx is the cancellation source of the in-flight *Ctx call, or nil
+	// when the call is not cancellable; prove polls it every
+	// ctxCheckInterval goal expansions.
+	ctx context.Context
 
 	stats Stats
 }
@@ -163,6 +219,51 @@ func (e *Engine) Ask(goal facts.AtomID, st facts.State) (bool, error) {
 	return ok, err
 }
 
+// AskCtx is Ask with cancellation: the proof is aborted with ErrCanceled
+// or ErrDeadline (wrapped in an *AbortError carrying a Stats snapshot)
+// when ctx is canceled. The poll happens every ctxCheckInterval goal
+// expansions, so abort latency is bounded by a few hundred expansions.
+func (e *Engine) AskCtx(ctx context.Context, goal facts.AtomID, st facts.State) (bool, error) {
+	restore, err := e.pushCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	if restore != nil {
+		defer restore()
+	}
+	ok, _, err := e.prove(goal, st, 0)
+	return ok, err
+}
+
+// pushCtx installs ctx as the engine's cancellation source for the
+// duration of one public call, returning a restore closure. A nil or
+// never-cancellable context disables polling entirely and returns a nil
+// restore, keeping the uncancellable path allocation-free (the cascade
+// routes every subgoal through here).
+func (e *Engine) pushCtx(ctx context.Context) (func(), error) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ContextAbort(err, e.Stats())
+	}
+	saved := e.ctx
+	e.ctx = ctx
+	return func() { e.ctx = saved }, nil
+}
+
+// AskPremiseCtx is AskPremise with cancellation; see AskCtx.
+func (e *Engine) AskPremiseCtx(ctx context.Context, p ast.CPremise, st facts.State) (bool, error) {
+	restore, err := e.pushCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	if restore != nil {
+		defer restore()
+	}
+	return e.AskPremise(p, st)
+}
+
 // AskPremise evaluates a ground compiled premise (plain, negated, or
 // hypothetical) in the state.
 func (e *Engine) AskPremise(p ast.CPremise, st facts.State) (bool, error) {
@@ -202,9 +303,15 @@ func (e *Engine) AskPremise(p ast.CPremise, st facts.State) (bool, error) {
 // index; the second result is the minimum frame index of any in-progress
 // ancestor the (failed) subtree consulted, or maxFrame when untouched.
 func (e *Engine) prove(goal facts.AtomID, st facts.State, depth int) (bool, int, error) {
+	if e.opts.MaxGoals > 0 && e.stats.Goals >= e.opts.MaxGoals {
+		// Checked before counting, so exactly MaxGoals expansions run.
+		return false, maxFrame, &AbortError{Reason: ErrBudget, Limit: e.opts.MaxGoals, Stats: e.Stats()}
+	}
 	e.stats.Goals++
-	if e.opts.MaxGoals > 0 && e.stats.Goals > e.opts.MaxGoals {
-		return false, maxFrame, ErrBudget
+	if e.ctx != nil && e.stats.Goals%ctxCheckInterval == 0 {
+		if err := e.ctx.Err(); err != nil {
+			return false, maxFrame, ContextAbort(err, e.Stats())
+		}
 	}
 	if depth > e.stats.MaxDepth {
 		e.stats.MaxDepth = depth

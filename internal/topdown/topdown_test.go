@@ -1,8 +1,11 @@
 package topdown
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/parser"
@@ -286,8 +289,86 @@ func TestGoalBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.AskPremise(cpr, e.EmptyState()); err != ErrBudget {
+	_, err = e.AskPremise(cpr, e.EmptyState())
+	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T, want *AbortError", err)
+	}
+	if ae.Limit != 5 {
+		t.Errorf("AbortError.Limit = %d, want 5", ae.Limit)
+	}
+	// The budget is exact: exactly MaxGoals expansions ran.
+	if ae.Stats.Goals != 5 || e.Stats().Goals != 5 {
+		t.Errorf("goals = %d (snapshot %d), want exactly 5", e.Stats().Goals, ae.Stats.Goals)
+	}
+}
+
+// TestContextCancel checks that a canceled context aborts evaluation with
+// ErrCanceled and a stats snapshot, and that a pre-canceled context never
+// starts proving.
+func TestContextCancel(t *testing.T) {
+	// "even" over 9 items is false, so the untabled search is exhaustive
+	// (factorial): plenty of goal expansions for the poll to notice.
+	e, cp := newEngine(t, paritySrc(9), Options{NoTabling: true})
+	pr, err := parser.ParsePremise("even")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := ast.CompilePremise(pr, cp.Syms, map[string]int{}, new([]string))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = e.AskPremiseCtx(ctx, cpr, e.EmptyState())
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled: err = %v, want ErrCanceled", err)
+	}
+	if g := e.Stats().Goals; g != 0 {
+		t.Errorf("pre-canceled context still expanded %d goals", g)
+	}
+
+	// Untabled parity over 8 items runs far longer than 5ms, so the
+	// cancellation lands mid-evaluation.
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err = e.AskPremiseCtx(ctx, cpr, e.EmptyState())
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-flight: err = %v, want ErrCanceled", err)
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) || ae.Stats.Goals == 0 {
+		t.Errorf("abort should carry a non-zero stats snapshot, got %+v", err)
+	}
+}
+
+// TestContextDeadline checks ErrDeadline on an expired deadline.
+func TestContextDeadline(t *testing.T) {
+	e, cp := newEngine(t, paritySrc(9), Options{NoTabling: true})
+	pr, err := parser.ParsePremise("even")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := ast.CompilePremise(pr, cp.Syms, map[string]int{}, new([]string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = e.AskPremiseCtx(ctx, cpr, e.EmptyState())
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("abort took %v, want well under 2s", d)
 	}
 }
 

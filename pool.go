@@ -1,74 +1,205 @@
 package hypo
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+
+	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/symbols"
+	"hypodatalog/internal/topdown"
 )
 
 // Pool evaluates queries against one program from many goroutines.
 //
 // The single-engine API is deliberately not safe for concurrent use (the
-// memo tables and interners are lock-free); a Pool keeps a free list of
-// independent engines — each with its own ground-atom interner and tables
-// — and hands one to each in-flight query. The program's symbol table is
-// itself safe for concurrent interning, so queries may mention fresh
-// constants from any goroutine.
+// memo tables and interners are lock-free); a Pool keeps a bounded free
+// list of independent engines — each with its own ground-atom interner
+// and tables — and leases one to each in-flight query. The free list is a
+// channel rather than a sync.Pool so that idle engines are never dropped
+// by the garbage collector: warm memo tables survive across queries, and
+// the engine count (and hence memory) is bounded by Options.PoolSize.
 //
-// Engines are reused, so their memo tables stay warm across queries that
-// land on the same engine.
+// When all engines are busy, callers block until one frees up — or until
+// their context is done, in which case they fail with ErrCanceled or
+// ErrDeadline without having consumed an engine.
 type Pool struct {
-	prog    *Program
-	opts    Options
-	engines sync.Pool
+	prog   *Program
+	opts   Options
+	domSet map[symbols.Const]bool
+
+	// free holds idle engines; its capacity is the pool size. Engines are
+	// created lazily up to that capacity, so created only grows and a put
+	// can never block.
+	free    chan *Engine
+	mu      sync.Mutex // guards created
+	created int
 }
 
 // NewPool builds an engine pool. It constructs one engine eagerly so that
 // configuration errors (e.g. cascade mode without a linear
-// stratification) surface immediately.
+// stratification) surface immediately. The pool holds at most
+// Options.PoolSize engines (GOMAXPROCS when zero).
 func NewPool(p *Program, opts Options) (*Pool, error) {
 	first, err := New(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	pl := &Pool{prog: p, opts: opts}
-	pl.engines.New = func() any {
-		e, err := New(p, opts)
-		if err != nil {
-			// New succeeded once with identical inputs; a later failure
-			// would be a programming error (e.g. the program was mutated).
-			panic(fmt.Sprintf("hypo: Pool engine construction failed: %v", err))
-		}
-		return e
+	size := opts.PoolSize
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
 	}
-	pl.engines.Put(first)
+	pl := &Pool{
+		prog:    p,
+		opts:    opts,
+		domSet:  first.domSet,
+		free:    make(chan *Engine, size),
+		created: 1,
+	}
+	pl.free <- first
+	metrics.PoolNews.Inc()
 	return pl, nil
 }
 
-// withEngine runs f with a pooled engine.
-func (pl *Pool) withEngine(f func(*Engine) error) error {
-	e := pl.engines.Get().(*Engine)
-	defer pl.engines.Put(e)
-	return f(e)
+// Size reports the maximum number of engines (= concurrent queries).
+func (pl *Pool) Size() int { return cap(pl.free) }
+
+// get leases an engine: reuse an idle one, grow up to capacity, or block
+// until an engine frees or ctx is done.
+func (pl *Pool) get(ctx context.Context) (*Engine, error) {
+	select {
+	case e := <-pl.free:
+		metrics.PoolGets.Inc()
+		return e, nil
+	default:
+	}
+	pl.mu.Lock()
+	if pl.created < cap(pl.free) {
+		pl.created++
+		pl.mu.Unlock()
+		e, err := New(pl.prog, pl.opts)
+		if err != nil {
+			// New succeeded once with identical inputs in NewPool; roll the
+			// slot back so the pool stays usable anyway.
+			pl.mu.Lock()
+			pl.created--
+			pl.mu.Unlock()
+			return nil, fmt.Errorf("hypo: Pool engine construction failed: %w", err)
+		}
+		metrics.PoolNews.Inc()
+		return e, nil
+	}
+	pl.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case e := <-pl.free:
+		metrics.PoolGets.Inc()
+		return e, nil
+	case <-ctx.Done():
+		return nil, topdown.ContextAbort(ctx.Err(), topdown.Stats{})
+	}
+}
+
+// put returns a leased engine; never blocks since created ≤ cap(free).
+func (pl *Pool) put(e *Engine) {
+	metrics.PoolPuts.Inc()
+	pl.free <- e
 }
 
 // Ask evaluates a ground query premise; see Engine.Ask.
 func (pl *Pool) Ask(query string) (bool, error) {
-	var out bool
-	err := pl.withEngine(func(e *Engine) error {
-		var err error
-		out, err = e.Ask(query)
-		return err
-	})
-	return out, err
+	return pl.AskCtx(context.Background(), query)
+}
+
+// AskCtx is Ask under a context; see Engine.AskCtx. The context also
+// bounds the wait for a free engine.
+func (pl *Pool) AskCtx(ctx context.Context, query string) (bool, error) {
+	fin := poolTrack()
+	ok, err := pl.askCtx(ctx, query)
+	fin(err)
+	return ok, err
+}
+
+func (pl *Pool) askCtx(ctx context.Context, query string) (bool, error) {
+	// Compile (and intern into the shared, concurrency-safe symbol table)
+	// before leasing an engine: a malformed query must not occupy — or
+	// block waiting for — an evaluation slot.
+	pr, names, err := compileQueryChecked(query, pl.prog.syms, pl.domSet)
+	if err != nil {
+		return false, err
+	}
+	if len(names) > 0 {
+		return false, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
+	}
+	e, err := pl.get(ctx)
+	if err != nil {
+		return false, err
+	}
+	defer pl.put(e)
+	before := e.Stats()
+	ok, err := e.asker.AskPremiseCtx(ctx, pr, e.asker.EmptyState())
+	e.noteWork(before)
+	return ok, e.enrich(err)
 }
 
 // Query evaluates a premise that may contain variables; see Engine.Query.
 func (pl *Pool) Query(query string) ([]Binding, error) {
-	var out []Binding
-	err := pl.withEngine(func(e *Engine) error {
-		var err error
-		out, err = e.Query(query)
-		return err
-	})
-	return out, err
+	return pl.QueryCtx(context.Background(), query)
+}
+
+// QueryCtx is Query under a context; see AskCtx.
+func (pl *Pool) QueryCtx(ctx context.Context, query string) ([]Binding, error) {
+	fin := poolTrack()
+	bs, err := pl.queryCtx(ctx, query)
+	fin(err)
+	return bs, err
+}
+
+func (pl *Pool) queryCtx(ctx context.Context, query string) ([]Binding, error) {
+	cpr, names, err := compileQueryLoose(query, pl.prog.syms)
+	if err != nil {
+		return nil, err
+	}
+	e, err := pl.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer pl.put(e)
+	before := e.Stats()
+	bs, err := e.queryCompiledCtx(ctx, cpr, names)
+	e.noteWork(before)
+	return bs, e.enrich(err)
+}
+
+// AskUnder evaluates a ground query in a hypothetically extended
+// database; see Engine.AskUnder.
+func (pl *Pool) AskUnder(query string, added ...string) (bool, error) {
+	return pl.AskUnderCtx(context.Background(), query, added...)
+}
+
+// AskUnderCtx is AskUnder under a context; see AskCtx.
+func (pl *Pool) AskUnderCtx(ctx context.Context, query string, added ...string) (bool, error) {
+	fin := poolTrack()
+	ok, err := pl.askUnderCtx(ctx, query, added)
+	fin(err)
+	return ok, err
+}
+
+func (pl *Pool) askUnderCtx(ctx context.Context, query string, added []string) (bool, error) {
+	pr, adds, err := compileAskUnder(query, added, pl.prog.syms, pl.domSet)
+	if err != nil {
+		return false, err
+	}
+	e, err := pl.get(ctx)
+	if err != nil {
+		return false, err
+	}
+	defer pl.put(e)
+	before := e.Stats()
+	ok, err := e.askUnderCompiled(ctx, pr, adds)
+	e.noteWork(before)
+	return ok, e.enrich(err)
 }

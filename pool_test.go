@@ -1,10 +1,14 @@
 package hypo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/workload"
 )
 
@@ -87,5 +91,143 @@ func TestPoolConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestPoolBounded checks the pool never creates more engines than its
+// configured size, however many callers hammer it.
+func TestPoolBounded(t *testing.T) {
+	p := mustParse(t, uniSrc)
+	newsBefore := metrics.PoolNews.Value()
+	pool, err := NewPool(p, Options{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", pool.Size())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := pool.Ask("grad(tony)"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if news := metrics.PoolNews.Value() - newsBefore; news > 2 {
+		t.Errorf("pool created %d engines, want at most 2", news)
+	}
+}
+
+// TestPoolMixedCancel drives mixed Ask/Query/AskUnder traffic — cheap
+// queries plus intractable ones under short deadlines — through one pool
+// from many goroutines. Run under -race this exercises the shared symbol
+// table, the bounded free list, and mid-flight cancellation; aborted
+// engines must return to the pool still able to answer correctly.
+func TestPoolMixedCancel(t *testing.T) {
+	src := workload.HamiltonianProgram(hardHamiltonian(t))
+	pool, err := NewPool(mustParse(t, src), Options{Mode: ModeUniform, PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				switch (g + i) % 4 {
+				case 0: // cheap ground ask
+					if ok, err := pool.Ask("node(v0)"); err != nil || !ok {
+						t.Errorf("Ask(node(v0)) = %v, %v", ok, err)
+					}
+				case 1: // binding query
+					if bs, err := pool.Query("edge(v0, X)"); err != nil || len(bs) == 0 {
+						t.Errorf("Query(edge(v0, X)) = %d rows, %v", len(bs), err)
+					}
+				case 2: // hypothetical extension
+					if ok, err := pool.AskUnder("edge(v11, v0)", "edge(v11, v0)"); err != nil || !ok {
+						t.Errorf("AskUnder = %v, %v", ok, err)
+					}
+				case 3: // intractable, canceled mid-flight
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+					_, err := pool.AskCtx(ctx, "yes")
+					cancel()
+					if err != nil && !errors.Is(err, ErrDeadline) && !errors.Is(err, ErrCanceled) {
+						t.Errorf("deadline AskCtx = %v, want ErrDeadline", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPoolMetricsConsistent checks the invariant the expvar snapshot
+// promises: every started query is counted exactly once as succeeded,
+// failed, or canceled.
+func TestPoolMetricsConsistent(t *testing.T) {
+	src := workload.HamiltonianProgram(hardHamiltonian(t))
+	pool, err := NewPool(mustParse(t, src), Options{Mode: ModeUniform, PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := metrics.QueriesStarted.Value()
+	done := metrics.QueriesSucceeded.Value() + metrics.QueriesFailed.Value() + metrics.QueriesCanceled.Value()
+	gets := metrics.PoolGets.Value()
+	puts := metrics.PoolPuts.Value()
+
+	pool.Ask("node(v0)")  // succeeds
+	pool.Ask("node(")     // parse error: fails without consuming an engine
+	pool.Query("edge(v0, X)")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	pool.AskCtx(ctx, "yes") // canceled
+	cancel()
+
+	if ds, dd := metrics.QueriesStarted.Value()-started,
+		metrics.QueriesSucceeded.Value()+metrics.QueriesFailed.Value()+metrics.QueriesCanceled.Value()-done; ds != 4 || dd != 4 {
+		t.Errorf("started delta = %d, outcome delta = %d; want 4 and 4", ds, dd)
+	}
+	// Three queries reached an engine (the parse error did not); every
+	// lease was returned.
+	if dg, dp := metrics.PoolGets.Value()-gets, metrics.PoolPuts.Value()-puts; dp != 3 || dg > dp {
+		t.Errorf("pool gets delta = %d, puts delta = %d; want puts = 3, gets <= puts", dg, dp)
+	}
+}
+
+// TestPoolBlockedGetHonorsContext checks a caller waiting for an engine
+// gives up when its context expires, without wedging the pool.
+func TestPoolBlockedGetHonorsContext(t *testing.T) {
+	src := workload.HamiltonianProgram(hardHamiltonian(t))
+	pool, err := NewPool(mustParse(t, src), Options{Mode: ModeUniform, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single engine with an intractable query.
+	busy, stopBusy := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pool.AskCtx(busy, "yes")
+	}()
+	// Give the busy query a moment to take the engine, then try to lease.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := pool.AskCtx(ctx, "node(v0)"); !errors.Is(err, ErrDeadline) {
+		t.Errorf("blocked AskCtx = %v, want ErrDeadline", err)
+	}
+	stopBusy()
+	wg.Wait()
+	// The pool must still work.
+	if ok, err := pool.Ask("node(v0)"); err != nil || !ok {
+		t.Fatalf("Ask after contention = %v, %v", ok, err)
 	}
 }
