@@ -1,13 +1,20 @@
-// Package cmd_test builds the three command binaries and exercises them
-// end to end against the shipped example programs.
+// Package cmd_test builds the command binaries and exercises them end
+// to end against the shipped example programs.
 package cmd_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -18,7 +25,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"hdl", "hdlc", "hdlbench"} {
+	for _, tool := range []string{"hdl", "hdlc", "hdlbench", "hdld"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -152,5 +159,103 @@ func TestHdlbenchSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "E1 (Example 4)") || !strings.Contains(out, "E11 (section 3.1)") {
 		t.Errorf("missing experiment tables:\n%s", out)
+	}
+}
+
+// TestHdlAbortExitsNonZero: a directive query cut short by the goal
+// budget must fail the run (exit 1) and report the partial work on
+// stderr, so scripted invocations cannot mistake an abort for a clean
+// "false".
+func TestHdlAbortExitsNonZero(t *testing.T) {
+	tmp := filepath.Join(binDir, "abort.hdl")
+	// A derivation chain of 4 goal expansions, so -max 1 aborts it.
+	prog := "a4.\na3 :- a4.\na2 :- a3.\na1 :- a2.\n?- a1.\n"
+	if err := os.WriteFile(tmp, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "hdl", "-mode", "uniform", "-max", "1", tmp)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "aborted") || !strings.Contains(out, "partial work") {
+		t.Errorf("missing abort diagnostics:\n%s", out)
+	}
+	// The same program under a workable budget still exits 0.
+	out, code = run(t, "hdl", "-mode", "uniform", tmp)
+	if code != 0 {
+		t.Errorf("unbudgeted exit = %d, want 0:\n%s", code, out)
+	}
+}
+
+// TestHdldServesAndDrains boots the daemon on an ephemeral port, asks it
+// a query over HTTP, then sends SIGTERM and expects a clean drain and
+// exit 0.
+func TestHdldServesAndDrains(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "hdld"),
+		"-addr", "127.0.0.1:0", "-log", "json", "examples/programs/university.hdl")
+	cmd.Dir = ".."
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs a "listening" line with the resolved address; scan
+	// for it, then keep draining stderr so the child never blocks.
+	var logs bytes.Buffer
+	sc := bufio.NewScanner(io.TeeReader(stderr, &logs))
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no listening line within 10s; logs:\n%s", logs.String())
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/ask", "application/json",
+		strings.NewReader(`{"query": "grad(tony)"}`))
+	if err != nil {
+		t.Fatalf("POST /v1/ask: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"result":true`) {
+		t.Errorf("ask = %d %s, want 200 result:true", resp.StatusCode, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("hdld exit after SIGTERM = %v; logs:\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("hdld did not exit within 15s of SIGTERM; logs:\n%s", logs.String())
+	}
+	for _, want := range []string{"draining", "exiting"} {
+		if !strings.Contains(logs.String(), want) {
+			t.Errorf("shutdown logs missing %q:\n%s", want, logs.String())
+		}
 	}
 }

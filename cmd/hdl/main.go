@@ -17,6 +17,10 @@
 //	-stats       print per-query statistics and a final metrics dump
 //	-max n       abort a query after n goal expansions (0 = unlimited)
 //	-deadline d  abort each query after duration d, e.g. 500ms (0 = none)
+//
+// Exit status is 0 on a clean run, 1 if any file or -q query aborted
+// (deadline, cancellation or goal budget — partial work is reported on
+// stderr) or on a usage/parse error.
 package main
 
 import (
@@ -101,8 +105,11 @@ func main() {
 	}
 
 	all := append(append([]string{}, prog.Queries()...), queries...)
+	aborted := false
 	for _, q := range all {
-		runQuery(eng, q, *stats, *deadline)
+		if runQuery(eng, q, *stats, *deadline) {
+			aborted = true
+		}
 		if *explain {
 			printExplanation(eng, q)
 		}
@@ -113,6 +120,11 @@ func main() {
 	}
 	if *stats {
 		dumpMetrics()
+	}
+	// A deadline or budget abort mid-file must not look like a clean
+	// run: the skipped answers never printed.
+	if aborted {
+		os.Exit(1)
 	}
 }
 
@@ -172,7 +184,9 @@ func repl(eng *hypo.Engine, prog *hypo.Program, stats bool, deadline time.Durati
 	}
 }
 
-func runQuery(eng *hypo.Engine, q string, stats bool, deadline time.Duration) {
+// runQuery evaluates and prints one query, reporting whether it was cut
+// short by an *AbortError (deadline, cancellation or goal budget).
+func runQuery(eng *hypo.Engine, q string, stats bool, deadline time.Duration) (aborted bool) {
 	ctx := context.Background()
 	if deadline > 0 {
 		var cancel context.CancelFunc
@@ -184,10 +198,14 @@ func runQuery(eng *hypo.Engine, q string, stats bool, deadline time.Duration) {
 		var ae *hypo.AbortError
 		if errors.As(err, &ae) {
 			fmt.Printf("?- %s.\n   aborted: %v\n", q, err)
-			return
+			fmt.Fprintf(os.Stderr,
+				"hdl: query %q aborted: %v (partial work: goals=%d enumerated=%d table=%d hits=%d cuts=%d depth=%d)\n",
+				q, ae.Reason, ae.Stats.Goals, ae.Stats.Enumerated, ae.Stats.TableSize,
+				ae.Stats.TableHits, ae.Stats.LoopCuts, ae.Stats.MaxDepth)
+			return true
 		}
 		fmt.Printf("?- %s.\n   error: %v\n", q, err)
-		return
+		return false
 	}
 	fmt.Printf("?- %s.\n", q)
 	switch {
@@ -214,6 +232,7 @@ func runQuery(eng *hypo.Engine, q string, stats bool, deadline time.Duration) {
 		fmt.Printf("   %% goals=%d table=%d hits=%d cuts=%d depth=%d\n",
 			st.Goals, st.TableSize, st.TableHits, st.LoopCuts, st.MaxDepth)
 	}
+	return false
 }
 
 func printExplanation(eng *hypo.Engine, q string) {

@@ -1,0 +1,177 @@
+// Command hdld is the hypothetical-Datalog query daemon: it loads one
+// program and serves queries against it over HTTP/JSON (see
+// internal/server for the API and curl examples in the README).
+//
+// Usage:
+//
+//	hdld [flags] program.hdl [more.hdl ...]
+//
+// Flags:
+//
+//	-addr a         listen address (default :8080; use 127.0.0.1:0 for an ephemeral port)
+//	-mode m         auto | uniform | cascade (default auto)
+//	-pool n         engine pool size = max concurrent evaluations (0 = GOMAXPROCS)
+//	-queue n        admission queue beyond the pool (0 = 4 × pool)
+//	-max n          per-query goal budget (0 = unlimited)
+//	-timeout d      default per-request evaluation deadline (default 10s)
+//	-max-timeout d  clamp on request-supplied timeouts (default 60s)
+//	-max-body n     request body cap in bytes (default 1 MiB)
+//	-drain d        grace period for in-flight queries on SIGTERM/SIGINT
+//	                before their contexts are canceled (default 10s)
+//	-log f          access-log format: json | text (default json)
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, fails
+// /readyz, lets in-flight queries finish for the drain grace period,
+// then cancels their contexts and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	hypo "hypodatalog"
+	"hypodatalog/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	mode := flag.String("mode", "auto", "evaluation mode: auto | uniform | cascade")
+	pool := flag.Int("pool", 0, "engine pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue length (0 = 4 × pool)")
+	maxGoals := flag.Int64("max", 0, "goal budget per query (0 = unlimited)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request evaluation deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "clamp on request-supplied timeouts")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight queries")
+	logFormat := flag.String("log", "json", "log format: json | text")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "hdld: unknown -log format %q\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hdld [flags] program.hdl ...")
+		flag.PrintDefaults()
+		return 2
+	}
+	var src strings.Builder
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logger.Error("read program", "err", err)
+			return 1
+		}
+		src.Write(data)
+		src.WriteByte('\n')
+	}
+	prog, err := hypo.Parse(src.String())
+	if err != nil {
+		logger.Error("parse program", "err", err)
+		return 1
+	}
+	opts := hypo.Options{MaxGoals: *maxGoals, PoolSize: *pool}
+	switch *mode {
+	case "auto":
+		opts.Mode = hypo.ModeAuto
+	case "uniform":
+		opts.Mode = hypo.ModeUniform
+	case "cascade":
+		opts.Mode = hypo.ModeCascade
+	default:
+		logger.Error("unknown mode", "mode", *mode)
+		return 2
+	}
+	pl, err := hypo.NewPool(prog, opts)
+	if err != nil {
+		logger.Error("build pool", "err", err)
+		return 1
+	}
+	defer pl.Close()
+
+	srv, err := server.New(server.Config{
+		Pool:           pl,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("build server", "err", err)
+		return 1
+	}
+
+	// root is the BaseContext of every request: canceling it after the
+	// drain grace period force-aborts queries still evaluating.
+	root, cancelRoot := context.WithCancel(context.Background())
+	defer cancelRoot()
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		BaseContext:       func(net.Listener) context.Context { return root },
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "err", err)
+		return 1
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	s := prog.Stratification()
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"pool", pl.Size(),
+		"linear", s.Linear,
+		"strata", s.Strata,
+	)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		logger.Error("serve", "err", err)
+		return 1
+	case got := <-sig:
+		logger.Info("draining", "signal", got.String(), "grace", drain.String())
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := hs.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			// Grace expired with queries still in flight: cancel their
+			// contexts so they abort with ErrCanceled, then close.
+			logger.Warn("drain grace expired; canceling in-flight queries", "err", err)
+			cancelRoot()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				logger.Error("forced shutdown", "err", err)
+			}
+			cancel()
+			_ = hs.Close()
+		}
+		logger.Info("exiting")
+		return 0
+	}
+}

@@ -84,6 +84,11 @@ var (
 // before the abort.
 type AbortError = topdown.AbortError
 
+// Stats is the evaluation-work snapshot reported by Engine.Stats and
+// carried by AbortError, re-exported so callers (e.g. internal/server's
+// access logs) need not import the evaluation layer.
+type Stats = topdown.Stats
+
 // Program is a parsed, validated, compiled hypothetical Datalog program.
 type Program struct {
 	src  *ast.Program
@@ -355,23 +360,59 @@ func (e *Engine) queryCtx(ctx context.Context, query string) ([]Binding, error) 
 	return bs, e.enrich(err)
 }
 
+// QueryEach evaluates a premise like Query but streams each binding to
+// yield as it is found instead of materialising the answer set; see
+// QueryEachCtx.
+func (e *Engine) QueryEach(query string, yield func(Binding) error) error {
+	return e.QueryEachCtx(context.Background(), query, yield)
+}
+
+// QueryEachCtx is the streaming form of QueryCtx: each binding is passed
+// to yield in enumeration order as soon as its proof succeeds, so answer
+// sets larger than memory can be forwarded incrementally. A non-nil
+// error from yield stops the enumeration and is returned verbatim;
+// evaluation aborts surface as *AbortError like QueryCtx.
+func (e *Engine) QueryEachCtx(ctx context.Context, query string, yield func(Binding) error) error {
+	fin := e.track()
+	err := e.queryEachCtx(ctx, query, yield)
+	fin(err)
+	return err
+}
+
+func (e *Engine) queryEachCtx(ctx context.Context, query string, yield func(Binding) error) error {
+	cpr, names, err := compileQueryLoose(query, e.prog.syms)
+	if err != nil {
+		return err
+	}
+	return e.enrich(e.queryEachCompiledCtx(ctx, cpr, names, yield))
+}
+
 // queryCompiledCtx runs a pre-compiled query premise; names map variable
 // slots back to surface names. Unlike QueryCtx it does not touch the
 // shared symbol table, so Pool can compile before leasing an engine.
 func (e *Engine) queryCompiledCtx(ctx context.Context, cpr ast.CPremise, names []string) ([]Binding, error) {
-	sols, err := engine.SolutionsCtx(ctx, e.asker, cpr, len(names), e.asker.EmptyState())
+	var out []Binding
+	err := e.queryEachCompiledCtx(ctx, cpr, names, func(b Binding) error {
+		out = append(out, b)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Binding, len(sols))
-	for i, s := range sols {
+	return out, nil
+}
+
+// queryEachCompiledCtx is the streaming core shared by QueryCtx and
+// QueryEachCtx: solutions come straight off the enumerator, are rendered
+// to surface-name bindings, and handed to yield one at a time.
+func (e *Engine) queryEachCompiledCtx(ctx context.Context, cpr ast.CPremise, names []string, yield func(Binding) error) error {
+	return engine.SolutionsEachCtx(ctx, e.asker, cpr, len(names), e.asker.EmptyState(), func(s engine.Solution) error {
 		b := make(Binding, len(names))
 		for slot, name := range names {
 			b[name] = e.prog.syms.ConstName(s[slot])
 		}
-		out[i] = b
-	}
-	return out, nil
+		return yield(b)
+	})
 }
 
 // AskUnder evaluates a ground query in a database hypothetically extended

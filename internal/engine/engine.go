@@ -262,20 +262,38 @@ func Solutions(a Asker, p ast.CPremise, numVars int, st facts.State) ([]Solution
 // cost is dominated by the dom^numVars instantiation loop abort promptly
 // with an error wrapping topdown.ErrCanceled or topdown.ErrDeadline.
 func SolutionsCtx(ctx context.Context, a Asker, p ast.CPremise, numVars int, st facts.State) ([]Solution, error) {
+	var out []Solution
+	err := SolutionsEachCtx(ctx, a, p, numVars, st, func(s Solution) error {
+		out = append(out, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SolutionsEachCtx is SolutionsCtx with streaming delivery: each solution
+// is passed to yield as soon as its proof succeeds, and nothing is
+// accumulated, so an answer set larger than memory can be forwarded
+// incrementally (e.g. onto a network connection). The yielded slice is
+// owned by the callee. A non-nil error from yield stops the enumeration
+// and is returned verbatim, so callers can distinguish their own
+// delivery failures from evaluation aborts.
+func SolutionsEachCtx(ctx context.Context, a Asker, p ast.CPremise, numVars int, st facts.State, yield func(Solution) error) error {
 	if numVars == 0 {
 		ok, err := a.AskPremiseCtx(ctx, p, st)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ok {
-			return []Solution{{}}, nil
+			return yield(Solution{})
 		}
-		return nil, nil
+		return nil
 	}
 	cancellable := ctx != nil && ctx.Done() != nil
 	dom := a.Dom()
 	binding := make([]symbols.Const, numVars)
-	var out []Solution
 	var tried int64
 	var rec func(i int) error
 	rec = func(i int) error {
@@ -295,7 +313,7 @@ func SolutionsCtx(ctx context.Context, a Asker, p ast.CPremise, numVars int, st 
 				return err
 			}
 			if ok {
-				out = append(out, append(Solution(nil), binding...))
+				return yield(append(Solution(nil), binding...))
 			}
 			return nil
 		}
@@ -307,10 +325,7 @@ func SolutionsCtx(ctx context.Context, a Asker, p ast.CPremise, numVars int, st 
 		}
 		return nil
 	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return rec(0)
 }
 
 // ctxCheckInterval is how many query instantiations pass between context

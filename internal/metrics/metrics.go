@@ -13,6 +13,7 @@ package metrics
 import (
 	"expvar"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -30,6 +31,21 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous level — it goes up and down (e.g.
+// requests currently in flight), unlike the monotone Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram counts observations into fixed buckets (cumulative counts are
 // derivable from the per-bucket counts). Observations above the last
@@ -102,6 +118,16 @@ var (
 	PoolPuts Counter
 	PoolNews Counter
 
+	// HTTP serving layer (internal/server). HTTPRequests counts every
+	// request that reached an API handler; HTTPShed counts requests
+	// refused with 429 because the admission queue was full; HTTPQueued
+	// and HTTPInFlight are the instantaneous number of requests waiting
+	// for an evaluation slot and holding one.
+	HTTPRequests Counter
+	HTTPShed     Counter
+	HTTPQueued   Gauge
+	HTTPInFlight Gauge
+
 	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
 	QueryLatency = NewHistogram(
 		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
@@ -123,6 +149,10 @@ func Snapshot() map[string]any {
 		"pool_gets":              PoolGets.Value(),
 		"pool_puts":              PoolPuts.Value(),
 		"pool_news":              PoolNews.Value(),
+		"http_requests":          HTTPRequests.Value(),
+		"http_shed":              HTTPShed.Value(),
+		"http_queued":            HTTPQueued.Value(),
+		"http_in_flight":         HTTPInFlight.Value(),
 		"query_latency_count":    QueryLatency.Count(),
 		"query_latency_sum":      QueryLatency.Sum(),
 	}
@@ -139,6 +169,22 @@ func Snapshot() map[string]any {
 	return out
 }
 
-func init() {
-	expvar.Publish("hypo", expvar.Func(func() any { return Snapshot() }))
+var publishOnce sync.Once
+
+// PublishExpvar registers the "hypo" expvar variable. It is idempotent:
+// repeated calls — and a name already registered by someone else — are
+// no-ops rather than the expvar.Publish panic, so a process hosting two
+// pools or servers (or a test binary re-running packages with -count)
+// cannot crash on duplicate publication. It runs automatically on
+// package init; call it explicitly only when expvar registration order
+// matters.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		if expvar.Get("hypo") != nil {
+			return
+		}
+		expvar.Publish("hypo", expvar.Func(func() any { return Snapshot() }))
+	})
 }
+
+func init() { PublishExpvar() }

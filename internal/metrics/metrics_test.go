@@ -117,9 +117,48 @@ func TestSnapshotKeys(t *testing.T) {
 		"goal_expansions", "table_hits", "delta_materialisations",
 		"pool_gets", "pool_puts", "pool_news",
 		"query_latency_count", "query_latency_sum", "query_latency_buckets",
+		"http_requests", "http_shed", "http_queued", "http_in_flight",
 	} {
 		if _, ok := snap[k]; !ok {
 			t.Errorf("Snapshot missing %q", k)
 		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %d", g.Value())
+	}
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 1 {
+		t.Fatalf("gauge after balanced churn = %d, want 1", g.Value())
+	}
+}
+
+// TestPublishExpvarIdempotent: expvar.Publish panics on duplicate names,
+// so the export must survive being requested from several packages.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	PublishExpvar() // already ran via init()
+	PublishExpvar()
+	if expvar.Get("hypo") == nil {
+		t.Fatal(`expvar.Get("hypo") = nil after PublishExpvar`)
 	}
 }

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	hypo "hypodatalog"
+)
+
+// errClientWrite marks a failed write to the response stream: the client
+// went away mid-stream. It is logged as 499, never sent.
+var errClientWrite = errors.New("server: client write failed")
+
+// askRequest is the body of /v1/ask and /v1/askunder. Timeout is a Go
+// duration string ("250ms", "2s") bounding evaluation; it is clamped to
+// Config.MaxTimeout and defaults to Config.DefaultTimeout.
+type askRequest struct {
+	Query   string   `json:"query"`
+	Add     []string `json:"add,omitempty"`
+	Timeout string   `json:"timeout,omitempty"`
+}
+
+type askResponse struct {
+	Result bool `json:"result"`
+}
+
+// queryRequest is the body of /v1/query.
+type queryRequest struct {
+	Query   string `json:"query"`
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// The NDJSON lines of a /v1/query response: zero or more binding lines,
+// then exactly one done or error line.
+type bindingLine struct {
+	Binding hypo.Binding `json:"binding"`
+}
+
+type doneLine struct {
+	Done  bool `json:"done"`
+	Count int  `json:"count"`
+}
+
+type errorLine struct {
+	Error errorBody `json:"error"`
+}
+
+// batchRequest is the body of /v1/batch: many queries evaluated on one
+// engine lease, in order. Kind selects the operation: "ask" (default),
+// "query", or "askunder" (which uses Add).
+type batchRequest struct {
+	Queries []batchItem `json:"queries"`
+	Timeout string      `json:"timeout,omitempty"`
+}
+
+type batchItem struct {
+	Kind  string   `json:"kind,omitempty"`
+	Query string   `json:"query"`
+	Add   []string `json:"add,omitempty"`
+}
+
+// batchResult is one per-item outcome: exactly one of Result (ask,
+// askunder), Bindings (query) or Error is set. Item errors do not fail
+// the batch — except evaluation aborts (deadline, cancellation), which
+// stop it and mark the remaining items with kind "skipped".
+type batchResult struct {
+	Result   *bool          `json:"result,omitempty"`
+	Bindings []hypo.Binding `json:"bindings,omitempty"`
+	Error    *errorBody     `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+type errorBody struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorLine{Error: errorBody{Kind: kind, Message: msg}})
+}
+
+// decode reads the size-capped JSON body into v, answering 413 for an
+// over-long body and 400 for anything else malformed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, ri *reqInfo, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			ri.outcome = "too_large"
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// timeoutFor resolves a request's evaluation deadline: the parsed
+// "timeout" field if present, else the default, clamped to the max.
+func (s *Server) timeoutFor(spec string) (time.Duration, error) {
+	d := s.cfg.DefaultTimeout
+	if spec != "" {
+		var err error
+		d, err = time.ParseDuration(spec)
+		if err != nil {
+			return 0, fmt.Errorf("bad timeout %q: %v", spec, err)
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("bad timeout %q: must be positive", spec)
+		}
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// statsDelta is the evaluation work done between two Engine.Stats
+// snapshots of the same engine.
+func statsDelta(before, after hypo.Stats) hypo.Stats {
+	return hypo.Stats{
+		Goals:      after.Goals - before.Goals,
+		TableHits:  after.TableHits - before.TableHits,
+		LoopCuts:   after.LoopCuts - before.LoopCuts,
+		Enumerated: after.Enumerated - before.Enumerated,
+		NegCalls:   after.NegCalls - before.NegCalls,
+		MaxDepth:   after.MaxDepth,
+		TableSize:  after.TableSize,
+	}
+}
+
+// classify maps an evaluation error to its HTTP status, error kind and
+// log outcome. The boolean reports whether a response should be written
+// at all (false for client-gone cases).
+func classify(err error) (status int, kind string, write bool) {
+	switch {
+	case errors.Is(err, errClientWrite), errors.Is(err, hypo.ErrCanceled),
+		errors.Is(err, context.Canceled):
+		return statusClientClosed, "canceled", false
+	case errors.Is(err, hypo.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline", true
+	case errors.Is(err, hypo.ErrBudget):
+		return http.StatusUnprocessableEntity, "budget", true
+	case errors.Is(err, hypo.ErrPoolClosed):
+		return http.StatusServiceUnavailable, "draining", true
+	default:
+		return http.StatusBadRequest, "bad_request", true
+	}
+}
+
+// evalError answers a failed evaluation, folding the abort's partial
+// work snapshot into the access log.
+func (s *Server) evalError(w http.ResponseWriter, ri *reqInfo, err error) {
+	var ae *hypo.AbortError
+	if errors.As(err, &ae) && ri.stats == (hypo.Stats{}) {
+		ri.stats = ae.Stats
+	}
+	status, kind, write := classify(err)
+	ri.outcome = kind
+	if !write {
+		ri.status = status
+		return
+	}
+	writeError(w, status, kind, err.Error())
+}
+
+// run is the shared admit-lease-evaluate skeleton of the non-streaming
+// handlers: it reserves an admission slot, leases an engine, runs fn
+// with the engine and records the evaluation-work delta.
+func (s *Server) run(ctx context.Context, ri *reqInfo, fn func(e *hypo.Engine) error) error {
+	release, err := s.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return s.cfg.Pool.Do(ctx, func(e *hypo.Engine) error {
+		before := e.Stats()
+		defer func() { ri.stats = statsDelta(before, e.Stats()) }()
+		return fn(e)
+	})
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	var req askRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	ri.query = req.Query
+	if len(req.Add) > 0 {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", `"add" is for /v1/askunder`)
+		return
+	}
+	s.answerAsk(w, r, ri, req)
+}
+
+func (s *Server) handleAskUnder(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	var req askRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	ri.query = req.Query
+	s.answerAsk(w, r, ri, req)
+}
+
+// answerAsk evaluates a ground ask (optionally under hypothetical adds)
+// and answers {"result": bool}.
+func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, req askRequest) {
+	d, err := s.timeoutFor(req.Timeout)
+	if err != nil {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	var result bool
+	err = s.run(ctx, ri, func(e *hypo.Engine) error {
+		var err error
+		if len(req.Add) > 0 {
+			result, err = e.AskUnderCtx(ctx, req.Query, req.Add...)
+		} else {
+			result, err = e.AskCtx(ctx, req.Query)
+		}
+		return err
+	})
+	switch {
+	case err == nil:
+		writeJSON(w, askResponse{Result: result})
+	case errors.Is(err, errShed), errors.Is(err, errDraining):
+		s.refuse(w, ri, err)
+	default:
+		s.evalError(w, ri, err)
+	}
+}
+
+// handleQuery streams bindings as NDJSON: one {"binding": {...}} line
+// per answer as it is proved, then a terminal {"done": true, "count": n}
+// line — or an {"error": ...} line if evaluation aborted after the
+// stream began. Errors before the first binding use a proper HTTP
+// status instead.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	var req queryRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	ri.query = req.Query
+	d, err := s.timeoutFor(req.Timeout)
+	if err != nil {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.refuse(w, ri, err)
+		return
+	}
+	defer release()
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	err = s.cfg.Pool.Do(ctx, func(e *hypo.Engine) error {
+		before := e.Stats()
+		defer func() { ri.stats = statsDelta(before, e.Stats()) }()
+		return e.QueryEachCtx(ctx, req.Query, func(b hypo.Binding) error {
+			if n == 0 {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+			}
+			if err := enc.Encode(bindingLine{Binding: b}); err != nil {
+				return fmt.Errorf("%w: %v", errClientWrite, err)
+			}
+			n++
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	})
+	ri.bindings = n
+	if err != nil {
+		if n == 0 {
+			s.evalError(w, ri, err)
+			return
+		}
+		// The stream is already under way as a 200; report the abort
+		// in-band as the terminal line.
+		_, kind, write := classify(err)
+		ri.outcome = kind
+		if write {
+			_ = enc.Encode(errorLine{Error: errorBody{Kind: kind, Message: err.Error()}})
+		} else {
+			ri.status = statusClientClosed
+		}
+		return
+	}
+	if n == 0 {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	_ = enc.Encode(doneLine{Done: true, Count: n})
+}
+
+// handleBatch evaluates many queries on a single engine lease — one
+// admission slot, no interleaving with other traffic, warm memo tables
+// shared across the items. The response is always 200 with per-item
+// results once evaluation starts; an abort (deadline, cancellation)
+// stops the batch, reports itself on the item it hit, and marks the
+// rest "skipped".
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	var req batchRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", `"queries" must be non-empty`)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	ri.query = req.Queries[0].Query
+	d, err := s.timeoutFor(req.Timeout)
+	if err != nil {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	results := make([]batchResult, len(req.Queries))
+	err = s.run(ctx, ri, func(e *hypo.Engine) error {
+		for i, item := range req.Queries {
+			res, abort := evalBatchItem(ctx, e, item)
+			results[i] = res
+			if abort != nil {
+				for j := i + 1; j < len(req.Queries); j++ {
+					results[j] = batchResult{Error: &errorBody{
+						Kind: "skipped", Message: "not evaluated: batch aborted earlier",
+					}}
+				}
+				// Client gone: stop and close without a body.
+				if _, _, write := classify(abort); !write {
+					return abort
+				}
+				break
+			}
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		ri.bindings = len(results)
+		writeJSON(w, batchResponse{Results: results})
+	case errors.Is(err, errShed), errors.Is(err, errDraining):
+		s.refuse(w, ri, err)
+	default:
+		s.evalError(w, ri, err)
+	}
+}
+
+// evalBatchItem runs one batch entry on the leased engine. Item-level
+// problems (bad query, unknown kind, budget) land in the result; an
+// abort is also returned so the batch stops.
+func evalBatchItem(ctx context.Context, e *hypo.Engine, item batchItem) (batchResult, error) {
+	kind := item.Kind
+	if kind == "" {
+		kind = "ask"
+	}
+	var res batchResult
+	var err error
+	switch kind {
+	case "ask":
+		var ok bool
+		ok, err = e.AskCtx(ctx, item.Query)
+		res.Result = &ok
+	case "askunder":
+		var ok bool
+		ok, err = e.AskUnderCtx(ctx, item.Query, item.Add...)
+		res.Result = &ok
+	case "query":
+		res.Bindings, err = e.QueryCtx(ctx, item.Query)
+		if res.Bindings == nil {
+			res.Bindings = []hypo.Binding{}
+		}
+	default:
+		err = fmt.Errorf("unknown kind %q (want ask, query or askunder)", kind)
+	}
+	if err != nil {
+		res = batchResult{}
+		_, ekind, _ := classify(err)
+		res.Error = &errorBody{Kind: ekind, Message: err.Error()}
+		if errors.Is(err, hypo.ErrCanceled) || errors.Is(err, hypo.ErrDeadline) {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]bool{"ready": false, "draining": true})
+		return
+	}
+	writeJSON(w, map[string]bool{"ready": true})
+}

@@ -1,0 +1,328 @@
+// Package server serves hypothetical-Datalog queries over HTTP/JSON,
+// backed by a hypo.Pool. It is the network surface of the engine: the
+// one-shot hdl CLI wraps an Engine, cmd/hdld wraps this package.
+//
+// # Endpoints
+//
+//   - POST /v1/ask       {"query": "grad(tony)"}                → {"result": true}
+//   - POST /v1/query     {"query": "edge(X, Y)"}                → NDJSON binding stream
+//   - POST /v1/askunder  {"query": "...", "add": ["fact(a)"]}   → {"result": bool}
+//   - POST /v1/batch     {"queries": [{...}, ...]}              → per-item results, one engine lease
+//   - GET  /healthz      liveness (always 200 while the process runs)
+//   - GET  /readyz       readiness (503 once draining)
+//   - GET  /debug/vars   expvar, including the "hypo" metrics set
+//
+// # Admission control
+//
+// At most MaxConcurrent requests evaluate at once; up to MaxQueue more
+// wait for a slot. Anything beyond that is shed immediately with
+// 429 + Retry-After instead of piling up goroutines, so a traffic spike
+// degrades into fast, explicit rejections rather than unbounded memory
+// growth and collapse.
+//
+// # Error mapping
+//
+// Every failure surface has a distinct status: malformed JSON, bad
+// queries and domain violations are 400; an over-long body is 413; an
+// expired per-request deadline is 504; a goal-budget abort is 422; shed
+// load is 429; a draining or closed server is 503; a handler panic is
+// 500. A client that disconnects mid-evaluation gets nothing (the
+// nginx-style 499 appears only in the access log).
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	hypo "hypodatalog"
+	"hypodatalog/internal/metrics"
+)
+
+// statusClientClosed is the nginx convention for "client closed the
+// connection before the response"; it is never sent on the wire, only
+// logged.
+const statusClientClosed = 499
+
+// Config parameterises a Server. The zero value of every field except
+// Pool is usable; see the field comments for the defaults.
+type Config struct {
+	// Pool evaluates the queries. Required. Size it to the number of
+	// truly concurrent evaluations the host should run (engines are
+	// memory-heavy: each holds its own interner and memo tables).
+	Pool *hypo.Pool
+
+	// MaxConcurrent bounds simultaneous evaluations. Default: Pool.Size()
+	// — more would just block on the pool's free list.
+	MaxConcurrent int
+
+	// MaxQueue bounds requests waiting for an evaluation slot; beyond it
+	// requests are shed with 429. Default: 4 × MaxConcurrent.
+	MaxQueue int
+
+	// DefaultTimeout is the per-request evaluation deadline when the
+	// request has no "timeout" field. Default: 10s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout clamps the request-supplied "timeout". Default: 60s.
+	MaxTimeout time.Duration
+
+	// MaxBodyBytes caps the request body. Default: 1 MiB.
+	MaxBodyBytes int64
+
+	// MaxBatch caps the number of queries in one /v1/batch request.
+	// Default: 256.
+	MaxBatch int
+
+	// RetryAfter is the Retry-After hint attached to 429 and 503
+	// responses. Default: 1s.
+	RetryAfter time.Duration
+
+	// Logger receives structured access and error logs. Default:
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the HTTP query server. Create it with New, mount Handler on
+// an http.Server, and call BeginDrain when shutting down.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	mux *http.ServeMux
+
+	sem      chan struct{} // evaluation slots
+	queued   atomic.Int64  // requests waiting for a slot
+	draining atomic.Bool
+	drainCh  chan struct{} // closed by BeginDrain; wakes queued waiters
+}
+
+// New validates the config, fills in defaults, and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("server: Config.Pool is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = cfg.Pool.Size()
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	metrics.PublishExpvar()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		drainCh: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/ask", s.wrap("ask", s.handleAsk))
+	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/askunder", s.wrap("askunder", s.handleAskUnder))
+	s.mux.HandleFunc("POST /v1/batch", s.wrap("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s, nil
+}
+
+// Handler returns the root handler with all routes mounted.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into draining mode: /readyz starts
+// failing (so load balancers stop routing here), new API requests are
+// refused with 503, and requests queued for an evaluation slot are woken
+// and refused likewise. In-flight evaluations are NOT interrupted —
+// cancel their base context after a grace period to force them out (see
+// cmd/hdld). BeginDrain is idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Admission errors (mapped to statuses in refuse).
+var (
+	errShed     = errors.New("server: admission queue full")
+	errDraining = errors.New("server: draining")
+)
+
+// admit reserves an evaluation slot, waiting in the bounded admission
+// queue if none is free. It fails fast with errShed when the queue is
+// full and errDraining when the server is (or starts) draining; a done
+// ctx while queued surfaces as the ctx error. On success the returned
+// release func must be called exactly once.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	acquired := false
+	select {
+	case s.sem <- struct{}{}:
+		acquired = true
+	default:
+	}
+	if !acquired {
+		if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+			s.queued.Add(-1)
+			metrics.HTTPShed.Inc()
+			return nil, errShed
+		}
+		metrics.HTTPQueued.Inc()
+		defer func() {
+			s.queued.Add(-1)
+			metrics.HTTPQueued.Dec()
+		}()
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.drainCh:
+			return nil, errDraining
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	metrics.HTTPInFlight.Inc()
+	return func() {
+		metrics.HTTPInFlight.Dec()
+		<-s.sem
+	}, nil
+}
+
+// reqInfo accumulates access-log fields as one request progresses
+// through decode, admission and evaluation.
+type reqInfo struct {
+	endpoint string
+	query    string     // surface query text (first of a batch)
+	outcome  string     // ok | bad_request | deadline | canceled | shed | draining | budget | panic | ...
+	status   int        // overrides the written status in logs (e.g. 499)
+	bindings int        // bindings streamed / results returned
+	stats    hypo.Stats // evaluation-work delta for this request
+}
+
+// wrap is the middleware around every API handler: request counting, a
+// status-recording writer, panic-to-500 recovery, and one structured
+// access-log line per request with the query, outcome, latency and the
+// evaluation-work stats delta.
+func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metrics.HTTPRequests.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		ri := &reqInfo{endpoint: endpoint}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				// The engine (if any was leased) is already back on the
+				// pool's free list: Pool.Do and the Pool query methods
+				// return it in a defer that runs before this one.
+				ri.outcome = "panic"
+				s.log.Error("handler panic",
+					"endpoint", endpoint, "panic", p, "stack", string(debug.Stack()))
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+			status := ri.status
+			if status == 0 {
+				status = sw.status
+			}
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if ri.outcome == "" {
+				ri.outcome = "ok"
+			}
+			s.log.Info("request",
+				"endpoint", endpoint,
+				"status", status,
+				"outcome", ri.outcome,
+				"query", ri.query,
+				"elapsed_ms", float64(time.Since(start).Microseconds())/1000,
+				"bindings", ri.bindings,
+				"goals", ri.stats.Goals,
+				"enumerated", ri.stats.Enumerated,
+				"table_hits", ri.stats.TableHits,
+				"max_depth", ri.stats.MaxDepth,
+			)
+		}()
+		h(sw, r, ri)
+	}
+}
+
+// refuse writes the response for an admission failure.
+func (s *Server) refuse(w http.ResponseWriter, ri *reqInfo, err error) {
+	retry := strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+	switch {
+	case errors.Is(err, errShed):
+		ri.outcome = "shed"
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusTooManyRequests, "shed",
+			"server at capacity: evaluation slots and admission queue are full")
+	case errors.Is(err, errDraining), errors.Is(err, hypo.ErrPoolClosed):
+		ri.outcome = "draining"
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+	case errors.Is(err, context.DeadlineExceeded):
+		ri.outcome = "deadline"
+		writeError(w, http.StatusGatewayTimeout, "deadline",
+			"request deadline expired while waiting for an evaluation slot")
+	default: // context.Canceled: the client went away while queued
+		ri.outcome = "canceled"
+		ri.status = statusClientClosed
+	}
+}
+
+// statusWriter records the status and whether anything was written, and
+// forwards Flush so NDJSON streams traverse it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

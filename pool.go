@@ -2,6 +2,7 @@ package hypo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,6 +11,10 @@ import (
 	"hypodatalog/internal/symbols"
 	"hypodatalog/internal/topdown"
 )
+
+// ErrPoolClosed is returned by every query method of a Pool after Close
+// has been called. Test with errors.Is.
+var ErrPoolClosed = errors.New("hypo: pool is closed")
 
 // Pool evaluates queries against one program from many goroutines.
 //
@@ -24,6 +29,16 @@ import (
 // When all engines are busy, callers block until one frees up — or until
 // their context is done, in which case they fail with ErrCanceled or
 // ErrDeadline without having consumed an engine.
+//
+// # Lifecycle
+//
+// A Pool is live from NewPool until Close. Close is idempotent and safe
+// to call concurrently with queries: new leases fail fast with
+// ErrPoolClosed (including callers already blocked waiting for a free
+// engine), in-flight queries run to completion, and every engine —
+// whether idle at Close time or returned by an in-flight query
+// afterwards — is dropped so its memo tables and interner become
+// garbage. A closed pool stays closed.
 type Pool struct {
 	prog   *Program
 	opts   Options
@@ -33,8 +48,10 @@ type Pool struct {
 	// created lazily up to that capacity, so created only grows and a put
 	// can never block.
 	free    chan *Engine
-	mu      sync.Mutex // guards created
+	closing chan struct{} // closed by Close; wakes blocked getters
+	mu      sync.Mutex    // guards created, closed
 	created int
+	closed  bool
 }
 
 // NewPool builds an engine pool. It constructs one engine eagerly so that
@@ -55,6 +72,7 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 		opts:    opts,
 		domSet:  first.domSet,
 		free:    make(chan *Engine, size),
+		closing: make(chan struct{}),
 		created: 1,
 	}
 	pl.free <- first
@@ -65,9 +83,38 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 // Size reports the maximum number of engines (= concurrent queries).
 func (pl *Pool) Size() int { return cap(pl.free) }
 
+// Close shuts the pool down: subsequent leases — and getters already
+// blocked waiting for an engine — fail with ErrPoolClosed, idle engines
+// are released immediately, and engines still leased to in-flight
+// queries are released when those queries return them. Close does not
+// cancel in-flight queries; use their contexts for that. It is
+// idempotent and always returns nil.
+func (pl *Pool) Close() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		return nil
+	}
+	pl.closed = true
+	close(pl.closing)
+	for {
+		select {
+		case <-pl.free:
+			pl.created--
+		default:
+			return nil
+		}
+	}
+}
+
 // get leases an engine: reuse an idle one, grow up to capacity, or block
-// until an engine frees or ctx is done.
+// until an engine frees, the pool closes, or ctx is done.
 func (pl *Pool) get(ctx context.Context) (*Engine, error) {
+	select {
+	case <-pl.closing:
+		return nil, ErrPoolClosed
+	default:
+	}
 	select {
 	case e := <-pl.free:
 		metrics.PoolGets.Inc()
@@ -75,6 +122,10 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	default:
 	}
 	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
 	if pl.created < cap(pl.free) {
 		pl.created++
 		pl.mu.Unlock()
@@ -98,13 +149,22 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	case e := <-pl.free:
 		metrics.PoolGets.Inc()
 		return e, nil
+	case <-pl.closing:
+		return nil, ErrPoolClosed
 	case <-ctx.Done():
 		return nil, topdown.ContextAbort(ctx.Err(), topdown.Stats{})
 	}
 }
 
 // put returns a leased engine; never blocks since created ≤ cap(free).
+// Engines returned after Close are dropped so their memory is released.
 func (pl *Pool) put(e *Engine) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		pl.created--
+		return
+	}
 	metrics.PoolPuts.Inc()
 	pl.free <- e
 }
@@ -145,6 +205,23 @@ func (pl *Pool) askCtx(ctx context.Context, query string) (bool, error) {
 	return ok, e.enrich(err)
 }
 
+// Do leases an engine, calls fn with it, and returns the engine to the
+// pool — even if fn panics (the panic is re-raised after the engine is
+// back on the free list). It is the escape hatch for callers that need
+// several operations on one lease (e.g. a batch of queries that should
+// not interleave with other traffic, or per-query Stats deltas via
+// Engine.Stats). The engine must not be retained or used after fn
+// returns. The context bounds only the wait for a free engine; pass it
+// to the Engine's *Ctx methods inside fn to bound evaluation too.
+func (pl *Pool) Do(ctx context.Context, fn func(*Engine) error) error {
+	e, err := pl.get(ctx)
+	if err != nil {
+		return err
+	}
+	defer pl.put(e)
+	return fn(e)
+}
+
 // Query evaluates a premise that may contain variables; see Engine.Query.
 func (pl *Pool) Query(query string) ([]Binding, error) {
 	return pl.QueryCtx(context.Background(), query)
@@ -172,6 +249,33 @@ func (pl *Pool) queryCtx(ctx context.Context, query string) ([]Binding, error) {
 	bs, err := e.queryCompiledCtx(ctx, cpr, names)
 	e.noteWork(before)
 	return bs, e.enrich(err)
+}
+
+// QueryEachCtx is the streaming form of QueryCtx: bindings are passed to
+// yield one at a time as their proofs succeed, nothing is materialised,
+// and a non-nil error from yield stops the enumeration and is returned
+// verbatim. Compilation still happens before an engine is leased.
+func (pl *Pool) QueryEachCtx(ctx context.Context, query string, yield func(Binding) error) error {
+	fin := poolTrack()
+	err := pl.queryEachCtx(ctx, query, yield)
+	fin(err)
+	return err
+}
+
+func (pl *Pool) queryEachCtx(ctx context.Context, query string, yield func(Binding) error) error {
+	cpr, names, err := compileQueryLoose(query, pl.prog.syms)
+	if err != nil {
+		return err
+	}
+	e, err := pl.get(ctx)
+	if err != nil {
+		return err
+	}
+	defer pl.put(e)
+	before := e.Stats()
+	err = e.queryEachCompiledCtx(ctx, cpr, names, yield)
+	e.noteWork(before)
+	return e.enrich(err)
 }
 
 // AskUnder evaluates a ground query in a hypothetically extended

@@ -183,8 +183,8 @@ func TestPoolMetricsConsistent(t *testing.T) {
 	gets := metrics.PoolGets.Value()
 	puts := metrics.PoolPuts.Value()
 
-	pool.Ask("node(v0)")  // succeeds
-	pool.Ask("node(")     // parse error: fails without consuming an engine
+	pool.Ask("node(v0)") // succeeds
+	pool.Ask("node(")    // parse error: fails without consuming an engine
 	pool.Query("edge(v0, X)")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	pool.AskCtx(ctx, "yes") // canceled
@@ -229,5 +229,149 @@ func TestPoolBlockedGetHonorsContext(t *testing.T) {
 	// The pool must still work.
 	if ok, err := pool.Ask("node(v0)"); err != nil || !ok {
 		t.Fatalf("Ask after contention = %v, %v", ok, err)
+	}
+}
+
+// TestPoolClose covers the Close contract: fail-fast leases, waking
+// blocked getters, dropping engines returned after Close, and
+// idempotence.
+func TestPoolClose(t *testing.T) {
+	pool, err := NewPool(mustParse(t, uniSrc), Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single engine so the pool is empty, then block a second
+	// caller waiting for it.
+	hold := make(chan struct{})
+	released := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		released <- pool.Do(context.Background(), func(*Engine) error {
+			<-hold
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let Do take the engine
+	blocked := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := pool.Ask("grad(tony)")
+		blocked <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let Ask block on the free list
+
+	if err := pool.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if err := <-blocked; !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("blocked getter after Close = %v, want ErrPoolClosed", err)
+	}
+	// The in-flight lease finishes normally; its engine is then dropped.
+	close(hold)
+	if err := <-released; err != nil {
+		t.Errorf("in-flight Do across Close = %v", err)
+	}
+	wg.Wait()
+	pool.mu.Lock()
+	created, free := pool.created, len(pool.free)
+	pool.mu.Unlock()
+	if created != 0 || free != 0 {
+		t.Errorf("after Close: created=%d free=%d, want 0 and 0", created, free)
+	}
+	// Every query surface fails fast now, and Close stays idempotent.
+	if _, err := pool.Ask("grad(tony)"); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Ask after Close = %v, want ErrPoolClosed", err)
+	}
+	if _, err := pool.Query("grad(S)"); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Query after Close = %v, want ErrPoolClosed", err)
+	}
+	if err := pool.QueryEachCtx(context.Background(), "grad(S)", func(Binding) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("QueryEachCtx after Close = %v, want ErrPoolClosed", err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+// TestPoolDoPanicReturnsEngine checks the Do contract a panicking
+// handler relies on: the engine is back on the free list before the
+// panic propagates.
+func TestPoolDoPanicReturnsEngine(t *testing.T) {
+	pool, err := NewPool(mustParse(t, uniSrc), Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate out of Do")
+			}
+		}()
+		pool.Do(context.Background(), func(*Engine) error { panic("boom") })
+	}()
+	// With PoolSize 1, this deadlocks unless the engine was returned.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if ok, err := pool.AskCtx(ctx, "grad(tony)"); err != nil || !ok {
+		t.Fatalf("Ask after panic = %v, %v; engine was not returned", ok, err)
+	}
+}
+
+// TestPoolQueryEach checks the streaming enumerator yields exactly the
+// Query answer set and that a yield error stops the walk and surfaces
+// verbatim.
+func TestPoolQueryEach(t *testing.T) {
+	pool, err := NewPool(mustParse(t, uniSrc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pool.Query("take(S, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Binding
+	if err := pool.QueryEachCtx(context.Background(), "take(S, C)", func(b Binding) error {
+		got = append(got, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d bindings, Query returned %d", len(got), len(want))
+	}
+	key := func(b Binding) string { return fmt.Sprintf("%s|%s", b["S"], b["C"]) }
+	seen := map[string]bool{}
+	for _, b := range got {
+		seen[key(b)] = true
+	}
+	for _, b := range want {
+		if !seen[key(b)] {
+			t.Errorf("Query binding %v missing from stream", b)
+		}
+	}
+	// A ground provable query yields exactly one empty binding.
+	n := 0
+	if err := pool.QueryEachCtx(context.Background(), "grad(tony)", func(b Binding) error {
+		n++
+		if len(b) != 0 {
+			t.Errorf("ground query yielded non-empty binding %v", b)
+		}
+		return nil
+	}); err != nil || n != 1 {
+		t.Errorf("ground stream: n=%d err=%v, want 1 and nil", n, err)
+	}
+	// A yield error aborts the enumeration and comes back verbatim.
+	sentinel := errors.New("stop here")
+	calls := 0
+	if err := pool.QueryEachCtx(context.Background(), "take(S, C)", func(Binding) error {
+		calls++
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("yield error = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("yield called %d times after error, want 1", calls)
 	}
 }
