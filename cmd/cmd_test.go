@@ -6,15 +6,19 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	hypo "hypodatalog"
 )
 
 var binDir string
@@ -205,10 +209,15 @@ func TestHdldServesAndDrains(t *testing.T) {
 
 	// The daemon logs a "listening" line with the resolved address; scan
 	// for it, then keep draining stderr so the child never blocks.
+	// scanDone closes at stderr EOF (the child exited and its last log
+	// line is in logs) — wait for it before cmd.Wait(), which would
+	// close the pipe out from under the scanner and drop tail lines.
 	var logs bytes.Buffer
 	sc := bufio.NewScanner(io.TeeReader(stderr, &logs))
 	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
 	go func() {
+		defer close(scanDone)
 		for sc.Scan() {
 			var line struct {
 				Msg  string `json:"msg"`
@@ -243,19 +252,211 @@ func TestHdldServesAndDrains(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Errorf("hdld exit after SIGTERM = %v; logs:\n%s", err, logs.String())
-		}
+	case <-scanDone:
 	case <-time.After(15 * time.Second):
 		t.Fatalf("hdld did not exit within 15s of SIGTERM; logs:\n%s", logs.String())
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("hdld exit after SIGTERM = %v; logs:\n%s", err, logs.String())
 	}
 	for _, want := range []string{"draining", "exiting"} {
 		if !strings.Contains(logs.String(), want) {
 			t.Errorf("shutdown logs missing %q:\n%s", want, logs.String())
 		}
+	}
+}
+
+// TestHdlSnapshotOut round-trips a program through `hdl -snapshot-out`:
+// the written HDLSNAP file, loaded back with hypo.ReadSnapshot, must
+// reproduce the program — same rules, queries and facts — and answer its
+// queries identically.
+func TestHdlSnapshotOut(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "uni.snap")
+	out, code := run(t, "hdl", "-snapshot-out", snap, "examples/programs/university.hdl")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "snapshot written to") {
+		t.Errorf("missing confirmation line:\n%s", out)
+	}
+	// With embedded queries the run still evaluates them after writing.
+	if !strings.Contains(out, "S = mary") {
+		t.Errorf("embedded queries not evaluated after snapshot:\n%s", out)
+	}
+
+	src, err := os.ReadFile("../examples/programs/university.hdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := hypo.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := hypo.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	// The snapshot stores facts in per-predicate blocks, so clause order
+	// may differ; compare the canonical texts as line sets.
+	if got, want := sortedLines(loaded.String()), sortedLines(orig.String()); got != want {
+		t.Errorf("round-trip mismatch:\n--- original ---\n%s\n--- snapshot ---\n%s", want, got)
+	}
+	if got, want := loaded.Queries(), orig.Queries(); len(got) != len(want) {
+		t.Errorf("queries: got %v want %v", got, want)
+	}
+	eng, err := hypo.New(loaded, hypo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := eng.Ask("grad(mary)[add: take(mary, eng201)]")
+	if err != nil || !ok {
+		t.Errorf("Example 1 on reloaded snapshot = %v, %v; want true", ok, err)
+	}
+}
+
+func sortedLines(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// startHdld launches the daemon with -log json plus the given extra
+// arguments, waits for its "listening" line and returns the resolved
+// address. The returned buffer accumulates stderr for diagnostics; the
+// returned channel closes at stderr EOF (i.e. child exit) — wait on it
+// before cmd.Wait() so no tail log lines are lost.
+func startHdld(t *testing.T, extra ...string) (*exec.Cmd, string, *bytes.Buffer, chan struct{}) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-log", "json"}, extra...)
+	cmd := exec.Command(filepath.Join(binDir, "hdld"), args...)
+	cmd.Dir = ".."
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	logs := &bytes.Buffer{}
+	sc := bufio.NewScanner(io.TeeReader(stderr, logs))
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr, logs, scanDone
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("no listening line within 10s; logs:\n%s", logs.String())
+		return nil, "", nil, nil
+	}
+}
+
+// TestHdldWALSurvivesKill streams fact commits at a live daemon, kill
+// -9s it mid-stream, restarts it on the same WAL, and checks that the
+// recovered data version covers every acknowledged commit — the
+// durability contract of POST /v1/facts.
+func TestHdldWALSurvivesKill(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "wal.log")
+	cmd, addr, logs, _ := startHdld(t, "-wal", wal, "examples/programs/university.hdl")
+	defer cmd.Process.Kill()
+
+	// Toggle a base fact; every 200 response is an acknowledged, durable
+	// commit. Constants stay inside dom(R, DB) of the seed program.
+	var maxAcked uint64
+	for i := 0; i < 9; i++ {
+		body := `{"assert": ["take(mary, eng201)"]}`
+		if i%2 == 1 {
+			body = `{"retract": ["take(mary, eng201)"]}`
+		}
+		resp, err := http.Post("http://"+addr+"/v1/facts", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("commit %d: %v; logs:\n%s", i, err, logs.String())
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("commit %d: status %d body %s", i, resp.StatusCode, data)
+		}
+		var fr struct {
+			Version uint64 `json:"version"`
+		}
+		if err := json.Unmarshal(data, &fr); err != nil || fr.Version == 0 {
+			t.Fatalf("commit %d: bad response %s (err %v)", i, data, err)
+		}
+		maxAcked = fr.Version
+	}
+
+	// kill -9: no drain, no compaction, no deferred Close.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2, addr2, logs2, scanDone2 := startHdld(t, "-wal", wal, "examples/programs/university.hdl")
+	defer cmd2.Process.Kill()
+	resp, err := http.Get("http://" + addr2 + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after restart: %v; logs:\n%s", err, logs2.String())
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var hz struct {
+		DataVersion uint64 `json:"dataVersion"`
+	}
+	if err := json.Unmarshal(data, &hz); err != nil {
+		t.Fatalf("healthz body %s: %v", data, err)
+	}
+	if hz.DataVersion < maxAcked {
+		t.Errorf("recovered dataVersion %d < max acknowledged commit %d; logs:\n%s",
+			hz.DataVersion, maxAcked, logs2.String())
+	}
+
+	// The recovered state answers queries consistently with the last
+	// acknowledged commit (9 commits end on an assert: fact present).
+	resp, err = http.Post("http://"+addr2+"/v1/ask", "application/json",
+		strings.NewReader(`{"query": "grad(mary)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(data), `"result":true`) {
+		t.Errorf("post-recovery ask = %d %s, want result:true", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), fmt.Sprintf(`"dataVersion":%d`, maxAcked)) {
+		t.Errorf("post-recovery ask %s lacks dataVersion %d", data, maxAcked)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-scanDone2:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("restarted hdld did not exit within 15s; logs:\n%s", logs2.String())
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Errorf("restarted hdld exit after SIGTERM = %v; logs:\n%s", err, logs2.String())
 	}
 }

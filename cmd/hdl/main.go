@@ -17,6 +17,9 @@
 //	-stats       print per-query statistics and a final metrics dump
 //	-max n       abort a query after n goal expansions (0 = unlimited)
 //	-deadline d  abort each query after duration d, e.g. 500ms (0 = none)
+//	-snapshot-out FILE  compact the loaded program+facts into a HDLSNAP
+//	             snapshot (e.g. to seed hdld -snapshot) and exit, unless
+//	             queries or -i ask for evaluation too
 //
 // Exit status is 0 on a clean run, 1 if any file or -q query aborted
 // (deadline, cancellation or goal budget — partial work is reported on
@@ -57,6 +60,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a derivation tree for provable ground queries (uniform mode)")
 	maxGoals := flag.Int64("max", 0, "goal budget per query (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "per-query evaluation deadline, e.g. 500ms (0 = none)")
+	snapshotOut := flag.String("snapshot-out", "", "write the loaded program+facts to this HDLSNAP file")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -77,6 +81,16 @@ func main() {
 	prog, err := hypo.Parse(src.String())
 	if err != nil {
 		fatal(err)
+	}
+	if *snapshotOut != "" {
+		if err := writeSnapshot(prog, *snapshotOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%% snapshot written to %s\n", *snapshotOut)
+		// Snapshot-only invocations stop here; queries or -i keep going.
+		if len(prog.Queries()) == 0 && len(queries) == 0 && !*interactive {
+			return
+		}
 	}
 	opts := hypo.Options{MaxGoals: *maxGoals}
 	if *explain {
@@ -257,6 +271,26 @@ func dumpMetrics() {
 		return
 	}
 	fmt.Printf("%% metrics %s\n", out)
+}
+
+// writeSnapshot compacts the program into a HDLSNAP file via tmp+rename
+// so a crash never leaves a torn snapshot at the target path.
+func writeSnapshot(prog *hypo.Program, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := prog.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	hdlbench [-run E1,E7] [-smoke]
+//	hdlbench [-run E1,E7] [-smoke] [-json results.json]
+//
+// With -json the results are additionally written to the given file as a
+// JSON array of {id, name, elapsed_ms, table} objects — the machine-
+// readable baseline format (see BENCH_live.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,9 +22,18 @@ import (
 	"hypodatalog/internal/bench"
 )
 
+// jsonResult is one experiment's entry in the -json output.
+type jsonResult struct {
+	ID        string       `json:"id"`
+	Name      string       `json:"name"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Table     *bench.Table `json:"table"`
+}
+
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	smoke := flag.Bool("smoke", false, "use tiny sweep sizes")
+	jsonOut := flag.String("json", "", "also write results to this file as JSON")
 	flag.Parse()
 
 	sizes := bench.DefaultSizes()
@@ -33,6 +47,7 @@ func main() {
 		}
 	}
 	failed := false
+	var results []jsonResult
 	for _, ex := range bench.All() {
 		if len(want) > 0 && !want[ex.ID] {
 			continue
@@ -40,13 +55,30 @@ func main() {
 		fmt.Printf("# %s — %s\n", ex.ID, ex.Name)
 		start := time.Now()
 		tbl, err := ex.Run(sizes)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", ex.ID, err)
 			failed = true
 			continue
 		}
 		fmt.Println(tbl.String())
-		fmt.Printf("(%s total)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s total)\n\n", elapsed.Round(time.Millisecond))
+		results = append(results, jsonResult{
+			ID:        ex.ID,
+			Name:      ex.Name,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			Table:     tbl,
+		})
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdlbench: writing %s: %v\n", *jsonOut, err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -19,6 +19,16 @@
 //	-drain d        grace period for in-flight queries on SIGTERM/SIGINT
 //	                before their contexts are canceled (default 10s)
 //	-log f          access-log format: json | text (default json)
+//	-wal FILE       enable the live EDB: mutations from POST /v1/facts are
+//	                WAL-logged here and replayed on restart
+//	-snapshot FILE  compact the fact set into this HDLSNAP file (loaded in
+//	                preference to the program's facts on startup)
+//	-snapshot-every n  compact after n commits (default 1024; 0 = only on
+//	                clean shutdown)
+//
+// Without -wal the base database is frozen at startup and /v1/facts
+// answers 501. With it, the daemon recovers snapshot + WAL tail before
+// listening, so an acknowledged commit survives kill -9.
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, fails
 // /readyz, lets in-flight queries finish for the drain grace period,
@@ -56,6 +66,9 @@ func run() int {
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight queries")
 	logFormat := flag.String("log", "json", "log format: json | text")
+	wal := flag.String("wal", "", "WAL file enabling runtime fact mutation (empty = read-only EDB)")
+	snapshot := flag.String("snapshot", "", "HDLSNAP compaction target (and preferred fact source on startup)")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "compact after this many commits (0 = only on clean shutdown)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -102,15 +115,46 @@ func run() int {
 		logger.Error("unknown mode", "mode", *mode)
 		return 2
 	}
-	pl, err := hypo.NewPool(prog, opts)
-	if err != nil {
-		logger.Error("build pool", "err", err)
-		return 1
+	var pl *hypo.Pool
+	var lv *hypo.Live
+	if *wal != "" {
+		lv, err = hypo.OpenLive(prog, hypo.LiveConfig{
+			WALPath:       *wal,
+			SnapshotPath:  *snapshot,
+			SnapshotEvery: *snapshotEvery,
+			Logger:        logger,
+		}, opts)
+		if err != nil {
+			logger.Error("open live store", "err", err)
+			return 1
+		}
+		// Close compacts (when -snapshot is set) so a clean restart
+		// replays nothing.
+		defer lv.Close()
+		rec := lv.Recovery()
+		logger.Info("live EDB recovered",
+			"wal", *wal,
+			"version", rec.Version,
+			"replayed", rec.Replayed,
+			"torn_bytes", rec.TornBytes,
+			"from_snapshot", rec.FromSnapshot,
+		)
+		pl = lv.Pool()
+	} else {
+		if *snapshot != "" {
+			logger.Warn("-snapshot has no effect without -wal; serving the program's facts read-only")
+		}
+		pl, err = hypo.NewPool(prog, opts)
+		if err != nil {
+			logger.Error("build pool", "err", err)
+			return 1
+		}
+		defer pl.Close()
 	}
-	defer pl.Close()
 
 	srv, err := server.New(server.Config{
 		Pool:           pl,
+		Live:           lv,
 		MaxQueue:       *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,

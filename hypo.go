@@ -96,6 +96,14 @@ type Program struct {
 	syms *symbols.Table
 	strt *strat.Stratification // nil if not linearly stratifiable
 	serr error                 // why strt is nil
+
+	// pinDom, when non-nil, overrides dom(R, DB) computation: every engine
+	// built from this Program enumerates exactly these constants. Live
+	// pools pin the domain at OpenLive so that all data versions of one
+	// program agree on what "for all constants" means — recomputing dom
+	// per version would let a retraction silently shrink the range of
+	// negation-as-failure between two queries.
+	pinDom []symbols.Const
 }
 
 // Parse parses, validates and compiles a program from source text.
@@ -162,6 +170,38 @@ func ReadSnapshot(r io.Reader) (*Program, error) {
 		return nil, err
 	}
 	return FromAST(prog)
+}
+
+// withFacts derives a Program with the same rules, queries, symbol table
+// and stratification but a different base fact set — one data version of
+// a live program. Only the facts are recompiled: rules, head indexes and
+// the IDB set are shared structurally with the receiver, so deriving a
+// version is O(|facts|), not O(|program|). The caller passes the pinned
+// domain every version must enumerate (see Program.pinDom).
+func (p *Program) withFacts(fs []ast.Atom, pinDom []symbols.Const) (*Program, error) {
+	cfacts := make([]ast.CAtom, 0, len(fs))
+	maxAr := p.comp.MaxArity
+	for _, f := range fs {
+		ca, err := compileGroundAtom(f, p.syms)
+		if err != nil {
+			return nil, err
+		}
+		cfacts = append(cfacts, ca)
+		if n := len(ca.Args); n > maxAr {
+			maxAr = n
+		}
+	}
+	src := &ast.Program{Rules: p.src.Rules, Facts: fs, Queries: p.src.Queries}
+	comp := &ast.CProgram{
+		Syms:     p.comp.Syms,
+		Rules:    p.comp.Rules,
+		Facts:    cfacts,
+		Queries:  p.comp.Queries,
+		ByHead:   p.comp.ByHead,
+		IDB:      p.comp.IDB,
+		MaxArity: maxAr,
+	}
+	return &Program{src: src, comp: comp, syms: p.syms, strt: p.strt, serr: p.serr, pinDom: pinDom}, nil
 }
 
 // AST returns the underlying syntax tree (after the section 3.1 rewrite).
@@ -251,7 +291,19 @@ type Engine struct {
 	uni    *topdown.Engine // non-nil in uniform mode (for stats)
 	cas    *engine.Cascade // non-nil in cascade mode
 	domSet map[symbols.Const]bool
+
+	// version is the data version of the program this engine was built
+	// against; set by Pool on engines serving a live program, zero
+	// otherwise. Memo tables, interner and base DB are all private to the
+	// engine, so an engine never observes facts from any other version.
+	version uint64
 }
+
+// DataVersion reports the data version of the base database this engine
+// was built against (0 for engines outside a live pool). During a
+// Pool.Do lease it is stable: a concurrent commit produces new engines
+// at the new version rather than mutating leased ones.
+func (e *Engine) DataVersion() uint64 { return e.version }
 
 // New builds an engine for a program.
 func New(p *Program, opts Options) (*Engine, error) {
@@ -288,12 +340,17 @@ func New(p *Program, opts Options) (*Engine, error) {
 
 // domainInfo computes dom(R, DB) plus Options.ExtraDomain, as both the
 // slice the engines enumerate over and the set the query validator uses.
+// A pinned domain (live programs) is used verbatim — it was computed once
+// at OpenLive and must stay identical across data versions.
 func domainInfo(p *Program, opts Options) ([]symbols.Const, map[symbols.Const]bool) {
-	var extra []symbols.Const
-	for _, name := range opts.ExtraDomain {
-		extra = append(extra, p.syms.Const(name))
+	dom := p.pinDom
+	if dom == nil {
+		var extra []symbols.Const
+		for _, name := range opts.ExtraDomain {
+			extra = append(extra, p.syms.Const(name))
+		}
+		dom = ref.Domain(p.comp, extra...)
 	}
-	dom := ref.Domain(p.comp, extra...)
 	domSet := make(map[symbols.Const]bool, len(dom))
 	for _, c := range dom {
 		domSet[c] = true

@@ -3,10 +3,15 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	hypo "hypodatalog"
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/engine"
 	"hypodatalog/internal/generic"
@@ -31,6 +36,7 @@ type Sizes struct {
 	TMLen  []int // E7: input lengths
 	HypOrd []int // E9: domain sizes (n! orders!)
 	HornN  []int // E10
+	LiveN  []int // E16: live-EDB graph sizes
 	Seed   int64
 }
 
@@ -45,6 +51,7 @@ func DefaultSizes() Sizes {
 		TMLen:  []int{0, 1, 2, 3},
 		HypOrd: []int{2, 3, 4, 5},
 		HornN:  []int{16, 64, 256, 512},
+		LiveN:  []int{16, 32, 64},
 		Seed:   1,
 	}
 }
@@ -60,6 +67,7 @@ func SmokeSizes() Sizes {
 		TMLen:  []int{0, 1},
 		HypOrd: []int{2, 3},
 		HornN:  []int{16, 32},
+		LiveN:  []int{6, 10},
 		Seed:   1,
 	}
 }
@@ -748,6 +756,114 @@ func E15Alternation(s Sizes) (*Table, error) {
 	return t, nil
 }
 
+// E16LiveChurn measures the live-EDB subsystem end to end: read latency
+// against an engine pool while the base fact set is quiet vs while it
+// churns through WAL-logged commits. Each commit recompiles the fact
+// layer and invalidates the pooled engines, so the churn column prices
+// the rebuild-on-lease path; the quiet column is the memoised steady
+// state. The workload is MixedReachability: transitive closure over a
+// spine graph with random non-spine edge toggles.
+func E16LiveChurn(s Sizes) (*Table, error) {
+	t := NewTable("E16 (live EDB): reads while the fact base churns",
+		"n", "ops", "commits", "quiet read", "churn read", "commit", "final version")
+	t.Note = "commits rebuild engines lazily on the next lease; quiet reads hit warm memo tables."
+	rng := rand.New(rand.NewSource(s.Seed + 5))
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	for _, n := range s.LiveN {
+		w := workload.MixedReachability(rng, n, 4*n, 0.3)
+		prog, err := hypo.Parse(w.Source)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "hdl-e16-")
+		if err != nil {
+			return nil, err
+		}
+		err = func() error {
+			defer os.RemoveAll(dir)
+			lv, err := hypo.OpenLive(prog, hypo.LiveConfig{
+				WALPath: filepath.Join(dir, "wal.log"),
+				NoSync:  true,
+				Logger:  quiet,
+			}, hypo.Options{PoolSize: 2})
+			if err != nil {
+				return err
+			}
+			defer lv.Close()
+			pl := lv.Pool()
+			ground := fmt.Sprintf("reach(v0, v%d)", n-1)
+
+			const quietReads = 20
+			var quietTotal time.Duration
+			for i := 0; i < quietReads; i++ {
+				start := time.Now()
+				ok, err := pl.Ask(ground)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("E16: spine unreachable at n=%d", n)
+				}
+				quietTotal += time.Since(start)
+			}
+
+			var churnReads, commits int
+			var churnTotal, commitTotal time.Duration
+			for _, op := range w.Ops {
+				if op.Query == "" {
+					ms, err := hypo.ParseMutations(op.Assert, op.Retract)
+					if err != nil {
+						return err
+					}
+					start := time.Now()
+					info, err := lv.Apply(ms)
+					if err != nil {
+						return err
+					}
+					if info.Changed != 1 {
+						return fmt.Errorf("E16: toggle changed %d facts", info.Changed)
+					}
+					commitTotal += time.Since(start)
+					commits++
+					continue
+				}
+				start := time.Now()
+				if strings.ContainsRune(op.Query, 'Y') {
+					if _, err := pl.Query(op.Query); err != nil {
+						return err
+					}
+				} else {
+					ok, err := pl.Ask(op.Query)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("E16: %s false at n=%d", op.Query, n)
+					}
+				}
+				churnTotal += time.Since(start)
+				churnReads++
+			}
+			if churnReads == 0 || commits == 0 {
+				return fmt.Errorf("E16: degenerate op stream (%d reads, %d commits)", churnReads, commits)
+			}
+			if got := lv.Version(); got != uint64(commits) {
+				return fmt.Errorf("E16: version %d after %d commits", got, commits)
+			}
+			t.Add(n, len(w.Ops), commits,
+				quietTotal/quietReads,
+				churnTotal/time.Duration(churnReads),
+				commitTotal/time.Duration(commits),
+				lv.Version())
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
 // Experiment couples an id with its runner.
 type Experiment struct {
 	ID   string
@@ -773,5 +889,6 @@ func All() []Experiment {
 		{"E13", "hypothetical deletions (extension)", E13Deletion},
 		{"E14", "constant-free machine compilation (Theorem 2)", E14GenericCompile},
 		{"E15", "alternation / PSPACE fragment (section 4 context)", E15Alternation},
+		{"E16", "live EDB under churn (runtime fact updates)", E16LiveChurn},
 	}
 }

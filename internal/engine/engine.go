@@ -79,7 +79,9 @@ func NewCascade(cp *ast.CProgram, s *strat.Stratification, dom []symbols.Const) 
 	in := facts.NewInterner(cp.Syms)
 	base := facts.NewDB(in)
 	for _, f := range cp.Facts {
-		base.Insert(in.InternGround(f))
+		if _, err := base.Insert(in.InternGround(f)); err != nil {
+			return nil, err
+		}
 	}
 	c := &Cascade{
 		prog:      cp,

@@ -1,6 +1,7 @@
 package facts
 
 import (
+	"fmt"
 	"sort"
 
 	"hypodatalog/internal/symbols"
@@ -36,8 +37,22 @@ func NewDB(in *Interner) *DB {
 func (db *DB) Interner() *Interner { return db.in }
 
 // Insert adds an interned atom to the database. Duplicate inserts are
-// no-ops. It reports whether the atom was newly added.
-func (db *DB) Insert(id AtomID) bool {
+// no-ops. It reports whether the atom was newly added, and rejects an
+// atom whose argument count disagrees with the declared arity of its
+// predicate — the interner itself does not check, and silently indexing
+// such an atom would corrupt the per-argument indexes (lookups key on
+// positions that the declared arity says cannot exist).
+func (db *DB) Insert(id AtomID) (bool, error) {
+	pred := db.in.Pred(id)
+	if want, got := db.in.Syms().PredArity(pred), len(db.in.Args(id)); want != got {
+		return false, fmt.Errorf("facts: atom %s has %d args but predicate %s is declared with arity %d",
+			db.in.Format(id), got, db.in.Syms().PredName(pred), want)
+	}
+	return db.insert(id), nil
+}
+
+// insert indexes an atom already known to be arity-consistent.
+func (db *DB) insert(id AtomID) bool {
 	if _, ok := db.set[id]; ok {
 		return false
 	}
@@ -86,7 +101,7 @@ func (db *DB) All() []AtomID {
 func (db *DB) Clone() *DB {
 	out := NewDB(db.in)
 	for id := range db.set {
-		out.Insert(id)
+		out.insert(id)
 	}
 	return out
 }

@@ -79,13 +79,42 @@ func TestDBIndexes(t *testing.T) {
 		t.Errorf("ByPred: %d", len(got))
 	}
 	// Duplicate insert is a no-op.
-	if db.Insert(in.ID(edge, []symbols.Const{consts[0], consts[1]})) {
-		t.Error("duplicate insert reported as new")
+	if added, err := db.Insert(in.ID(edge, []symbols.Const{consts[0], consts[1]})); err != nil || added {
+		t.Errorf("duplicate insert: added=%v err=%v", added, err)
 	}
 	clone := db.Clone()
 	clone.Insert(in.ID(edge, []symbols.Const{consts[4], consts[0]}))
 	if db.Len() == clone.Len() {
 		t.Error("clone shares storage")
+	}
+}
+
+// TestInsertRejectsArityMismatch: the interner happily assigns an id to
+// edge(a) even when edge was declared with arity 2; Insert must refuse to
+// index it rather than corrupt the per-argument indexes.
+func TestInsertRejectsArityMismatch(t *testing.T) {
+	in, db, syms := newTestDB()
+	edge := syms.Pred("edge", 2)
+	a, b := syms.Const("a"), syms.Const("b")
+	if _, err := db.Insert(in.ID(edge, []symbols.Const{a, b})); err != nil {
+		t.Fatalf("well-formed insert failed: %v", err)
+	}
+	bad := in.ID(edge, []symbols.Const{a}) // one arg on a 2-ary predicate
+	added, err := db.Insert(bad)
+	if err == nil {
+		t.Fatal("arity-mismatched insert succeeded")
+	}
+	if added {
+		t.Fatal("arity-mismatched insert reported as added")
+	}
+	if db.Has(bad) {
+		t.Fatal("arity-mismatched atom visible in the DB")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d after rejected insert, want 1", db.Len())
+	}
+	if got := db.ByPred(edge); len(got) != 1 {
+		t.Fatalf("ByPred lists %d atoms after rejected insert, want 1", len(got))
 	}
 }
 

@@ -91,7 +91,9 @@ func New(cp *ast.CProgram, strategy Strategy) (*Engine, error) {
 	in := facts.NewInterner(cp.Syms)
 	base := facts.NewDB(in)
 	for _, f := range cp.Facts {
-		base.Insert(in.InternGround(f))
+		if _, err := base.Insert(in.InternGround(f)); err != nil {
+			return nil, err
+		}
 	}
 	e := &Engine{
 		prog:     cp,

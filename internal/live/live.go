@@ -1,0 +1,524 @@
+// Package live is the mutable, durable, versioned base database — the
+// "live EDB" under a hypothetical Datalog engine. Where the rest of the
+// system treats the extensional database as frozen at load time, a
+// live.Store accepts transactional mutation batches (assert/retract of
+// ground facts, all-or-nothing), gives each committed batch a new
+// immutable data version, and makes every acknowledged commit durable:
+//
+//   - a commit is appended to an append-only, CRC-guarded write-ahead log
+//     and fsynced before it is acknowledged;
+//   - every SnapshotEvery commits the fact set is compacted into the
+//     HDLSNAP snapshot format (internal/storage) and the WAL is rotated;
+//   - crash recovery = load the snapshot (or the seed program) and replay
+//     the WAL tail; a torn last record is discarded by its checksum, so
+//     recovery converges on a version ≥ every acknowledged commit.
+//
+// The store itself is engine-agnostic: it owns facts as surface-syntax
+// ground atoms and knows nothing about domains, stratification or
+// intensional predicates. Admission policy (rejecting constants outside
+// the declared domain, mutations of intensional predicates, arity
+// conflicts) belongs to the engine layer wrapping it — see hypo.Live.
+//
+// A Store is safe for concurrent use; commits are serialised internally.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/storage"
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+const (
+	// OpAssert inserts a ground fact into the base database.
+	OpAssert Op = 1
+	// OpRetract removes a ground fact from the base database.
+	OpRetract Op = 2
+)
+
+// String names the op in surface terms.
+func (o Op) String() string {
+	switch o {
+	case OpAssert:
+		return "assert"
+	case OpRetract:
+		return "retract"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Mutation is one assert or retract of a ground fact.
+type Mutation struct {
+	Op   Op
+	Atom ast.Atom
+}
+
+// Assert builds an OpAssert mutation.
+func Assert(a ast.Atom) Mutation { return Mutation{Op: OpAssert, Atom: a} }
+
+// Retract builds an OpRetract mutation.
+func Retract(a ast.Atom) Mutation { return Mutation{Op: OpRetract, Atom: a} }
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("live: store is closed")
+
+// Config parameterises a Store.
+type Config struct {
+	// WALPath is the write-ahead log file. Required. Created if absent;
+	// replayed (with the torn tail truncated) if present.
+	WALPath string
+
+	// SnapshotPath, when set, enables compaction: the fact set is
+	// periodically written there in the HDLSNAP format and the WAL is
+	// rotated. On Open, an existing snapshot at this path seeds the fact
+	// set (the WAL tail is replayed on top of it).
+	SnapshotPath string
+
+	// SnapshotEvery compacts after this many commits since the last
+	// compaction. Zero disables periodic compaction (a clean Close still
+	// compacts when SnapshotPath is set).
+	SnapshotEvery int
+
+	// NoSync skips the per-commit fsync. Commits are then only as durable
+	// as the OS page cache — for tests and benchmarks, not production.
+	NoSync bool
+
+	// Logger receives compaction and recovery diagnostics. Default:
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Recovery reports what Open reconstructed.
+type Recovery struct {
+	// Version is the data version the store resumed at.
+	Version uint64
+	// Replayed is the number of WAL records applied on top of the base
+	// fact set.
+	Replayed int
+	// TornBytes is the size of the discarded torn WAL tail (0 on a clean
+	// shutdown).
+	TornBytes int
+	// FromSnapshot reports whether the base fact set came from the
+	// snapshot file rather than the seed program.
+	FromSnapshot bool
+}
+
+// CommitInfo reports one successful commit.
+type CommitInfo struct {
+	// Version is the new data version produced by the batch.
+	Version uint64
+	// Changed is how many mutations altered the fact set (asserting a
+	// present fact or retracting an absent one is a no-op that still
+	// commits).
+	Changed int
+	// Compacted reports whether this commit triggered a snapshot
+	// compaction.
+	Compacted bool
+}
+
+// Store is the versioned fact store. See the package comment.
+type Store struct {
+	mu    sync.Mutex
+	cfg   Config
+	log   *slog.Logger
+	rules *ast.Program // rules and queries only; facts live in the map
+
+	facts   map[string]ast.Atom // key: canonical surface text
+	version uint64
+
+	wal       *os.File
+	walBase   uint64 // header base version of the current WAL file
+	sinceSnap int    // commits since the last compaction (or Open)
+
+	cache  []ast.Atom // sorted fact slice for the current version
+	closed bool
+}
+
+// Open builds a store from the seed program and the durable state at
+// cfg's paths. The seed's rules and queries are authoritative (they are
+// what gets written into compaction snapshots); its facts are used only
+// when no snapshot exists. Facts are deduplicated by canonical text.
+func Open(seed *ast.Program, cfg Config) (*Store, Recovery, error) {
+	if cfg.WALPath == "" {
+		return nil, Recovery{}, errors.New("live: Config.WALPath is required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Store{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		rules: &ast.Program{Rules: seed.Rules, Queries: seed.Queries},
+		facts: make(map[string]ast.Atom),
+	}
+	var rec Recovery
+
+	// Base fact set: the snapshot if one exists, else the seed program.
+	base := seed.Facts
+	if cfg.SnapshotPath != "" {
+		f, err := os.Open(cfg.SnapshotPath)
+		switch {
+		case err == nil:
+			snap, rerr := storage.Read(f)
+			f.Close()
+			if rerr != nil {
+				return nil, Recovery{}, fmt.Errorf("live: snapshot %s: %w", cfg.SnapshotPath, rerr)
+			}
+			base = snap.Facts
+			rec.FromSnapshot = true
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: seed facts.
+		default:
+			return nil, Recovery{}, fmt.Errorf("live: snapshot: %w", err)
+		}
+	}
+	for _, a := range base {
+		if !a.IsGround() {
+			return nil, Recovery{}, fmt.Errorf("live: base fact %s is not ground", a)
+		}
+		s.facts[a.String()] = a
+	}
+
+	if err := s.openWAL(&rec); err != nil {
+		return nil, Recovery{}, err
+	}
+	rec.Version = s.version
+	return s, rec, nil
+}
+
+// openWAL replays (or creates) the WAL file and leaves it open for
+// appending.
+func (s *Store) openWAL(rec *Recovery) error {
+	data, err := os.ReadFile(s.cfg.WALPath)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return s.createWAL(0)
+	case err != nil:
+		return fmt.Errorf("live: reading WAL: %w", err)
+	}
+	base, recs, goodLen, err := parseWAL(data)
+	if err != nil {
+		return err
+	}
+	if goodLen < len(data) {
+		rec.TornBytes = len(data) - goodLen
+		s.log.Warn("live: discarding torn WAL tail",
+			"wal", s.cfg.WALPath, "bytes", rec.TornBytes)
+		if err := os.Truncate(s.cfg.WALPath, int64(goodLen)); err != nil {
+			return fmt.Errorf("live: truncating torn WAL tail: %w", err)
+		}
+	}
+	s.walBase = base
+	s.version = base
+	for _, r := range recs {
+		for _, m := range r.muts {
+			s.apply(m)
+		}
+		s.version = r.version
+	}
+	rec.Replayed = len(recs)
+	f, err := os.OpenFile(s.cfg.WALPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("live: reopening WAL for append: %w", err)
+	}
+	s.wal = f
+	s.sinceSnap = int(s.version - base)
+	return nil
+}
+
+// createWAL writes a fresh WAL file containing only a header and opens
+// it for appending.
+func (s *Store) createWAL(base uint64) error {
+	f, err := os.OpenFile(s.cfg.WALPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("live: creating WAL: %w", err)
+	}
+	if _, err := f.Write(encodeHeader(base)); err != nil {
+		f.Close()
+		return fmt.Errorf("live: writing WAL header: %w", err)
+	}
+	if err := s.syncFile(f); err != nil {
+		f.Close()
+		return err
+	}
+	s.wal = f
+	s.walBase = base
+	s.version = base
+	s.sinceSnap = 0
+	return nil
+}
+
+func (s *Store) syncFile(f *os.File) error {
+	if s.cfg.NoSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("live: fsync: %w", err)
+	}
+	return nil
+}
+
+// apply performs one mutation on the fact map, reporting whether it
+// changed anything.
+func (s *Store) apply(m Mutation) bool {
+	key := m.Atom.String()
+	switch m.Op {
+	case OpAssert:
+		if _, ok := s.facts[key]; ok {
+			return false
+		}
+		s.facts[key] = m.Atom
+		return true
+	case OpRetract:
+		if _, ok := s.facts[key]; !ok {
+			return false
+		}
+		delete(s.facts, key)
+		return true
+	default:
+		return false
+	}
+}
+
+// Commit applies a mutation batch atomically: the batch is validated,
+// appended to the WAL and fsynced, and only then applied to the fact
+// set under a new data version. A failed validation or write leaves the
+// store exactly as it was. Asserting a present fact or retracting an
+// absent one is a committed no-op (it still produces a version).
+func (s *Store) Commit(ms []Mutation) (CommitInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CommitInfo{}, ErrClosed
+	}
+	if len(ms) == 0 {
+		return CommitInfo{}, errors.New("live: empty mutation batch")
+	}
+	for _, m := range ms {
+		if m.Op != OpAssert && m.Op != OpRetract {
+			return CommitInfo{}, fmt.Errorf("live: unknown mutation op %d", m.Op)
+		}
+		if !m.Atom.IsGround() {
+			return CommitInfo{}, fmt.Errorf("live: %s %s: fact is not ground", m.Op, m.Atom)
+		}
+		if len(m.Atom.Args) > 1024 {
+			return CommitInfo{}, fmt.Errorf("live: %s %s: implausible arity %d", m.Op, m.Atom, len(m.Atom.Args))
+		}
+	}
+
+	// Durability first: the record reaches disk before the fact set (or
+	// the version) moves, so an acknowledged commit can never be lost and
+	// a failed write never leaves a half-applied batch.
+	record := encodeRecord(s.version+1, ms)
+	off, err := s.wal.Seek(0, 2)
+	if err != nil {
+		return CommitInfo{}, fmt.Errorf("live: WAL seek: %w", err)
+	}
+	if _, err := s.wal.Write(record); err != nil {
+		// Best effort: cut the possibly partial record back off so the
+		// file stays parseable for subsequent commits.
+		_ = s.wal.Truncate(off)
+		return CommitInfo{}, fmt.Errorf("live: WAL append: %w", err)
+	}
+	if err := s.syncFile(s.wal); err != nil {
+		_ = s.wal.Truncate(off)
+		return CommitInfo{}, err
+	}
+
+	info := CommitInfo{Version: s.version + 1}
+	for _, m := range ms {
+		if s.apply(m) {
+			info.Changed++
+		}
+	}
+	s.version++
+	s.cache = nil
+	s.sinceSnap++
+
+	if s.cfg.SnapshotEvery > 0 && s.cfg.SnapshotPath != "" && s.sinceSnap >= s.cfg.SnapshotEvery {
+		if err := s.compactLocked(); err != nil {
+			// The commit itself is durable in the WAL; a failed compaction
+			// only delays the next one.
+			s.log.Error("live: compaction failed", "err", err)
+		} else {
+			info.Compacted = true
+		}
+	}
+	return info, nil
+}
+
+// Version returns the current data version.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Len returns the number of facts at the current version.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.facts)
+}
+
+// SinceSnapshot returns the number of commits since the last compaction
+// (or since Open, if none has happened) — the length of the WAL tail a
+// crash right now would replay.
+func (s *Store) SinceSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceSnap
+}
+
+// Has reports whether the ground atom is a fact at the current version.
+func (s *Store) Has(a ast.Atom) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.facts[a.String()]
+	return ok
+}
+
+// Facts returns the fact set of the current version, sorted by canonical
+// text. The returned slice is shared and immutable: callers must not
+// modify it, and successive calls at the same version return the same
+// slice (a new slice is built per version, so a caller holding version
+// v's slice is isolated from later commits).
+func (s *Store) Facts() []ast.Atom {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.factsLocked()
+}
+
+func (s *Store) factsLocked() []ast.Atom {
+	if s.cache == nil {
+		keys := make([]string, 0, len(s.facts))
+		for k := range s.facts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]ast.Atom, len(keys))
+		for i, k := range keys {
+			out[i] = s.facts[k]
+		}
+		s.cache = out
+	}
+	return s.cache
+}
+
+// Compact writes the current fact set to the snapshot file and rotates
+// the WAL. It is a no-op error when no SnapshotPath is configured.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// compactLocked writes snapshot.tmp, renames it over the snapshot, then
+// writes wal.tmp (header only, base = current version) and renames it
+// over the WAL. A crash between the two renames leaves a snapshot newer
+// than the WAL's base — which replay tolerates (see wal.go).
+func (s *Store) compactLocked() error {
+	if s.cfg.SnapshotPath == "" {
+		return errors.New("live: no SnapshotPath configured")
+	}
+	prog := &ast.Program{Rules: s.rules.Rules, Queries: s.rules.Queries, Facts: s.factsLocked()}
+	tmp := s.cfg.SnapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("live: snapshot tmp: %w", err)
+	}
+	if err := storage.Write(f, prog); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("live: writing snapshot: %w", err)
+	}
+	if err := s.syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("live: snapshot rename: %w", err)
+	}
+
+	// Rotate the WAL: fresh header at the snapshot's version.
+	walTmp := s.cfg.WALPath + ".tmp"
+	nf, err := os.OpenFile(walTmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("live: WAL tmp: %w", err)
+	}
+	if _, err := nf.Write(encodeHeader(s.version)); err != nil {
+		nf.Close()
+		os.Remove(walTmp)
+		return fmt.Errorf("live: writing rotated WAL header: %w", err)
+	}
+	if err := s.syncFile(nf); err != nil {
+		nf.Close()
+		os.Remove(walTmp)
+		return err
+	}
+	if err := os.Rename(walTmp, s.cfg.WALPath); err != nil {
+		nf.Close()
+		os.Remove(walTmp)
+		return fmt.Errorf("live: WAL rotate rename: %w", err)
+	}
+	s.wal.Close()
+	s.wal = nf
+	s.walBase = s.version
+	s.sinceSnap = 0
+	s.syncDir()
+	s.log.Info("live: compacted",
+		"snapshot", s.cfg.SnapshotPath, "version", s.version, "facts", len(s.facts))
+	return nil
+}
+
+// syncDir best-effort fsyncs the WAL's directory so the renames of a
+// compaction are themselves durable.
+func (s *Store) syncDir() {
+	if s.cfg.NoSync {
+		return
+	}
+	if d, err := os.Open(filepath.Dir(s.cfg.WALPath)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Close compacts once more when a snapshot path is configured (so a
+// clean restart replays nothing) and closes the WAL. Further operations
+// fail with ErrClosed. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.cfg.SnapshotPath != "" && s.sinceSnap > 0 {
+		err = s.compactLocked()
+	}
+	s.closed = true
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

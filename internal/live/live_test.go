@@ -1,0 +1,372 @@
+package live
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+)
+
+func atom(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	a, err := parser.ParseAtom(src)
+	if err != nil {
+		t.Fatalf("ParseAtom(%q): %v", src, err)
+	}
+	return a
+}
+
+func prog(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+const seedSrc = `
+edge(a, b).
+edge(b, c).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+`
+
+// quiet drops log output so expected warnings (torn tails) don't clutter
+// test output.
+func quiet() *slog.Logger {
+	return slog.New(slog.NewTextHandler(bytes.NewBuffer(nil), nil))
+}
+
+func openStore(t *testing.T, dir string, every int) (*Store, Recovery) {
+	t.Helper()
+	s, rec, err := Open(prog(t, seedSrc), Config{
+		WALPath:       filepath.Join(dir, "wal.log"),
+		SnapshotPath:  filepath.Join(dir, "db.snap"),
+		SnapshotEvery: every,
+		Logger:        quiet(),
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+func TestCommitAndVersioning(t *testing.T) {
+	s, rec := openStore(t, t.TempDir(), 0)
+	defer s.Close()
+	if rec.Version != 0 || rec.Replayed != 0 || rec.FromSnapshot {
+		t.Fatalf("fresh recovery = %+v", rec)
+	}
+	if n := s.Len(); n != 2 {
+		t.Fatalf("seed fact count = %d, want 2", n)
+	}
+
+	info, err := s.Commit([]Mutation{Assert(atom(t, "edge(c, d)"))})
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if info.Version != 1 || info.Changed != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if !s.Has(atom(t, "edge(c, d)")) {
+		t.Fatal("asserted fact missing")
+	}
+
+	// Batches are one version regardless of size; no-op mutations commit
+	// but report Changed accordingly.
+	info, err = s.Commit([]Mutation{
+		Assert(atom(t, "edge(c, d)")), // already present
+		Retract(atom(t, "edge(a, b)")),
+		Retract(atom(t, "edge(x, y)")), // absent
+	})
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if info.Version != 2 || info.Changed != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if s.Has(atom(t, "edge(a, b)")) {
+		t.Fatal("retracted fact still present")
+	}
+	if s.Version() != 2 {
+		t.Fatalf("Version = %d, want 2", s.Version())
+	}
+}
+
+func TestCommitRejectsBadBatches(t *testing.T) {
+	s, _ := openStore(t, t.TempDir(), 0)
+	defer s.Close()
+
+	if _, err := s.Commit(nil); err == nil {
+		t.Fatal("empty batch committed")
+	}
+	nonGround := ast.Atom{Pred: "edge", Args: []ast.Term{ast.Var("X"), ast.Const("b")}}
+	if _, err := s.Commit([]Mutation{Assert(nonGround)}); err == nil {
+		t.Fatal("non-ground fact committed")
+	}
+	if _, err := s.Commit([]Mutation{{Op: 7, Atom: atom(t, "edge(a, b)")}}); err == nil {
+		t.Fatal("unknown op committed")
+	}
+	// A bad mutation anywhere in the batch rejects the whole batch.
+	if _, err := s.Commit([]Mutation{
+		Assert(atom(t, "edge(z, z)")),
+		Assert(nonGround),
+	}); err == nil {
+		t.Fatal("batch with one bad mutation committed")
+	}
+	if s.Has(atom(t, "edge(z, z)")) {
+		t.Fatal("partial batch applied")
+	}
+	if s.Version() != 0 {
+		t.Fatalf("rejected batches moved the version to %d", s.Version())
+	}
+}
+
+func TestFactsSnapshotIsolationOfSlice(t *testing.T) {
+	s, _ := openStore(t, t.TempDir(), 0)
+	defer s.Close()
+	before := s.Facts()
+	if len(before) != 2 {
+		t.Fatalf("Facts len = %d, want 2", len(before))
+	}
+	if again := s.Facts(); &again[0] != &before[0] {
+		t.Fatal("same-version Facts() rebuilt the slice")
+	}
+	if _, err := s.Commit([]Mutation{Assert(atom(t, "edge(c, d)"))}); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Facts()
+	if len(before) != 2 || len(after) != 3 {
+		t.Fatalf("old slice len %d / new %d, want 2 / 3", len(before), len(after))
+	}
+	// Sorted by canonical text.
+	for i := 1; i < len(after); i++ {
+		if after[i-1].String() >= after[i].String() {
+			t.Fatalf("Facts not sorted: %s before %s", after[i-1], after[i])
+		}
+	}
+}
+
+func TestRecoveryReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, 0) // no compaction: everything lives in the WAL
+	for _, m := range []Mutation{
+		Assert(atom(t, "edge(c, d)")),
+		Assert(atom(t, "edge(d, e)")),
+		Retract(atom(t, "edge(a, b)")),
+	} {
+		if _, err := s.Commit([]Mutation{m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash: skip Close (which would compact) and drop the
+	// file handle on the floor.
+	s.wal.Close()
+	s.closed = true
+
+	r, rec := openStore(t, dir, 0)
+	defer r.Close()
+	if rec.Version != 3 || rec.Replayed != 3 || rec.FromSnapshot || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if !r.Has(atom(t, "edge(d, e)")) || r.Has(atom(t, "edge(a, b)")) {
+		t.Fatal("replayed state wrong")
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "wal.log")
+	s, _ := openStore(t, dir, 0)
+	if _, err := s.Commit([]Mutation{Assert(atom(t, "edge(c, d)"))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit([]Mutation{Assert(atom(t, "edge(d, e)"))}); err != nil {
+		t.Fatal(err)
+	}
+	s.wal.Close()
+	s.closed = true
+
+	// Tear the last record: chop off its final 3 bytes, as a crash
+	// mid-write would.
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, rec := openStore(t, dir, 0)
+	defer r.Close()
+	if rec.Version != 1 || rec.Replayed != 1 || rec.TornBytes == 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if r.Has(atom(t, "edge(d, e)")) {
+		t.Fatal("torn commit replayed")
+	}
+	// The torn tail must be gone from disk so the next commit appends to
+	// a valid prefix: commit and recover once more.
+	if _, err := r.Commit([]Mutation{Assert(atom(t, "edge(e, f)"))}); err != nil {
+		t.Fatal(err)
+	}
+	r.wal.Close()
+	r.closed = true
+	r2, rec2 := openStore(t, dir, 0)
+	defer r2.Close()
+	if rec2.Version != 2 || !r2.Has(atom(t, "edge(e, f)")) {
+		t.Fatalf("post-truncation recovery = %+v", rec2)
+	}
+}
+
+func TestRecoveryRejectsCorruptInterior(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "wal.log")
+	s, _ := openStore(t, dir, 0)
+	if _, err := s.Commit([]Mutation{Assert(atom(t, "edge(c, d)"))}); err != nil {
+		t.Fatal(err)
+	}
+	s.wal.Close()
+	s.closed = true
+
+	// A record that passes its CRC but claims an out-of-sequence version
+	// means the file was assembled wrong, not torn: refuse to open.
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, encodeRecord(99, []Mutation{Assert(ast.Atom{Pred: "p"})})...)
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(prog(t, seedSrc), Config{WALPath: wal, Logger: quiet()})
+	if err == nil {
+		t.Fatal("out-of-sequence WAL opened")
+	}
+}
+
+func TestCompactionAndSnapshotRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, 2) // compact every 2 commits
+	var last CommitInfo
+	for _, f := range []string{"edge(c, d)", "edge(d, e)", "edge(e, f)"} {
+		var err error
+		if last, err = s.Commit([]Mutation{Assert(atom(t, f))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Commit 2 compacted; commit 3 sits in the rotated WAL.
+	if !last.Compacted && s.SinceSnapshot() != 1 {
+		t.Fatalf("SinceSnapshot = %d after 3 commits with every=2", s.SinceSnapshot())
+	}
+	s.wal.Close()
+	s.closed = true
+
+	r, rec := openStore(t, dir, 2)
+	defer r.Close()
+	if !rec.FromSnapshot {
+		t.Fatalf("recovery did not use snapshot: %+v", rec)
+	}
+	if rec.Version != 3 || rec.Replayed != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	for _, f := range []string{"edge(a, b)", "edge(c, d)", "edge(d, e)", "edge(e, f)"} {
+		if !r.Has(atom(t, f)) {
+			t.Fatalf("fact %s missing after snapshot recovery", f)
+		}
+	}
+}
+
+func TestCleanCloseCompactsAndReplaysNothing(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, 0) // periodic compaction off; Close still compacts
+	if _, err := s.Commit([]Mutation{Assert(atom(t, "edge(c, d)"))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Commit([]Mutation{Assert(atom(t, "edge(x, y)"))}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after Close = %v, want ErrClosed", err)
+	}
+
+	r, rec := openStore(t, dir, 0)
+	defer r.Close()
+	if rec.Replayed != 0 || !rec.FromSnapshot || rec.Version != 1 {
+		t.Fatalf("clean-shutdown recovery = %+v", rec)
+	}
+	if !r.Has(atom(t, "edge(c, d)")) {
+		t.Fatal("fact lost across clean restart")
+	}
+}
+
+// TestCompactionCrashWindow covers a crash between the snapshot rename
+// and the WAL rotation: the snapshot already holds the WAL's records, and
+// replaying them on top must be a harmless no-op.
+func TestCompactionCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, 0)
+	if _, err := s.Commit([]Mutation{Assert(atom(t, "edge(c, d)"))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit([]Mutation{Retract(atom(t, "edge(a, b)"))}); err != nil {
+		t.Fatal(err)
+	}
+	// Write the snapshot by hand, leaving the old WAL (records 1..2, base
+	// 0) in place — exactly the state after the first rename.
+	old, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.wal.Close()
+	s.closed = true
+
+	r, rec := openStore(t, dir, 0)
+	defer r.Close()
+	if rec.Version != 2 || rec.Replayed != 2 || !rec.FromSnapshot {
+		t.Fatalf("crash-window recovery = %+v", rec)
+	}
+	if !r.Has(atom(t, "edge(c, d)")) || r.Has(atom(t, "edge(a, b)")) {
+		t.Fatal("overlap replay corrupted state")
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	ms := []Mutation{
+		Assert(atom(t, "edge(a, b)")),
+		Retract(atom(t, "flag")),
+		Assert(atom(t, "'weird pred'('multi word const', '')")),
+	}
+	data := encodeHeader(41)
+	data = append(data, encodeRecord(42, ms)...)
+	base, recs, goodLen, err := parseWAL(data)
+	if err != nil {
+		t.Fatalf("parseWAL: %v", err)
+	}
+	if base != 41 || goodLen != len(data) || len(recs) != 1 {
+		t.Fatalf("base=%d goodLen=%d/%d recs=%d", base, goodLen, len(data), len(recs))
+	}
+	if recs[0].version != 42 || len(recs[0].muts) != len(ms) {
+		t.Fatalf("record = %+v", recs[0])
+	}
+	for i, m := range recs[0].muts {
+		if m.Op != ms[i].Op || !m.Atom.Equal(ms[i].Atom) {
+			t.Fatalf("mutation %d = %+v, want %+v", i, m, ms[i])
+		}
+	}
+}

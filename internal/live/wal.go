@@ -1,0 +1,234 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"hypodatalog/internal/ast"
+)
+
+// The WAL is an append-only sequence of commit records behind a small
+// header, following the encoding conventions of internal/storage: all
+// integers are uvarints, strings are length-prefixed bytes, and every
+// unit (the header and each record) is guarded by a CRC32 so a torn tail
+// left by a crash is detected and discarded rather than replayed.
+//
+// Layout:
+//
+//	header   "HDLWAL\x01" | crc32(body) LE uint32 | uvarint len(body) | body
+//	         body = uvarint baseVersion
+//	record   crc32(body) LE uint32 | uvarint len(body) | body
+//	         body = uvarint version | uvarint nMuts | nMuts × mutation
+//	mutation op byte | uvarint len(pred) | pred | uvarint nArgs |
+//	         nArgs × (uvarint len | bytes)
+//
+// Record versions are strictly sequential from baseVersion+1. The base
+// version is the data version the rest of the durable state (snapshot or
+// seed program) is at when the WAL file is created; replaying every
+// record on top of it reconstructs the latest committed version.
+//
+// Replay is tolerant of one specific overlap: after a compaction crash
+// between the snapshot rename and the WAL rotation, the snapshot may
+// already contain a prefix of the WAL's records. Re-applying that prefix
+// is harmless because mutations are last-writer-wins per atom (asserting
+// a present fact and retracting an absent one are no-ops), so recovery
+// never needs to know the snapshot's exact version.
+
+var walMagic = []byte("HDLWAL\x01")
+
+// maxSaneLen guards length fields against corrupt or hostile input,
+// mirroring internal/storage.
+const maxSaneLen = 1 << 28
+
+// walRecord is one decoded commit: the version it produced and its
+// mutations.
+type walRecord struct {
+	version uint64
+	muts    []Mutation
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendFramed wraps body in the crc | len | body framing shared by the
+// header and the records.
+func appendFramed(b, body []byte) []byte {
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(body))
+	b = append(b, crcBuf[:]...)
+	b = appendUvarint(b, uint64(len(body)))
+	return append(b, body...)
+}
+
+// encodeHeader renders the WAL header for a file whose records start at
+// baseVersion+1.
+func encodeHeader(baseVersion uint64) []byte {
+	body := appendUvarint(nil, baseVersion)
+	return appendFramed(append([]byte(nil), walMagic...), body)
+}
+
+// encodeRecord renders one commit record.
+func encodeRecord(version uint64, ms []Mutation) []byte {
+	body := appendUvarint(nil, version)
+	body = appendUvarint(body, uint64(len(ms)))
+	for _, m := range ms {
+		body = append(body, byte(m.Op))
+		body = appendString(body, m.Atom.Pred)
+		body = appendUvarint(body, uint64(len(m.Atom.Args)))
+		for _, t := range m.Atom.Args {
+			body = appendString(body, t.Name)
+		}
+	}
+	return appendFramed(nil, body)
+}
+
+// walDecoder reads uvarints and byte strings from a buffer, latching the
+// first error like storage's decoder.
+type walDecoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *walDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("live: truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *walDecoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSaneLen || d.pos+int(n) > len(d.buf) {
+		d.err = fmt.Errorf("live: truncated data at offset %d (want %d bytes)", d.pos, n)
+		return nil
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out
+}
+
+func (d *walDecoder) byte() byte {
+	b := d.bytes(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// readFramed consumes one crc | len | body frame and returns the body.
+// ok is false (with d.err unset) when the remaining bytes do not contain
+// a complete, checksum-valid frame — the torn-tail condition.
+func (d *walDecoder) readFramed() (body []byte, ok bool) {
+	crcBytes := d.bytes(4)
+	n := d.uvarint()
+	body = d.bytes(n)
+	if d.err != nil {
+		d.err = nil
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeMutations parses the mutation list of a record body.
+func decodeMutations(body []byte, version uint64) (*walRecord, error) {
+	d := &walDecoder{buf: body}
+	n := d.uvarint()
+	if n > maxSaneLen {
+		return nil, fmt.Errorf("live: implausible mutation count %d", n)
+	}
+	rec := &walRecord{version: version, muts: make([]Mutation, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		op := Op(d.byte())
+		if d.err == nil && op != OpAssert && op != OpRetract {
+			return nil, fmt.Errorf("live: unknown mutation op %d", op)
+		}
+		pred := string(d.bytes(d.uvarint()))
+		nArgs := d.uvarint()
+		if nArgs > 1024 {
+			return nil, fmt.Errorf("live: implausible arity %d", nArgs)
+		}
+		a := ast.Atom{Pred: pred}
+		for j := uint64(0); j < nArgs; j++ {
+			a.Args = append(a.Args, ast.Const(string(d.bytes(d.uvarint()))))
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		rec.muts = append(rec.muts, Mutation{Op: op, Atom: a})
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("live: %d trailing record bytes", len(d.buf)-d.pos)
+	}
+	return rec, nil
+}
+
+// parseWAL decodes a WAL image. It returns the header's base version,
+// the decoded records, and goodLen — the byte length of the valid prefix.
+// A torn or checksum-failing tail is NOT an error: parsing stops and
+// goodLen < len(data) reports how much survives (the caller truncates).
+// A malformed header, a non-sequential record version, or garbage inside
+// a checksum-valid record IS an error: those cannot be produced by a
+// torn write and replaying past them could silently lose acknowledged
+// commits.
+func parseWAL(data []byte) (base uint64, recs []walRecord, goodLen int, err error) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+		return 0, nil, 0, fmt.Errorf("live: bad WAL magic (not a WAL, or unsupported version)")
+	}
+	d := &walDecoder{buf: data, pos: len(walMagic)}
+	hdr, ok := d.readFramed()
+	if !ok {
+		return 0, nil, 0, fmt.Errorf("live: corrupt WAL header")
+	}
+	hd := &walDecoder{buf: hdr}
+	base = hd.uvarint()
+	if hd.err != nil || hd.pos != len(hdr) {
+		return 0, nil, 0, fmt.Errorf("live: malformed WAL header body")
+	}
+	goodLen = d.pos
+	next := base + 1
+	for d.pos < len(data) {
+		body, ok := d.readFramed()
+		if !ok {
+			// Torn tail: keep what we have, report the cut point.
+			return base, recs, goodLen, nil
+		}
+		rd := &walDecoder{buf: body}
+		version := rd.uvarint()
+		if rd.err != nil {
+			return 0, nil, 0, fmt.Errorf("live: record at offset %d has no version", goodLen)
+		}
+		if version != next {
+			return 0, nil, 0, fmt.Errorf("live: record version %d at offset %d, want %d (WAL sequence broken)",
+				version, goodLen, next)
+		}
+		rec, err := decodeMutations(body[rd.pos:], version)
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("live: record %d: %w", version, err)
+		}
+		recs = append(recs, *rec)
+		goodLen = d.pos
+		next++
+	}
+	return base, recs, goodLen, nil
+}

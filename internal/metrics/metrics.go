@@ -44,6 +44,9 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec lowers the gauge by one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Set overwrites the gauge's level (e.g. the current data version).
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
@@ -128,6 +131,23 @@ var (
 	HTTPQueued   Gauge
 	HTTPInFlight Gauge
 
+	// Live EDB (hypo.Live / internal/live). LiveCommits counts committed
+	// mutation batches, LiveMutations the individual mutations inside
+	// them, LiveRejected the batches refused by validation (domain,
+	// intensional predicate, non-ground). LiveReplayed counts WAL records
+	// replayed at recovery, LiveRebuilds engines rebuilt because their
+	// data version went stale, LiveCompactions snapshot compactions.
+	// LiveVersion is the current data version; LiveSnapshotAge is how many
+	// commits the snapshot lags it (the WAL tail a crash would replay).
+	LiveCommits     Counter
+	LiveMutations   Counter
+	LiveRejected    Counter
+	LiveReplayed    Counter
+	LiveRebuilds    Counter
+	LiveCompactions Counter
+	LiveVersion     Gauge
+	LiveSnapshotAge Gauge
+
 	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
 	QueryLatency = NewHistogram(
 		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
@@ -153,6 +173,14 @@ func Snapshot() map[string]any {
 		"http_shed":              HTTPShed.Value(),
 		"http_queued":            HTTPQueued.Value(),
 		"http_in_flight":         HTTPInFlight.Value(),
+		"live_commits":           LiveCommits.Value(),
+		"live_mutations":         LiveMutations.Value(),
+		"live_rejected":          LiveRejected.Value(),
+		"live_replayed":          LiveReplayed.Value(),
+		"live_rebuilds":          LiveRebuilds.Value(),
+		"live_compactions":       LiveCompactions.Value(),
+		"live_version":           LiveVersion.Value(),
+		"live_snapshot_age":      LiveSnapshotAge.Value(),
 		"query_latency_count":    QueryLatency.Count(),
 		"query_latency_sum":      QueryLatency.Sum(),
 	}

@@ -59,7 +59,11 @@ func New(cp *ast.CProgram, extraDom ...symbols.Const) *Interp {
 	in := facts.NewInterner(cp.Syms)
 	base := facts.NewDB(in)
 	for _, f := range cp.Facts {
-		base.Insert(in.InternGround(f))
+		// Compiled facts intern their predicate with their own arity, so a
+		// mismatch here means a corrupted CProgram — unrecoverable.
+		if _, err := base.Insert(in.InternGround(f)); err != nil {
+			panic(err)
+		}
 	}
 	ip := &Interp{
 		prog:  cp,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	hypo "hypodatalog"
+	"hypodatalog/internal/live"
 )
 
 // errClientWrite marks a failed write to the response stream: the client
@@ -26,6 +27,9 @@ type askRequest struct {
 
 type askResponse struct {
 	Result bool `json:"result"`
+	// DataVersion is the base-EDB version the query evaluated at (always
+	// 0 for a server without a live store).
+	DataVersion uint64 `json:"dataVersion"`
 }
 
 // queryRequest is the body of /v1/query.
@@ -41,8 +45,9 @@ type bindingLine struct {
 }
 
 type doneLine struct {
-	Done  bool `json:"done"`
-	Count int  `json:"count"`
+	Done        bool   `json:"done"`
+	Count       int    `json:"count"`
+	DataVersion uint64 `json:"dataVersion"`
 }
 
 type errorLine struct {
@@ -74,7 +79,26 @@ type batchResult struct {
 }
 
 type batchResponse struct {
-	Results []batchResult `json:"results"`
+	Results     []batchResult `json:"results"`
+	DataVersion uint64        `json:"dataVersion"`
+}
+
+// factsRequest is the body of /v1/facts: a transactional mutation batch
+// against the base EDB. Asserts apply before retracts within the batch;
+// the whole batch is one new data version or nothing.
+type factsRequest struct {
+	Assert  []string `json:"assert,omitempty"`
+	Retract []string `json:"retract,omitempty"`
+}
+
+// factsResponse acknowledges a committed batch. By the time the client
+// reads it, the commit is fsynced to the WAL and every subsequently
+// admitted query evaluates at Version or later.
+type factsResponse struct {
+	Version uint64 `json:"version"`
+	// Changed counts the mutations that altered the fact set (asserting a
+	// present fact or retracting an absent one is a committed no-op).
+	Changed int `json:"changed"`
 }
 
 type errorBody struct {
@@ -193,6 +217,7 @@ func (s *Server) run(ctx context.Context, ri *reqInfo, fn func(e *hypo.Engine) e
 	}
 	defer release()
 	return s.cfg.Pool.Do(ctx, func(e *hypo.Engine) error {
+		ri.dataVersion = e.DataVersion()
 		before := e.Stats()
 		defer func() { ri.stats = statsDelta(before, e.Stats()) }()
 		return fn(e)
@@ -245,7 +270,7 @@ func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, 
 	})
 	switch {
 	case err == nil:
-		writeJSON(w, askResponse{Result: result})
+		writeJSON(w, askResponse{Result: result, DataVersion: ri.dataVersion})
 	case errors.Is(err, errShed), errors.Is(err, errDraining):
 		s.refuse(w, ri, err)
 	default:
@@ -283,6 +308,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	flusher, _ := w.(http.Flusher)
 	n := 0
 	err = s.cfg.Pool.Do(ctx, func(e *hypo.Engine) error {
+		ri.dataVersion = e.DataVersion()
 		before := e.Stats()
 		defer func() { ri.stats = statsDelta(before, e.Stats()) }()
 		return e.QueryEachCtx(ctx, req.Query, func(b hypo.Binding) error {
@@ -319,7 +345,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	if n == 0 {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
-	_ = enc.Encode(doneLine{Done: true, Count: n})
+	_ = enc.Encode(doneLine{Done: true, Count: n, DataVersion: ri.dataVersion})
 }
 
 // handleBatch evaluates many queries on a single engine lease — one
@@ -377,7 +403,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	switch {
 	case err == nil:
 		ri.bindings = len(results)
-		writeJSON(w, batchResponse{Results: results})
+		writeJSON(w, batchResponse{Results: results, DataVersion: ri.dataVersion})
 	case errors.Is(err, errShed), errors.Is(err, errDraining):
 		s.refuse(w, ri, err)
 	default:
@@ -423,8 +449,60 @@ func evalBatchItem(ctx context.Context, e *hypo.Engine, item batchItem) (batchRe
 	return res, nil
 }
 
+// handleFacts commits a mutation batch against the live store. It does
+// not take an evaluation slot — commits serialise inside Live.Apply and
+// never lease an engine — but a draining server refuses new writes like
+// it refuses new queries.
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	if s.cfg.Live == nil {
+		ri.outcome = "not_enabled"
+		writeError(w, http.StatusNotImplemented, "not_enabled",
+			"runtime fact mutation is disabled: start the server with a WAL (hdld -wal)")
+		return
+	}
+	if s.draining.Load() {
+		s.refuse(w, ri, errDraining)
+		return
+	}
+	var req factsRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	if len(req.Assert)+len(req.Retract) == 0 {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request",
+			`at least one of "assert" and "retract" must be non-empty`)
+		return
+	}
+	if n := len(req.Assert); n > 0 {
+		ri.query = req.Assert[0]
+	} else {
+		ri.query = req.Retract[0]
+	}
+	ms, err := hypo.ParseMutations(req.Assert, req.Retract)
+	if err != nil {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	info, err := s.cfg.Live.Apply(ms)
+	if err != nil {
+		if errors.Is(err, live.ErrClosed) {
+			ri.outcome = "draining"
+			writeError(w, http.StatusServiceUnavailable, "draining", "live store is closed")
+			return
+		}
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ri.dataVersion = info.Version
+	ri.bindings = info.Changed
+	writeJSON(w, factsResponse{Version: info.Version, Changed: info.Changed})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]bool{"ok": true})
+	writeJSON(w, map[string]any{"ok": true, "dataVersion": s.cfg.Pool.Version()})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@
 //   - POST /v1/query     {"query": "edge(X, Y)"}                → NDJSON binding stream
 //   - POST /v1/askunder  {"query": "...", "add": ["fact(a)"]}   → {"result": bool}
 //   - POST /v1/batch     {"queries": [{...}, ...]}              → per-item results, one engine lease
+//   - POST /v1/facts     {"assert": [...], "retract": [...]}    → {"version": n} (needs Config.Live)
 //   - GET  /healthz      liveness (always 200 while the process runs)
 //   - GET  /readyz       readiness (503 once draining)
 //   - GET  /debug/vars   expvar, including the "hypo" metrics set
@@ -57,6 +58,11 @@ type Config struct {
 	// truly concurrent evaluations the host should run (engines are
 	// memory-heavy: each holds its own interner and memo tables).
 	Pool *hypo.Pool
+
+	// Live, when set, enables POST /v1/facts: runtime mutation of the
+	// base EDB with WAL durability. It must be the Live whose Pool is the
+	// Pool above. When nil the endpoint answers 501.
+	Live *hypo.Live
 
 	// MaxConcurrent bounds simultaneous evaluations. Default: Pool.Size()
 	// — more would just block on the pool's free list.
@@ -143,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
 	s.mux.HandleFunc("POST /v1/askunder", s.wrap("askunder", s.handleAskUnder))
 	s.mux.HandleFunc("POST /v1/batch", s.wrap("batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v1/facts", s.wrap("facts", s.handleFacts))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -217,12 +224,13 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // reqInfo accumulates access-log fields as one request progresses
 // through decode, admission and evaluation.
 type reqInfo struct {
-	endpoint string
-	query    string     // surface query text (first of a batch)
-	outcome  string     // ok | bad_request | deadline | canceled | shed | draining | budget | panic | ...
-	status   int        // overrides the written status in logs (e.g. 499)
-	bindings int        // bindings streamed / results returned
-	stats    hypo.Stats // evaluation-work delta for this request
+	endpoint    string
+	query       string     // surface query text (first of a batch)
+	outcome     string     // ok | bad_request | deadline | canceled | shed | draining | budget | panic | ...
+	status      int        // overrides the written status in logs (e.g. 499)
+	bindings    int        // bindings streamed / results returned
+	stats       hypo.Stats // evaluation-work delta for this request
+	dataVersion uint64     // data version the request evaluated at (or produced)
 }
 
 // wrap is the middleware around every API handler: request counting, a
@@ -268,6 +276,7 @@ func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request
 				"enumerated", ri.stats.Enumerated,
 				"table_hits", ri.stats.TableHits,
 				"max_depth", ri.stats.MaxDepth,
+				"data_version", ri.dataVersion,
 			)
 		}()
 		h(sw, r, ri)

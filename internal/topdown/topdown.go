@@ -160,7 +160,11 @@ func New(cp *ast.CProgram, dom []symbols.Const, opts Options) *Engine {
 	in := facts.NewInterner(cp.Syms)
 	base := facts.NewDB(in)
 	for _, f := range cp.Facts {
-		base.Insert(in.InternGround(f))
+		// Compiled facts intern their predicate with their own arity, so a
+		// mismatch here means a corrupted CProgram — unrecoverable.
+		if _, err := base.Insert(in.InternGround(f)); err != nil {
+			panic(err)
+		}
 	}
 	return &Engine{
 		prog:    cp,

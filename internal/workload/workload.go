@@ -252,6 +252,80 @@ func Reachable(g Digraph, start, target int) bool {
 	return false
 }
 
+// MixedOp is one step of a live read/write workload against a mutable
+// EDB: a query when Query is non-empty, otherwise a mutation batch.
+type MixedOp struct {
+	Query   string
+	Assert  []string
+	Retract []string
+}
+
+// MixedWorkload couples a seed program with an operation stream for
+// exercising an engine whose base facts change at runtime.
+type MixedWorkload struct {
+	Source string
+	Ops    []MixedOp
+	Writes int
+	Reads  int
+}
+
+// MixedReachability builds a graph-reachability workload whose edge set
+// churns. The seed program is the transitive closure of edge/2 over n
+// nodes with a spine v0 -> ... -> v{n-1}; writes toggle random
+// non-spine edges (assert when absent, retract when present — the
+// generator tracks the set, so every batch actually changes the
+// database), and reads alternate between the ground query
+// reach(v0, v{n-1}) (always true: the spine never churns) and
+// enumerating reach(v_i, Y). node/1 facts anchor every constant in
+// dom(R, DB), so all mutations pass live-store domain validation.
+func MixedReachability(rng *rand.Rand, n, ops int, writeFrac float64) MixedWorkload {
+	var b strings.Builder
+	b.WriteString("reach(X, Y) :- edge(X, Y).\n")
+	b.WriteString("reach(X, Y) :- edge(X, Z), reach(Z, Y).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "node(v%d).\n", i)
+	}
+	spine := map[[2]int]bool{}
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&b, "edge(v%d, v%d).\n", i, i+1)
+		spine[[2]int{i, i + 1}] = true
+	}
+	w := MixedWorkload{Source: b.String()}
+
+	present := map[[2]int]bool{}
+	edge := func(e [2]int) string { return fmt.Sprintf("edge(v%d, v%d)", e[0], e[1]) }
+	for k := 0; k < ops; k++ {
+		if rng.Float64() < writeFrac {
+			// Toggle a random non-spine edge.
+			var e [2]int
+			for {
+				e = [2]int{rng.Intn(n), rng.Intn(n)}
+				if e[0] != e[1] && !spine[e] {
+					break
+				}
+			}
+			op := MixedOp{}
+			if present[e] {
+				op.Retract = []string{edge(e)}
+				delete(present, e)
+			} else {
+				op.Assert = []string{edge(e)}
+				present[e] = true
+			}
+			w.Ops = append(w.Ops, op)
+			w.Writes++
+		} else {
+			q := fmt.Sprintf("reach(v0, v%d)", n-1)
+			if k%2 == 1 {
+				q = fmt.Sprintf("reach(v%d, Y)", rng.Intn(n))
+			}
+			w.Ops = append(w.Ops, MixedOp{Query: q})
+			w.Reads++
+		}
+	}
+	return w
+}
+
 // FuzzOptions bound the size of RandomStratifiedProgram outputs.
 type FuzzOptions struct {
 	MaxLevels    int // predicate levels (negation goes strictly down)

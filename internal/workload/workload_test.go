@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -145,6 +146,58 @@ func TestParityProgramContainsPaperRules(t *testing.T) {
 	} {
 		if !strings.Contains(src, want) {
 			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+// TestMixedReachabilityShape checks the live-churn generator: the seed
+// program compiles, the op stream has the declared read/write split,
+// every write is a genuine toggle (assert only when absent, retract
+// only when present, starting from the spine-free empty set), and all
+// mutated constants appear as node facts (so they are in dom(R, DB)).
+func TestMixedReachabilityShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, ops = 6, 80
+	w := MixedReachability(rng, n, ops, 0.5)
+	parseAndCheck(t, w.Source)
+	if w.Writes+w.Reads != ops || len(w.Ops) != ops {
+		t.Fatalf("ops split %d+%d over %d entries, want %d total", w.Writes, w.Reads, len(w.Ops), ops)
+	}
+	if w.Writes == 0 || w.Reads == 0 {
+		t.Fatalf("degenerate split: %d writes, %d reads", w.Writes, w.Reads)
+	}
+	present := map[string]bool{}
+	for i, op := range w.Ops {
+		switch {
+		case op.Query != "":
+			if len(op.Assert)+len(op.Retract) != 0 {
+				t.Fatalf("op %d mixes query and mutation", i)
+			}
+			if !strings.HasPrefix(op.Query, "reach(") {
+				t.Fatalf("op %d: unexpected query %q", i, op.Query)
+			}
+		case len(op.Assert) == 1:
+			if present[op.Assert[0]] {
+				t.Fatalf("op %d asserts present edge %s", i, op.Assert[0])
+			}
+			present[op.Assert[0]] = true
+		case len(op.Retract) == 1:
+			if !present[op.Retract[0]] {
+				t.Fatalf("op %d retracts absent edge %s", i, op.Retract[0])
+			}
+			delete(present, op.Retract[0])
+		default:
+			t.Fatalf("op %d is neither read nor single-edge toggle: %+v", i, op)
+		}
+	}
+	// The spine never churns, so reach(v0, v{n-1}) stays derivable.
+	for _, op := range w.Ops {
+		for _, r := range op.Retract {
+			for i := 0; i+1 < n; i++ {
+				if r == fmt.Sprintf("edge(v%d, v%d)", i, i+1) {
+					t.Fatalf("spine edge retracted: %s", r)
+				}
+			}
 		}
 	}
 }

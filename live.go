@@ -1,0 +1,218 @@
+package hypo
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+
+	"hypodatalog/internal/live"
+	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/symbols"
+)
+
+// LiveConfig configures the durable store behind a Live engine; see
+// live.Config for field semantics.
+type LiveConfig struct {
+	WALPath       string
+	SnapshotPath  string
+	SnapshotEvery int
+	NoSync        bool
+	Logger        *slog.Logger
+}
+
+// Live couples a Pool with a durable, versioned fact store
+// (internal/live): the program's rules stay fixed while its base EDB
+// accepts transactional assert/retract batches at runtime. Every commit
+// produces a new immutable data version; queries in flight keep the
+// version their engine was leased at (snapshot isolation), queries
+// admitted after Apply returns see the new one. Validation — constants
+// inside the pinned dom(R, DB), no intensional predicates, ground facts
+// only — happens here, above the store, which keeps internal/live free
+// of engine concepts.
+type Live struct {
+	mu     sync.Mutex // serialises Apply: validate → commit → swap
+	store  *live.Store
+	pool   *Pool
+	cur    *Program
+	pinDom []symbols.Const
+	domSet map[symbols.Const]bool
+	rec    live.Recovery
+}
+
+// OpenLive builds a live engine: it recovers the durable state at lc's
+// paths (snapshot + WAL tail; initial's facts seed a first boot), pins
+// the constant domain, and starts a Pool at the recovered version.
+//
+// The pinned domain is dom(R, DB) of the initial program, plus
+// opts.ExtraDomain, plus any constants appearing in recovered facts.
+// It does not grow afterwards: asserting a fact with a fresh constant is
+// rejected, exactly like querying with one (declare such constants in
+// the program or opts.ExtraDomain). Pinning is what makes versions
+// comparable — negation-as-failure and variable enumeration range over
+// the same constants at every version, so a retraction can flip answers
+// only through the facts, never by silently shrinking the domain.
+func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
+	st, rec, err := live.Open(initial.src, live.Config{
+		WALPath:       lc.WALPath,
+		SnapshotPath:  lc.SnapshotPath,
+		SnapshotEvery: lc.SnapshotEvery,
+		NoSync:        lc.NoSync,
+		Logger:        lc.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pin the domain. Recovered facts may mention constants absent from
+	// the initial text (asserted in a previous run); they were in-domain
+	// when accepted, so they stay in-domain now.
+	dom, domSet := domainInfo(initial, opts)
+	pinDom := append([]symbols.Const(nil), dom...)
+	for _, f := range st.Facts() {
+		for _, t := range f.Args {
+			c := initial.syms.Const(t.Name)
+			if !domSet[c] {
+				domSet[c] = true
+				pinDom = append(pinDom, c)
+			}
+		}
+	}
+
+	cur, err := initial.withFacts(st.Facts(), pinDom)
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("hypo: compiling recovered facts: %w", err)
+	}
+	pl, err := NewPool(cur, opts)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	pl.SetProgram(cur, rec.Version)
+
+	metrics.LiveVersion.Set(int64(rec.Version))
+	metrics.LiveReplayed.Add(int64(rec.Replayed))
+	metrics.LiveSnapshotAge.Set(int64(st.SinceSnapshot()))
+
+	return &Live{
+		store:  st,
+		pool:   pl,
+		cur:    cur,
+		pinDom: pinDom,
+		domSet: domSet,
+		rec:    rec,
+	}, nil
+}
+
+// Pool returns the query pool. Queries admitted after an Apply returns
+// are answered at (or after) the version that Apply produced.
+func (l *Live) Pool() *Pool { return l.pool }
+
+// Version returns the current data version.
+func (l *Live) Version() uint64 { return l.store.Version() }
+
+// Recovery reports what OpenLive reconstructed from disk.
+func (l *Live) Recovery() live.Recovery { return l.rec }
+
+// ParseMutations parses assert/retract surface atoms ("edge(a, b)") into
+// a mutation batch, rejecting non-ground atoms. Validation beyond
+// groundness (domain, intensional predicates) happens at Apply.
+func ParseMutations(asserts, retracts []string) ([]live.Mutation, error) {
+	out := make([]live.Mutation, 0, len(asserts)+len(retracts))
+	parse := func(src string, op live.Op) error {
+		a, err := parser.ParseAtom(src)
+		if err != nil {
+			return fmt.Errorf("hypo: %s %q: %w", op, src, err)
+		}
+		if !a.IsGround() {
+			return fmt.Errorf("hypo: %s %q: fact is not ground", op, src)
+		}
+		out = append(out, live.Mutation{Op: op, Atom: a})
+		return nil
+	}
+	for _, s := range asserts {
+		if err := parse(s, live.OpAssert); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range retracts {
+		if err := parse(s, live.OpRetract); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Apply commits a mutation batch: all mutations are validated, written
+// durably (WAL fsync), applied as one new data version, and the pool is
+// swapped so every subsequent lease evaluates at that version. The batch
+// is all-or-nothing — one invalid mutation rejects it with no effect.
+// Apply returns only after the swap, so a caller that sees the ack is
+// guaranteed the next query it sends observes the commit (or a later
+// one). Concurrent Applies serialise; each gets its own version.
+func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	for _, m := range ms {
+		if err := l.validate(m); err != nil {
+			metrics.LiveRejected.Inc()
+			return live.CommitInfo{}, err
+		}
+	}
+	info, err := l.store.Commit(ms)
+	if err != nil {
+		metrics.LiveRejected.Inc()
+		return live.CommitInfo{}, err
+	}
+	next, err := l.cur.withFacts(l.store.Facts(), l.pinDom)
+	if err != nil {
+		// The commit is durable but unservable — impossible unless a
+		// validated fact fails to compile. Fail loudly rather than serve a
+		// version that silently dropped it.
+		return live.CommitInfo{}, fmt.Errorf("hypo: committed batch failed to compile: %w", err)
+	}
+	l.cur = next
+	l.pool.SetProgram(next, info.Version)
+
+	metrics.LiveCommits.Inc()
+	metrics.LiveMutations.Add(int64(len(ms)))
+	metrics.LiveVersion.Set(int64(info.Version))
+	metrics.LiveSnapshotAge.Set(int64(l.store.SinceSnapshot()))
+	if info.Compacted {
+		metrics.LiveCompactions.Inc()
+	}
+	return info, nil
+}
+
+// validate enforces the engine-level admission rules for one mutation:
+// the fact must be ground, its predicate extensional, and its constants
+// inside the pinned domain.
+func (l *Live) validate(m live.Mutation) error {
+	if !m.Atom.IsGround() {
+		return fmt.Errorf("hypo: %s %s: fact is not ground", m.Op, m.Atom)
+	}
+	if p, ok := l.cur.syms.LookupPred(m.Atom.Pred, len(m.Atom.Args)); ok && l.cur.comp.IDB[p] {
+		return fmt.Errorf("hypo: %s %s: predicate %s/%d is intensional (defined by rules); only base facts can be mutated",
+			m.Op, m.Atom, m.Atom.Pred, len(m.Atom.Args))
+	}
+	for _, t := range m.Atom.Args {
+		if t.IsVar {
+			continue
+		}
+		if c, ok := l.cur.syms.LookupConst(t.Name); !ok || !l.domSet[c] {
+			return fmt.Errorf("hypo: %s %s: constant %q is outside dom(R, DB); declare it in the program or Options.ExtraDomain",
+				m.Op, m.Atom, t.Name)
+		}
+	}
+	return nil
+}
+
+// Close shuts the pool down (in-flight queries finish on their leased
+// engines) and then closes the store, compacting once more when a
+// snapshot path is configured.
+func (l *Live) Close() error {
+	l.pool.Close()
+	return l.store.Close()
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/symbols"
@@ -39,10 +40,23 @@ var ErrPoolClosed = errors.New("hypo: pool is closed")
 // whether idle at Close time or returned by an in-flight query
 // afterwards — is dropped so its memo tables and interner become
 // garbage. A closed pool stays closed.
+// verProgram pairs a program with its data version so both swap
+// atomically under SetProgram.
+type verProgram struct {
+	prog    *Program
+	version uint64
+}
+
 type Pool struct {
-	prog   *Program
+	prog   *Program // the seed program; syms and domSet are version-stable
 	opts   Options
 	domSet map[symbols.Const]bool
+
+	// cur is the program/version engines must be built against. Leases
+	// check it on every get: an idle engine carrying an older version is
+	// discarded — memo tables keyed to a stale base DB must never answer
+	// for a newer one — and rebuilt from cur before being handed out.
+	cur atomic.Pointer[verProgram]
 
 	// free holds idle engines; its capacity is the pool size. Engines are
 	// created lazily up to that capacity, so created only grows and a put
@@ -75,10 +89,27 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 		closing: make(chan struct{}),
 		created: 1,
 	}
+	pl.cur.Store(&verProgram{prog: p})
 	pl.free <- first
 	metrics.PoolNews.Inc()
 	return pl, nil
 }
+
+// SetProgram swaps the pool to a new data version of its program. The
+// swap is a hot one: in-flight queries keep the engines (and hence the
+// exact base DB and memo state) they leased — snapshot isolation — while
+// every lease that starts after SetProgram returns evaluates at the new
+// version, rebuilding any stale idle engine it draws. The program must
+// share the seed program's symbol table (Pool compiles queries against
+// it before leasing), which holds for every Program.withFacts
+// derivative; version must be monotonic. Used by Live; a static pool
+// never calls it.
+func (pl *Pool) SetProgram(p *Program, version uint64) {
+	pl.cur.Store(&verProgram{prog: p, version: version})
+}
+
+// Version reports the data version new leases evaluate at.
+func (pl *Pool) Version() uint64 { return pl.cur.Load().version }
 
 // Size reports the maximum number of engines (= concurrent queries).
 func (pl *Pool) Size() int { return cap(pl.free) }
@@ -108,7 +139,9 @@ func (pl *Pool) Close() error {
 }
 
 // get leases an engine: reuse an idle one, grow up to capacity, or block
-// until an engine frees, the pool closes, or ctx is done.
+// until an engine frees, the pool closes, or ctx is done. Engines are
+// always handed out at the current data version (stale idle engines are
+// rebuilt first — see fresh).
 func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	select {
 	case <-pl.closing:
@@ -118,7 +151,7 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	select {
 	case e := <-pl.free:
 		metrics.PoolGets.Inc()
-		return e, nil
+		return pl.fresh(e)
 	default:
 	}
 	pl.mu.Lock()
@@ -129,7 +162,7 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	if pl.created < cap(pl.free) {
 		pl.created++
 		pl.mu.Unlock()
-		e, err := New(pl.prog, pl.opts)
+		e, err := pl.build()
 		if err != nil {
 			// New succeeded once with identical inputs in NewPool; roll the
 			// slot back so the pool stays usable anyway.
@@ -148,12 +181,43 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	select {
 	case e := <-pl.free:
 		metrics.PoolGets.Inc()
-		return e, nil
+		return pl.fresh(e)
 	case <-pl.closing:
 		return nil, ErrPoolClosed
 	case <-ctx.Done():
 		return nil, topdown.ContextAbort(ctx.Err(), topdown.Stats{})
 	}
+}
+
+// build constructs an engine at the current data version.
+func (pl *Pool) build() (*Engine, error) {
+	cur := pl.cur.Load()
+	e, err := New(cur.prog, pl.opts)
+	if err != nil {
+		return nil, err
+	}
+	e.version = cur.version
+	return e, nil
+}
+
+// fresh returns e if it matches the current data version; otherwise it
+// drops e (memo tables of an old version are never reused) and builds a
+// replacement. A rebuild failure — only possible if a withFacts
+// derivative fails to construct, which New already succeeded on at
+// SetProgram time — releases the engine slot so the pool keeps serving.
+func (pl *Pool) fresh(e *Engine) (*Engine, error) {
+	if e.version == pl.cur.Load().version {
+		return e, nil
+	}
+	ne, err := pl.build()
+	if err != nil {
+		pl.mu.Lock()
+		pl.created--
+		pl.mu.Unlock()
+		return nil, fmt.Errorf("hypo: Pool engine rebuild failed: %w", err)
+	}
+	metrics.LiveRebuilds.Inc()
+	return ne, nil
 }
 
 // put returns a leased engine; never blocks since created ≤ cap(free).
