@@ -30,6 +30,15 @@
 // answers 501. With it, the daemon recovers snapshot + WAL tail before
 // listening, so an acknowledged commit survives kill -9.
 //
+// If the disk under the WAL fails at runtime (a failed fsync or rename),
+// the daemon degrades instead of dying: queries keep serving the last
+// committed version, POST /v1/facts answers 503 with error kind
+// "read_only", /healthz stays 200 but reports status "degraded" (reason
+// "read_only"), and the live_readonly expvar gauge goes to 1. The state
+// is sticky — restart the daemon once the disk is healthy and it
+// recovers from the snapshot + WAL tail. See README, "What happens when
+// the disk fails".
+//
 // On SIGTERM or SIGINT the daemon stops accepting connections, fails
 // /readyz, lets in-flight queries finish for the drain grace period,
 // then cancels their contexts and exits 0.

@@ -13,6 +13,18 @@
 //     the WAL tail; a torn last record is discarded by its checksum, so
 //     recovery converges on a version ≥ every acknowledged commit.
 //
+// All disk access goes through an injectable filesystem (internal/vfs,
+// Config.FS): production uses the real one, the crash-consistency
+// torture harness (torture_test.go) swaps in a simulated disk and power-
+// cuts it at every write/sync boundary. When an I/O error makes further
+// durability promises impossible — a failed WAL append or fsync, or a
+// WAL rotation whose directory entry could not be made durable — the
+// store degrades into a sticky read-only state (ErrReadOnly): the last
+// committed version keeps serving, mutations are refused, and only a
+// restart (with a healthy disk) clears the condition. Fsync failure is
+// not retried: after EIO the kernel may have dropped the dirty pages, so
+// "retry until it works" silently loses acknowledged data.
+//
 // The store itself is engine-agnostic: it owns facts as surface-syntax
 // ground atoms and knows nothing about domains, stratification or
 // intensional predicates. Admission policy (rejecting constants outside
@@ -23,8 +35,10 @@
 package live
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"log/slog"
 	"os"
@@ -34,6 +48,7 @@ import (
 
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/storage"
+	"hypodatalog/internal/vfs"
 )
 
 // Op is a mutation kind.
@@ -73,6 +88,15 @@ func Retract(a ast.Atom) Mutation { return Mutation{Op: OpRetract, Atom: a} }
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("live: store is closed")
 
+// ErrReadOnly is returned by Commit (and Compact) once an I/O error has
+// degraded the store to read-only. The state is sticky: reads keep
+// serving the last committed version, every subsequent mutation fails
+// with an error satisfying errors.Is(err, ErrReadOnly), and only a
+// restart — which re-runs recovery against the surviving durable state —
+// clears it. Test with errors.Is; the original I/O error is joined in
+// (and available via ReadOnly).
+var ErrReadOnly = errors.New("live: store is read-only (degraded after an I/O error; restart to recover)")
+
 // Config parameterises a Store.
 type Config struct {
 	// WALPath is the write-ahead log file. Required. Created if absent;
@@ -90,9 +114,15 @@ type Config struct {
 	// compacts when SnapshotPath is set).
 	SnapshotEvery int
 
-	// NoSync skips the per-commit fsync. Commits are then only as durable
-	// as the OS page cache — for tests and benchmarks, not production.
+	// NoSync skips the per-commit fsync (and the directory fsyncs).
+	// Commits are then only as durable as the OS page cache — for tests
+	// and benchmarks, not production.
 	NoSync bool
+
+	// FS is the filesystem the store runs on. Default: the real one
+	// (vfs.OS). Tests inject vfs.Mem/vfs.Fault to simulate crashes and
+	// disk faults.
+	FS vfs.FS
 
 	// Logger receives compaction and recovery diagnostics. Default:
 	// slog.Default().
@@ -131,18 +161,20 @@ type CommitInfo struct {
 type Store struct {
 	mu    sync.Mutex
 	cfg   Config
+	fs    vfs.FS
 	log   *slog.Logger
 	rules *ast.Program // rules and queries only; facts live in the map
 
 	facts   map[string]ast.Atom // key: canonical surface text
 	version uint64
 
-	wal       *os.File
+	wal       vfs.File
 	walBase   uint64 // header base version of the current WAL file
 	sinceSnap int    // commits since the last compaction (or Open)
 
 	cache  []ast.Atom // sorted fact slice for the current version
 	closed bool
+	roErr  error // first unrecoverable I/O error; non-nil = read-only
 }
 
 // Open builds a store from the seed program and the durable state at
@@ -156,8 +188,12 @@ func Open(seed *ast.Program, cfg Config) (*Store, Recovery, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS{}
+	}
 	s := &Store{
 		cfg:   cfg,
+		fs:    cfg.FS,
 		log:   cfg.Logger,
 		rules: &ast.Program{Rules: seed.Rules, Queries: seed.Queries},
 		facts: make(map[string]ast.Atom),
@@ -167,7 +203,7 @@ func Open(seed *ast.Program, cfg Config) (*Store, Recovery, error) {
 	// Base fact set: the snapshot if one exists, else the seed program.
 	base := seed.Facts
 	if cfg.SnapshotPath != "" {
-		f, err := os.Open(cfg.SnapshotPath)
+		f, err := s.fs.Open(cfg.SnapshotPath)
 		switch {
 		case err == nil:
 			snap, rerr := storage.Read(f)
@@ -200,12 +236,26 @@ func Open(seed *ast.Program, cfg Config) (*Store, Recovery, error) {
 // openWAL replays (or creates) the WAL file and leaves it open for
 // appending.
 func (s *Store) openWAL(rec *Recovery) error {
-	data, err := os.ReadFile(s.cfg.WALPath)
+	data, err := s.fs.ReadFile(s.cfg.WALPath)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		return s.createWAL(0)
 	case err != nil:
 		return fmt.Errorf("live: reading WAL: %w", err)
+	}
+	if tornHeader(data) {
+		// Power was cut during first-boot creation: the header never became
+		// durable, so nothing was ever acknowledged from this file.
+		if rec.FromSnapshot {
+			return fmt.Errorf("live: WAL %s has a torn header but a snapshot exists; cannot infer the base version", s.cfg.WALPath)
+		}
+		s.log.Warn("live: discarding WAL torn during creation",
+			"wal", s.cfg.WALPath, "bytes", len(data))
+		rec.TornBytes = len(data)
+		if err := s.fs.Remove(s.cfg.WALPath); err != nil {
+			return fmt.Errorf("live: removing torn WAL: %w", err)
+		}
+		return s.createWAL(0)
 	}
 	base, recs, goodLen, err := parseWAL(data)
 	if err != nil {
@@ -215,7 +265,7 @@ func (s *Store) openWAL(rec *Recovery) error {
 		rec.TornBytes = len(data) - goodLen
 		s.log.Warn("live: discarding torn WAL tail",
 			"wal", s.cfg.WALPath, "bytes", rec.TornBytes)
-		if err := os.Truncate(s.cfg.WALPath, int64(goodLen)); err != nil {
+		if err := s.fs.Truncate(s.cfg.WALPath, int64(goodLen)); err != nil {
 			return fmt.Errorf("live: truncating torn WAL tail: %w", err)
 		}
 	}
@@ -228,7 +278,7 @@ func (s *Store) openWAL(rec *Recovery) error {
 		s.version = r.version
 	}
 	rec.Replayed = len(recs)
-	f, err := os.OpenFile(s.cfg.WALPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(s.cfg.WALPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("live: reopening WAL for append: %w", err)
 	}
@@ -240,7 +290,7 @@ func (s *Store) openWAL(rec *Recovery) error {
 // createWAL writes a fresh WAL file containing only a header and opens
 // it for appending.
 func (s *Store) createWAL(base uint64) error {
-	f, err := os.OpenFile(s.cfg.WALPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.fs.OpenFile(s.cfg.WALPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("live: creating WAL: %w", err)
 	}
@@ -252,6 +302,12 @@ func (s *Store) createWAL(base uint64) error {
 		f.Close()
 		return err
 	}
+	// The directory entry must be durable too: fsyncing record data into
+	// a file a crash could unlink would lose acked first-boot commits.
+	if err := s.syncDir(s.cfg.WALPath); err != nil {
+		f.Close()
+		return err
+	}
 	s.wal = f
 	s.walBase = base
 	s.version = base
@@ -259,7 +315,7 @@ func (s *Store) createWAL(base uint64) error {
 	return nil
 }
 
-func (s *Store) syncFile(f *os.File) error {
+func (s *Store) syncFile(f vfs.File) error {
 	if s.cfg.NoSync {
 		return nil
 	}
@@ -267,6 +323,37 @@ func (s *Store) syncFile(f *os.File) error {
 		return fmt.Errorf("live: fsync: %w", err)
 	}
 	return nil
+}
+
+// syncDir fsyncs the parent directory of path, making creations and
+// renames of the file durable. Skipped (like every fsync) under NoSync.
+func (s *Store) syncDir(path string) error {
+	if s.cfg.NoSync {
+		return nil
+	}
+	if err := s.fs.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("live: fsync dir %s: %w", filepath.Dir(path), err)
+	}
+	return nil
+}
+
+// degradeLocked records the first unrecoverable I/O error and flips the
+// store into its sticky read-only state. It returns the error to hand
+// the caller: ErrReadOnly joined with the cause.
+func (s *Store) degradeLocked(cause error) error {
+	if s.roErr == nil {
+		s.roErr = cause
+		s.log.Error("live: unrecoverable I/O error; store is now read-only", "err", cause)
+	}
+	return errors.Join(ErrReadOnly, cause)
+}
+
+// ReadOnly reports whether an I/O error has degraded the store to
+// read-only, and if so the error that caused it.
+func (s *Store) ReadOnly() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.roErr != nil, s.roErr
 }
 
 // apply performs one mutation on the fact map, reporting whether it
@@ -302,6 +389,9 @@ func (s *Store) Commit(ms []Mutation) (CommitInfo, error) {
 	if s.closed {
 		return CommitInfo{}, ErrClosed
 	}
+	if s.roErr != nil {
+		return CommitInfo{}, errors.Join(ErrReadOnly, s.roErr)
+	}
 	if len(ms) == 0 {
 		return CommitInfo{}, errors.New("live: empty mutation batch")
 	}
@@ -319,21 +409,26 @@ func (s *Store) Commit(ms []Mutation) (CommitInfo, error) {
 
 	// Durability first: the record reaches disk before the fact set (or
 	// the version) moves, so an acknowledged commit can never be lost and
-	// a failed write never leaves a half-applied batch.
+	// a failed write never leaves a half-applied batch. Any failure here
+	// degrades the store to read-only: after a failed append or fsync the
+	// on-disk suffix is unknowable (the truncate below is best-effort, and
+	// post-EIO page-cache state is not trustworthy), so appending further
+	// records could corrupt the WAL interior — recovery hard-fails on
+	// that, which would turn one lost commit into a lost store.
 	record := encodeRecord(s.version+1, ms)
-	off, err := s.wal.Seek(0, 2)
+	off, err := s.wal.Seek(0, io.SeekEnd)
 	if err != nil {
-		return CommitInfo{}, fmt.Errorf("live: WAL seek: %w", err)
+		return CommitInfo{}, s.degradeLocked(fmt.Errorf("live: WAL seek: %w", err))
 	}
 	if _, err := s.wal.Write(record); err != nil {
 		// Best effort: cut the possibly partial record back off so the
-		// file stays parseable for subsequent commits.
+		// surviving prefix stays parseable for recovery.
 		_ = s.wal.Truncate(off)
-		return CommitInfo{}, fmt.Errorf("live: WAL append: %w", err)
+		return CommitInfo{}, s.degradeLocked(fmt.Errorf("live: WAL append: %w", err))
 	}
 	if err := s.syncFile(s.wal); err != nil {
 		_ = s.wal.Truncate(off)
-		return CommitInfo{}, err
+		return CommitInfo{}, s.degradeLocked(err)
 	}
 
 	info := CommitInfo{Version: s.version + 1}
@@ -427,85 +522,103 @@ func (s *Store) Compact() error {
 	return s.compactLocked()
 }
 
-// compactLocked writes snapshot.tmp, renames it over the snapshot, then
-// writes wal.tmp (header only, base = current version) and renames it
-// over the WAL. A crash between the two renames leaves a snapshot newer
-// than the WAL's base — which replay tolerates (see wal.go).
+// compactLocked writes snapshot.tmp, renames it over the snapshot and
+// makes the rename durable, then writes wal.tmp (header only, base =
+// current version), renames it over the WAL and makes that durable too.
+// The directory fsync between the renames is load-bearing: without it a
+// crash could persist the WAL rotation but not the snapshot rename,
+// recovering an old snapshot under a WAL whose records start past it —
+// silently losing every commit in between. A crash after the snapshot
+// rename but before the rotation merely leaves a snapshot newer than
+// the WAL's base, which replay tolerates (see wal.go).
+//
+// Failures before the rotation's rename abort the compaction and leave
+// the store writable: the old WAL still covers every commit. A failure
+// making the rotation durable degrades the store instead — once the
+// directory points at the rotated WAL, appends land there, and if the
+// rotation itself could be rolled back by a crash those appends could
+// not be guaranteed to survive.
 func (s *Store) compactLocked() error {
 	if s.cfg.SnapshotPath == "" {
 		return errors.New("live: no SnapshotPath configured")
 	}
+	if s.roErr != nil {
+		return errors.Join(ErrReadOnly, s.roErr)
+	}
 	prog := &ast.Program{Rules: s.rules.Rules, Queries: s.rules.Queries, Facts: s.factsLocked()}
 	tmp := s.cfg.SnapshotPath + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("live: snapshot tmp: %w", err)
 	}
-	if err := storage.Write(f, prog); err != nil {
+	bw := bufio.NewWriter(f)
+	err = storage.Write(bw, prog)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("live: writing snapshot: %w", err)
 	}
 	if err := s.syncFile(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("live: snapshot rename: %w", err)
 	}
+	if err := s.syncDir(s.cfg.SnapshotPath); err != nil {
+		return err
+	}
 
-	// Rotate the WAL: fresh header at the snapshot's version.
+	// Rotate the WAL: fresh header at the snapshot's (now durable) version.
 	walTmp := s.cfg.WALPath + ".tmp"
-	nf, err := os.OpenFile(walTmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	nf, err := s.fs.OpenFile(walTmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("live: WAL tmp: %w", err)
 	}
 	if _, err := nf.Write(encodeHeader(s.version)); err != nil {
 		nf.Close()
-		os.Remove(walTmp)
+		s.fs.Remove(walTmp)
 		return fmt.Errorf("live: writing rotated WAL header: %w", err)
 	}
 	if err := s.syncFile(nf); err != nil {
 		nf.Close()
-		os.Remove(walTmp)
+		s.fs.Remove(walTmp)
 		return err
 	}
-	if err := os.Rename(walTmp, s.cfg.WALPath); err != nil {
+	if err := s.fs.Rename(walTmp, s.cfg.WALPath); err != nil {
 		nf.Close()
-		os.Remove(walTmp)
+		s.fs.Remove(walTmp)
 		return fmt.Errorf("live: WAL rotate rename: %w", err)
 	}
+	// The directory now points at the rotated file; the handle must swap
+	// with it no matter what happens next, or acked commits would keep
+	// appending to the unlinked old WAL.
 	s.wal.Close()
 	s.wal = nf
 	s.walBase = s.version
 	s.sinceSnap = 0
-	s.syncDir()
+	if err := s.syncDir(s.cfg.WALPath); err != nil {
+		return s.degradeLocked(fmt.Errorf("live: WAL rotation: %w", err))
+	}
 	s.log.Info("live: compacted",
 		"snapshot", s.cfg.SnapshotPath, "version", s.version, "facts", len(s.facts))
 	return nil
 }
 
-// syncDir best-effort fsyncs the WAL's directory so the renames of a
-// compaction are themselves durable.
-func (s *Store) syncDir() {
-	if s.cfg.NoSync {
-		return
-	}
-	if d, err := os.Open(filepath.Dir(s.cfg.WALPath)); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-}
-
 // Close compacts once more when a snapshot path is configured (so a
-// clean restart replays nothing) and closes the WAL. Further operations
-// fail with ErrClosed. Close is idempotent.
+// clean restart replays nothing) and closes the WAL. A degraded
+// (read-only) store skips the final compaction — the WAL already holds
+// everything that was acknowledged, and the disk is not to be trusted.
+// Further operations fail with ErrClosed. Close is idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -513,7 +626,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	var err error
-	if s.cfg.SnapshotPath != "" && s.sinceSnap > 0 {
+	if s.cfg.SnapshotPath != "" && s.sinceSnap > 0 && s.roErr == nil {
 		err = s.compactLocked()
 	}
 	s.closed = true

@@ -183,6 +183,26 @@ func decodeMutations(body []byte, version uint64) (*walRecord, error) {
 	return rec, nil
 }
 
+// tornHeader reports whether data is a strict prefix of a valid WAL
+// header — the image a power cut leaves when it interrupts WAL creation
+// before the header was ever synced. Nothing can have been acknowledged
+// from such a file, so recovery discards and recreates it. A complete
+// header frame that fails its checksum is NOT torn: an append-only
+// writer cannot produce it, so it is interior corruption and recovery
+// refuses it.
+func tornHeader(data []byte) bool {
+	if len(data) < len(walMagic) {
+		return string(data) == string(walMagic[:len(data)])
+	}
+	if string(data[:len(walMagic)]) != string(walMagic) {
+		return false
+	}
+	d := &walDecoder{buf: data, pos: len(walMagic)}
+	d.bytes(4) // crc
+	d.bytes(d.uvarint())
+	return d.err != nil // cut mid-frame: torn; complete frame: judge by crc
+}
+
 // parseWAL decodes a WAL image. It returns the header's base version,
 // the decoded records, and goodLen — the byte length of the valid prefix.
 // A torn or checksum-failing tail is NOT an error: parsing stops and

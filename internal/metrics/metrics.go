@@ -139,6 +139,10 @@ var (
 	// data version went stale, LiveCompactions snapshot compactions.
 	// LiveVersion is the current data version; LiveSnapshotAge is how many
 	// commits the snapshot lags it (the WAL tail a crash would replay).
+	// LiveReadOnly is 1 while the store is degraded to read-only after an
+	// unrecoverable I/O error (queries keep serving the last committed
+	// version; mutations are refused until restart) — the gauge to alert
+	// on.
 	LiveCommits     Counter
 	LiveMutations   Counter
 	LiveRejected    Counter
@@ -147,6 +151,7 @@ var (
 	LiveCompactions Counter
 	LiveVersion     Gauge
 	LiveSnapshotAge Gauge
+	LiveReadOnly    Gauge
 
 	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
 	QueryLatency = NewHistogram(
@@ -181,6 +186,7 @@ func Snapshot() map[string]any {
 		"live_compactions":       LiveCompactions.Value(),
 		"live_version":           LiveVersion.Value(),
 		"live_snapshot_age":      LiveSnapshotAge.Value(),
+		"live_readonly":          LiveReadOnly.Value(),
 		"query_latency_count":    QueryLatency.Count(),
 		"query_latency_sum":      QueryLatency.Sum(),
 	}

@@ -492,6 +492,14 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo
 			writeError(w, http.StatusServiceUnavailable, "draining", "live store is closed")
 			return
 		}
+		// A degraded store refuses writes but keeps serving reads; the
+		// machine-readable kind lets clients fail over their write path
+		// without abandoning this replica for queries.
+		if errors.Is(err, live.ErrReadOnly) {
+			ri.outcome = "read_only"
+			writeError(w, http.StatusServiceUnavailable, "read_only", err.Error())
+			return
+		}
 		ri.outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
@@ -501,8 +509,20 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	writeJSON(w, factsResponse{Version: info.Version, Changed: info.Changed})
 }
 
+// handleHealthz reports liveness. A server whose store degraded to
+// read-only is still alive — it answers queries at the last committed
+// version — so the response stays 200, with status "degraded" and a
+// machine-readable reason for operators and write-path routers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"ok": true, "dataVersion": s.cfg.Pool.Version()})
+	resp := map[string]any{"ok": true, "status": "ok", "dataVersion": s.cfg.Pool.Version()}
+	if s.cfg.Live != nil {
+		if degraded, cause := s.cfg.Live.Degraded(); degraded {
+			resp["status"] = "degraded"
+			resp["reason"] = "read_only"
+			resp["detail"] = cause
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,8 @@ import (
 	"testing"
 
 	hypo "hypodatalog"
+	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/vfs"
 )
 
 // liveSrc has an extensional toggle (flag), a rule over it, and a small
@@ -233,4 +235,123 @@ func TestLiveServerConcurrentReadWrite(t *testing.T) {
 	for err := range errCh {
 		t.Error(err)
 	}
+}
+
+// TestDegradedReadOnlyServing is the end-to-end failure-model test: the
+// disk under the live store starts failing fsyncs mid-flight, the next
+// write degrades the store, and from then on the server must refuse
+// mutations with a machine-readable 503 while queries — including
+// concurrent ones, for the race detector — keep serving the last
+// committed version, and /healthz reports the degradation.
+func TestDegradedReadOnlyServing(t *testing.T) {
+	prog, err := hypo.Parse(liveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ft := vfs.NewFault(vfs.NewMem(), nil)
+	lv, err := hypo.OpenLive(prog, hypo.LiveConfig{
+		WALPath:      "/db/wal.log",
+		SnapshotPath: "/db/db.snap",
+		Logger:       quiet,
+		FS:           ft,
+	}, hypo.Options{PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Pool: lv.Pool(), Live: lv, Logger: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		lv.Close()
+	})
+	cl := ts.Client()
+
+	// Healthy: one commit lands, health is "ok".
+	resp, body := post(t, cl, ts.URL+"/v1/facts", `{"assert": ["edge(b, c)"]}`)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"version":1`) {
+		t.Fatalf("healthy commit: status %d body %s", resp.StatusCode, body)
+	}
+	if hb := get(t, cl, ts.URL+"/healthz"); !strings.Contains(hb, `"status":"ok"`) {
+		t.Fatalf("healthy healthz: %s", hb)
+	}
+
+	// The disk breaks: every fsync from now on fails.
+	ft.SetScript(vfs.FailNth(vfs.OpSync, 1))
+
+	resp, body = post(t, cl, ts.URL+"/v1/facts", `{"assert": ["edge(c, a)"]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), `"kind":"read_only"`) {
+		t.Fatalf("write over broken disk: status %d body %s (want 503 read_only)", resp.StatusCode, body)
+	}
+
+	// Degradation is sticky, reads keep serving version 1, and health
+	// reports it — all under concurrent traffic.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, data := post(t, cl, ts.URL+"/v1/ask", `{"query": "reach(a, c)"}`)
+				if resp.StatusCode != 200 {
+					errCh <- fmt.Errorf("degraded reader %d: status %d body %s", r, resp.StatusCode, data)
+					return
+				}
+				if !strings.Contains(string(data), `"result":true`) || !strings.Contains(string(data), `"dataVersion":1`) {
+					errCh <- fmt.Errorf("degraded reader %d: lost the committed version: %s", r, data)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			resp, data := post(t, cl, ts.URL+"/v1/facts", `{"retract": ["edge(b, c)"]}`)
+			if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(data), `"kind":"read_only"`) {
+				errCh <- fmt.Errorf("degraded writer: status %d body %s (want sticky 503 read_only)", resp.StatusCode, data)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	hb := get(t, cl, ts.URL+"/healthz")
+	if !strings.Contains(hb, `"status":"degraded"`) || !strings.Contains(hb, `"reason":"read_only"`) {
+		t.Fatalf("degraded healthz: %s", hb)
+	}
+	if !strings.Contains(hb, `"dataVersion":1`) {
+		t.Fatalf("degraded healthz lost the served version: %s", hb)
+	}
+	if got := metrics.LiveReadOnly.Value(); got != 1 {
+		t.Fatalf("live_readonly gauge = %d, want 1", got)
+	}
+	if degraded, cause := lv.Degraded(); !degraded || cause == "" {
+		t.Fatalf("Degraded() = %v, %q", degraded, cause)
+	}
+}
+
+// get fetches a URL and returns the body.
+func get(t *testing.T, cl *http.Client, url string) string {
+	t.Helper()
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }

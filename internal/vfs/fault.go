@@ -1,0 +1,298 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error every scripted fault surfaces. Code under
+// test must treat it like any other I/O error; tests assert on it with
+// errors.Is.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// OpKind classifies an intercepted operation.
+type OpKind uint8
+
+const (
+	// OpOpen is a non-mutating open (read path).
+	OpOpen OpKind = iota
+	// OpRead is ReadFile or a handle Read.
+	OpRead
+	// OpCreate is an OpenFile that may create or truncate.
+	OpCreate
+	// OpWrite is a handle Write.
+	OpWrite
+	// OpSync is a handle Sync.
+	OpSync
+	// OpTruncate is a handle or path Truncate.
+	OpTruncate
+	// OpRename is a Rename.
+	OpRename
+	// OpRemove is a Remove.
+	OpRemove
+	// OpSyncDir is a SyncDir.
+	OpSyncDir
+)
+
+var opNames = map[OpKind]string{
+	OpOpen: "open", OpRead: "read", OpCreate: "create", OpWrite: "write",
+	OpSync: "sync", OpTruncate: "truncate", OpRename: "rename",
+	OpRemove: "remove", OpSyncDir: "syncdir",
+}
+
+func (k OpKind) String() string { return opNames[k] }
+
+// Mutating reports whether the op changes on-disk state. Mutating ops
+// are exactly the crash boundaries the torture harness enumerates.
+func (k OpKind) Mutating() bool {
+	switch k {
+	case OpCreate, OpWrite, OpSync, OpTruncate, OpRename, OpRemove, OpSyncDir:
+		return true
+	}
+	return false
+}
+
+// Op identifies one intercepted operation. Seq counts mutating
+// operations from 1 (a non-mutating op carries the Seq of the mutating
+// op before it), so a deterministic workload maps each Seq to the same
+// operation on every run — the property crash-point sweeps rely on.
+type Op struct {
+	Seq  int
+	Kind OpKind
+	Path string
+}
+
+// Decision is a script's verdict on one operation.
+type Decision struct {
+	// Err, when non-nil, fails the operation with this error.
+	Err error
+	// ShortWrite, for a failed OpWrite, is how many leading bytes still
+	// reach the file before the error — a torn write observed by the
+	// process itself (a crash-torn write is Mem.Crash's job).
+	ShortWrite int
+	// Delay is injected latency, applied before the operation runs (or
+	// fails).
+	Delay time.Duration
+}
+
+// Script decides the fate of each operation. Scripts run under the
+// Fault's lock: they see a consistent Seq order even under concurrency,
+// and must not call back into the filesystem.
+type Script interface {
+	Decide(op Op) Decision
+}
+
+// ScriptFunc adapts a function to a Script.
+type ScriptFunc func(op Op) Decision
+
+// Decide implements Script.
+func (f ScriptFunc) Decide(op Op) Decision { return f(op) }
+
+// FailNth fails the nth (1-based) operation of the given kind, and
+// every later operation of that kind ("the disk stays broken") — fsync
+// failure semantics, where retrying after EIO must not be trusted.
+func FailNth(kind OpKind, n int) Script {
+	count := 0
+	return ScriptFunc(func(op Op) Decision {
+		if op.Kind != kind {
+			return Decision{}
+		}
+		count++
+		if count >= n {
+			return Decision{Err: fmt.Errorf("%w: %s #%d", ErrInjected, kind, count)}
+		}
+		return Decision{}
+	})
+}
+
+// PowerCut fails every mutating operation with Seq > n — the disk has
+// stopped accepting writes. If the boundary op (Seq == n+1) is a write,
+// shortWrite of its bytes still land, modeling a write torn by the cut
+// itself. Combine with Mem.Crash to drop what was never synced.
+func PowerCut(n, shortWrite int) Script {
+	return ScriptFunc(func(op Op) Decision {
+		if !op.Kind.Mutating() || op.Seq <= n {
+			return Decision{}
+		}
+		d := Decision{Err: fmt.Errorf("%w: power cut after op %d", ErrInjected, n)}
+		if op.Kind == OpWrite && op.Seq == n+1 {
+			d.ShortWrite = shortWrite
+		}
+		return d
+	})
+}
+
+// Latency delays every operation of the given kind.
+func Latency(kind OpKind, d time.Duration) Script {
+	return ScriptFunc(func(op Op) Decision {
+		if op.Kind == kind {
+			return Decision{Delay: d}
+		}
+		return Decision{}
+	})
+}
+
+// FailPath fails every mutating operation of the given kind on the given
+// path (e.g. error-on-rename of the snapshot).
+func FailPath(kind OpKind, path string) Script {
+	return ScriptFunc(func(op Op) Decision {
+		if op.Kind == kind && op.Path == path {
+			return Decision{Err: fmt.Errorf("%w: %s %s", ErrInjected, kind, path)}
+		}
+		return Decision{}
+	})
+}
+
+// Fault wraps an FS, routing every operation through a Script. A nil
+// script passes everything through (useful for the counting run of a
+// crash-point sweep). Fault is safe for concurrent use.
+type Fault struct {
+	inner FS
+
+	mu     sync.Mutex
+	script Script
+	seq    int // mutating ops so far
+}
+
+// NewFault wraps inner with the given script (nil = pass-through).
+func NewFault(inner FS, script Script) *Fault {
+	return &Fault{inner: inner, script: script}
+}
+
+// SetScript swaps the script at runtime (e.g. "now the disk breaks").
+func (f *Fault) SetScript(s Script) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.script = s
+}
+
+// Ops returns how many mutating operations have been issued — the number
+// of crash boundaries a deterministic workload exposes.
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// decide sequences the op and consults the script. The returned decision
+// has Delay already applied.
+func (f *Fault) decide(kind OpKind, path string) Decision {
+	f.mu.Lock()
+	if kind.Mutating() {
+		f.seq++
+	}
+	op := Op{Seq: f.seq, Kind: kind, Path: path}
+	var d Decision
+	if f.script != nil {
+		d = f.script.Decide(op)
+	}
+	f.mu.Unlock()
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	return d
+}
+
+func (f *Fault) Open(name string) (File, error) {
+	if d := f.decide(OpOpen, name); d.Err != nil {
+		return nil, d.Err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: inner, name: name}, nil
+}
+
+func (f *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	kind := OpOpen
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		kind = OpCreate
+	}
+	if d := f.decide(kind, name); d.Err != nil {
+		return nil, d.Err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: inner, name: name}, nil
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if d := f.decide(OpRead, name); d.Err != nil {
+		return nil, d.Err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if d := f.decide(OpRename, newpath); d.Err != nil {
+		return d.Err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if d := f.decide(OpRemove, name); d.Err != nil {
+		return d.Err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Fault) Truncate(name string, size int64) error {
+	if d := f.decide(OpTruncate, name); d.Err != nil {
+		return d.Err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *Fault) SyncDir(dir string) error {
+	if d := f.decide(OpSyncDir, dir); d.Err != nil {
+		return d.Err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes the mutating handle operations through the script.
+type faultFile struct {
+	f     *Fault
+	inner File
+	name  string
+}
+
+func (h *faultFile) Read(p []byte) (int, error) { return h.inner.Read(p) }
+func (h *faultFile) Close() error               { return h.inner.Close() }
+
+func (h *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return h.inner.Seek(offset, whence)
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	if d := h.f.decide(OpWrite, h.name); d.Err != nil {
+		n := 0
+		if d.ShortWrite > 0 {
+			short := min(d.ShortWrite, len(p))
+			n, _ = h.inner.Write(p[:short])
+		}
+		return n, d.Err
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultFile) Sync() error {
+	if d := h.f.decide(OpSync, h.name); d.Err != nil {
+		return d.Err
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	if d := h.f.decide(OpTruncate, h.name); d.Err != nil {
+		return d.Err
+	}
+	return h.inner.Truncate(size)
+}

@@ -1,0 +1,358 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Mem is an in-memory FS that models crash durability the way a real
+// disk behind a page cache behaves:
+//
+//   - a write lands in the live content immediately but is guaranteed to
+//     survive a crash only after File.Sync; until then a power cut may
+//     keep any prefix of the unsynced tail (a torn write) or none of it;
+//   - a create, rename or remove is visible immediately but durable only
+//     after SyncDir on its directory; until then a power cut may roll it
+//     back — and independently per file name, so two un-fsynced renames
+//     can survive in either order, which is exactly the reordering that
+//     loses data when a WAL rotation outruns its snapshot rename.
+//
+// Crash applies such a power cut in place. Mem is safe for concurrent
+// use. It models a single flat namespace of regular files (directories
+// exist implicitly), which is all the durable layer needs.
+type Mem struct {
+	mu      sync.Mutex
+	live    map[string]*inode // current (page-cache) view
+	durable map[string]*inode // directory entries guaranteed after a crash
+	pending []dirOp           // metadata ops since the last covering SyncDir
+}
+
+// inode is one file's storage: the live content and the prefix of it
+// guaranteed to survive a crash.
+type inode struct {
+	content []byte
+	durable []byte
+}
+
+// dirOp is one not-yet-durable metadata operation.
+type dirOp struct {
+	dir  string // directory whose SyncDir persists this op
+	key  string // grouping key: ops sharing a key survive a crash only in order
+	kind uint8  // opLink | opUnlink | opRename
+	path string // link/unlink target; rename source
+	to   string // rename destination
+	ino  *inode // link/rename inode
+}
+
+const (
+	opLink uint8 = iota
+	opUnlink
+	opRename
+)
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{live: make(map[string]*inode), durable: make(map[string]*inode)}
+}
+
+func notExist(op, name string) error {
+	return &fs.PathError{Op: op, Path: name, Err: fs.ErrNotExist}
+}
+
+func (m *Mem) Open(name string) (File, error) {
+	return m.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (m *Mem) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, notExist("open", name)
+	case !ok:
+		ino = &inode{}
+		m.live[name] = ino
+		m.pending = append(m.pending, dirOp{
+			dir: filepath.Dir(name), key: name, kind: opLink, path: name, ino: ino,
+		})
+	case flag&(os.O_CREATE|os.O_EXCL) == os.O_CREATE|os.O_EXCL:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+	}
+	if flag&os.O_TRUNC != 0 {
+		ino.content = nil // durable content survives until the next Sync
+	}
+	f := &memFile{m: m, ino: ino, name: name,
+		append:   flag&os.O_APPEND != 0,
+		writable: flag&(os.O_WRONLY|os.O_RDWR) != 0,
+	}
+	return f, nil
+}
+
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[name]
+	if !ok {
+		return nil, notExist("open", name)
+	}
+	return append([]byte(nil), ino.content...), nil
+}
+
+func (m *Mem) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[oldpath]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fs.ErrNotExist}
+	}
+	delete(m.live, oldpath)
+	m.live[newpath] = ino
+	// One atomic metadata op, keyed by the source: a surviving rename
+	// implies the creation of its source survived too (they share a key),
+	// while renames of unrelated files stay independently reorderable.
+	m.pending = append(m.pending, dirOp{
+		dir: filepath.Dir(newpath), key: oldpath, kind: opRename, path: oldpath, to: newpath, ino: ino,
+	})
+	return nil
+}
+
+func (m *Mem) Remove(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.live[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(m.live, name)
+	m.pending = append(m.pending, dirOp{
+		dir: filepath.Dir(name), key: name, kind: opUnlink, path: name,
+	})
+	return nil
+}
+
+func (m *Mem) Truncate(name string, size int64) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[name]
+	if !ok {
+		return notExist("truncate", name)
+	}
+	ino.resize(size)
+	return nil
+}
+
+func (m *Mem) SyncDir(dir string) error {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rest := m.pending[:0]
+	for _, op := range m.pending {
+		if op.dir != dir {
+			rest = append(rest, op)
+			continue
+		}
+		op.applyTo(m.durable)
+	}
+	m.pending = rest
+	return nil
+}
+
+func (op dirOp) applyTo(entries map[string]*inode) {
+	switch op.kind {
+	case opLink:
+		entries[op.path] = op.ino
+	case opUnlink:
+		delete(entries, op.path)
+	case opRename:
+		delete(entries, op.path)
+		entries[op.to] = op.ino
+	}
+}
+
+// Crash simulates a power cut and reboot, in place: every file reverts
+// to its durable directory entry and durable content, each group of
+// un-fsynced metadata ops survives only as a prefix (chosen by rng,
+// independently per group), and unsynced appended bytes survive only as
+// a prefix (the torn write). Open handles become stale — a crashed
+// store must be discarded, and a fresh one recovered from the surviving
+// image. After Crash the surviving state is fully durable, as after any
+// reboot.
+func (m *Mem) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	next := make(map[string]*inode, len(m.durable))
+	for k, v := range m.durable {
+		next[k] = v
+	}
+	// Deterministic group order: pending is scanned in op order, and the
+	// first op of each group decides when the group's survival is drawn.
+	drawn := make(map[string]int)
+	counts := make(map[string]int)
+	for _, op := range m.pending {
+		counts[op.key]++
+	}
+	applied := make(map[string]int)
+	for _, op := range m.pending {
+		keep, ok := drawn[op.key]
+		if !ok {
+			keep = rng.Intn(counts[op.key] + 1)
+			drawn[op.key] = keep
+		}
+		if applied[op.key] < keep {
+			op.applyTo(next)
+		}
+		applied[op.key]++
+	}
+
+	// Content survival, once per surviving inode (an inode reachable
+	// under two names after a partially-surviving rename keeps one image).
+	seen := make(map[*inode]bool)
+	for _, ino := range next {
+		if seen[ino] {
+			continue
+		}
+		seen[ino] = true
+		s := ino.survivor(rng)
+		ino.content, ino.durable = s, append([]byte(nil), s...)
+	}
+
+	m.live = next
+	m.durable = make(map[string]*inode, len(next))
+	for k, v := range next {
+		m.durable[k] = v
+	}
+	m.pending = nil
+}
+
+// survivor picks the post-crash content: the durable image plus a
+// random prefix of the unsynced tail, or — when an unsynced truncate or
+// overwrite diverged the two — either whole image.
+func (ino *inode) survivor(rng *rand.Rand) []byte {
+	c, d := ino.content, ino.durable
+	if len(c) >= len(d) && bytes.Equal(c[:len(d)], d) {
+		keep := 0
+		if tail := len(c) - len(d); tail > 0 {
+			keep = rng.Intn(tail + 1)
+		}
+		return append(append([]byte(nil), d...), c[len(d):len(d)+keep]...)
+	}
+	if rng.Intn(2) == 0 {
+		return append([]byte(nil), d...)
+	}
+	return append([]byte(nil), c...)
+}
+
+func (ino *inode) resize(size int64) {
+	switch n := int(size); {
+	case n <= len(ino.content):
+		ino.content = ino.content[:n]
+	default:
+		ino.content = append(ino.content, make([]byte, n-len(ino.content))...)
+	}
+}
+
+// memFile is a handle into a Mem inode.
+type memFile struct {
+	m        *Mem
+	ino      *inode
+	name     string
+	append   bool
+	writable bool
+	pos      int64
+	closed   bool
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if f.pos >= int64(len(f.ino.content)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.content[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if !f.writable {
+		return 0, &fs.PathError{Op: "write", Path: f.name, Err: fs.ErrPermission}
+	}
+	if f.append {
+		f.pos = int64(len(f.ino.content))
+	}
+	if grow := f.pos + int64(len(p)) - int64(len(f.ino.content)); grow > 0 {
+		f.ino.content = append(f.ino.content, make([]byte, grow)...)
+	}
+	copy(f.ino.content[f.pos:], p)
+	f.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		f.pos = offset
+	case io.SeekCurrent:
+		f.pos += offset
+	case io.SeekEnd:
+		f.pos = int64(len(f.ino.content)) + offset
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	if f.pos < 0 {
+		return 0, fmt.Errorf("vfs: negative seek position")
+	}
+	return f.pos, nil
+}
+
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.ino.durable = append([]byte(nil), f.ino.content...)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.ino.resize(size)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	f.closed = true
+	return nil
+}

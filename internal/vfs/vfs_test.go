@@ -1,0 +1,297 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+func write(t *testing.T, f File, data string) {
+	t.Helper()
+	if n, err := f.Write([]byte(data)); err != nil || n != len(data) {
+		t.Fatalf("Write(%q) = %d, %v", data, n, err)
+	}
+}
+
+func readAll(t *testing.T, m FS, name string) string {
+	t.Helper()
+	data, err := m.ReadFile(name)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", name, err)
+	}
+	return string(data)
+}
+
+func TestMemBasicFileOps(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Open("/missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open missing = %v, want ErrNotExist", err)
+	}
+	f, err := m.OpenFile("/a", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "hello")
+	if _, err := m.OpenFile("/a", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("O_EXCL on existing = %v, want ErrExist", err)
+	}
+	// Append handle: writes land at the end regardless of seeks.
+	g, err := m.OpenFile("/a", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off, err := g.Seek(0, io.SeekEnd); err != nil || off != 5 {
+		t.Fatalf("Seek end = %d, %v", off, err)
+	}
+	write(t, g, " world")
+	if got := readAll(t, m, "/a"); got != "hello world" {
+		t.Fatalf("content = %q", got)
+	}
+	// Read handle sees the bytes; writing through it is refused.
+	r, err := m.Open("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := io.ReadAll(r)
+	if err != nil || string(buf) != "hello world" {
+		t.Fatalf("ReadAll = %q, %v", buf, err)
+	}
+	if _, err := r.Write([]byte("x")); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("write on read handle = %v", err)
+	}
+	if err := m.Truncate("/a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, m, "/a"); got != "hello" {
+		t.Fatalf("after truncate = %q", got)
+	}
+	if err := m.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("/a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read after remove = %v", err)
+	}
+}
+
+// TestMemCrashDropsUnsynced: unsynced appended bytes survive a crash
+// only as a prefix; synced bytes always survive.
+func TestMemCrashDropsUnsynced(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := NewMem()
+		f, _ := m.OpenFile("/wal", os.O_WRONLY|os.O_CREATE, 0o644)
+		write(t, f, "durable")
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		m.SyncDir("/")
+		write(t, f, "-unsynced")
+		m.Crash(rand.New(rand.NewSource(seed)))
+
+		got := readAll(t, m, "/wal")
+		if len(got) < len("durable") || got[:7] != "durable" {
+			t.Fatalf("seed %d: synced prefix lost: %q", seed, got)
+		}
+		if want := "durable-unsynced"; got != want[:len(got)] {
+			t.Fatalf("seed %d: surviving tail is not a prefix: %q", seed, got)
+		}
+	}
+}
+
+// TestMemCrashRollsBackUnsyncedCreate: a file created but whose
+// directory was never fsynced can vanish; after SyncDir it cannot.
+func TestMemCrashRollsBackUnsyncedCreate(t *testing.T) {
+	vanished, survived := false, false
+	for seed := int64(0); seed < 40; seed++ {
+		m := NewMem()
+		f, _ := m.OpenFile("/f", os.O_WRONLY|os.O_CREATE, 0o644)
+		write(t, f, "x")
+		f.Sync() // content durable, dir entry not
+		m.Crash(rand.New(rand.NewSource(seed)))
+		if _, err := m.ReadFile("/f"); err != nil {
+			vanished = true
+		} else {
+			survived = true
+		}
+	}
+	if !vanished || !survived {
+		t.Fatalf("unsynced create: vanished=%v survived=%v; want both outcomes across seeds", vanished, survived)
+	}
+
+	// With the directory fsynced, the file always survives.
+	for seed := int64(0); seed < 20; seed++ {
+		m := NewMem()
+		f, _ := m.OpenFile("/f", os.O_WRONLY|os.O_CREATE, 0o644)
+		write(t, f, "x")
+		f.Sync()
+		if err := m.SyncDir("/"); err != nil {
+			t.Fatal(err)
+		}
+		m.Crash(rand.New(rand.NewSource(seed)))
+		if got := readAll(t, m, "/f"); got != "x" {
+			t.Fatalf("seed %d: dir-synced file lost: %q", seed, got)
+		}
+	}
+}
+
+// TestMemCrashRenameAtomic: an un-dir-synced rename either fully
+// survives or fully rolls back — never a state where both names are
+// gone — and a dir-synced rename always survives.
+func TestMemCrashRenameAtomic(t *testing.T) {
+	rolledBack, applied := false, false
+	for seed := int64(0); seed < 40; seed++ {
+		m := NewMem()
+		f, _ := m.OpenFile("/t.tmp", os.O_WRONLY|os.O_CREATE, 0o644)
+		write(t, f, "new")
+		f.Sync()
+		g, _ := m.OpenFile("/t", os.O_WRONLY|os.O_CREATE, 0o644)
+		write(t, g, "old")
+		g.Sync()
+		m.SyncDir("/")
+		if err := m.Rename("/t.tmp", "/t"); err != nil {
+			t.Fatal(err)
+		}
+		m.Crash(rand.New(rand.NewSource(seed)))
+		switch got := readAll(t, m, "/t"); got {
+		case "new":
+			applied = true
+		case "old":
+			rolledBack = true
+		default:
+			t.Fatalf("seed %d: /t = %q, want old or new", seed, got)
+		}
+	}
+	if !rolledBack || !applied {
+		t.Fatalf("rename: applied=%v rolledBack=%v; want both outcomes across seeds", applied, rolledBack)
+	}
+}
+
+// TestMemCrashRenamesReorder: two renames of different files, neither
+// dir-synced, can survive in any combination — including the second
+// without the first, the reordering that motivates fsync-between.
+func TestMemCrashRenamesReorder(t *testing.T) {
+	outcomes := map[[2]bool]bool{}
+	for seed := int64(0); seed < 60; seed++ {
+		m := NewMem()
+		for _, name := range []string{"/a.tmp", "/b.tmp"} {
+			f, _ := m.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+			write(t, f, "v2")
+			f.Sync()
+		}
+		for _, name := range []string{"/a", "/b"} {
+			f, _ := m.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+			write(t, f, "v1")
+			f.Sync()
+		}
+		m.SyncDir("/")
+		m.Rename("/a.tmp", "/a")
+		m.Rename("/b.tmp", "/b")
+		m.Crash(rand.New(rand.NewSource(seed)))
+		outcomes[[2]bool{readAll(t, m, "/a") == "v2", readAll(t, m, "/b") == "v2"}] = true
+	}
+	for _, want := range [][2]bool{{false, false}, {true, true}, {true, false}, {false, true}} {
+		if !outcomes[want] {
+			t.Errorf("rename survival combination %v never observed across seeds", want)
+		}
+	}
+}
+
+func TestFaultFailNthSync(t *testing.T) {
+	m := NewMem()
+	ft := NewFault(m, FailNth(OpSync, 2))
+	f, err := ft.OpenFile("/x", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "a")
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync = %v, want ErrInjected", err)
+	}
+	// The disk stays broken: later syncs keep failing.
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third sync = %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultPowerCutShortWrite(t *testing.T) {
+	m := NewMem()
+	ft := NewFault(m, nil)
+	f, _ := ft.OpenFile("/x", os.O_WRONLY|os.O_CREATE, 0o644)
+	write(t, f, "aaaa") // op 2 (create was op 1)
+	if got := ft.Ops(); got != 2 {
+		t.Fatalf("Ops = %d, want 2", got)
+	}
+	ft.SetScript(PowerCut(2, 3))
+	n, err := f.Write([]byte("bbbb")) // boundary op: 3 bytes land, then the error
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("boundary write = %d, %v", n, err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut sync = %v", err)
+	}
+	if err := ft.Rename("/x", "/y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut rename = %v", err)
+	}
+	if got := readAll(t, m, "/x"); got != "aaaabbb" {
+		t.Fatalf("content = %q, want aaaabbb", got)
+	}
+	// Reads still work: the process is alive, the disk is not.
+	if _, err := ft.ReadFile("/x"); err != nil {
+		t.Fatalf("post-cut read = %v", err)
+	}
+}
+
+func TestFaultFailPathRename(t *testing.T) {
+	m := NewMem()
+	ft := NewFault(m, FailPath(OpRename, "/db.snap"))
+	f, _ := ft.OpenFile("/db.snap.tmp", os.O_WRONLY|os.O_CREATE, 0o644)
+	write(t, f, "snap")
+	if err := ft.Rename("/db.snap.tmp", "/db.snap"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename to guarded path = %v", err)
+	}
+	if err := ft.Rename("/db.snap.tmp", "/elsewhere"); err != nil {
+		t.Fatalf("rename elsewhere = %v", err)
+	}
+}
+
+// TestOSRoundTrip exercises the production FS against a real temp dir —
+// the same call sequence the WAL uses.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var o OS
+	f, err := o.OpenFile(dir+"/wal", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "header")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Rename(dir+"/wal", dir+"/wal2"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := o.ReadFile(dir + "/wal2")
+	if err != nil || string(data) != "header" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := o.Truncate(dir+"/wal2", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Remove(dir + "/wal2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Open(dir + "/wal2"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open removed = %v", err)
+	}
+}

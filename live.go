@@ -1,6 +1,7 @@
 package hypo
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
 	"hypodatalog/internal/symbols"
+	"hypodatalog/internal/vfs"
 )
 
 // LiveConfig configures the durable store behind a Live engine; see
@@ -19,6 +21,9 @@ type LiveConfig struct {
 	SnapshotEvery int
 	NoSync        bool
 	Logger        *slog.Logger
+	// FS, when non-nil, replaces the real filesystem under the store —
+	// the seam fault-injection and crash tests use. Nil means the OS.
+	FS vfs.FS
 }
 
 // Live couples a Pool with a durable, versioned fact store
@@ -59,6 +64,7 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 		SnapshotEvery: lc.SnapshotEvery,
 		NoSync:        lc.NoSync,
 		Logger:        lc.Logger,
+		FS:            lc.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -94,6 +100,7 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 	metrics.LiveVersion.Set(int64(rec.Version))
 	metrics.LiveReplayed.Add(int64(rec.Replayed))
 	metrics.LiveSnapshotAge.Set(int64(st.SinceSnapshot()))
+	metrics.LiveReadOnly.Set(0)
 
 	return &Live{
 		store:  st,
@@ -114,6 +121,24 @@ func (l *Live) Version() uint64 { return l.store.Version() }
 
 // Recovery reports what OpenLive reconstructed from disk.
 func (l *Live) Recovery() live.Recovery { return l.rec }
+
+// Degraded reports whether the store has gone read-only after an
+// unrecoverable I/O error, with the cause (empty when healthy). A
+// degraded Live is still a serving Live: the pool keeps answering
+// queries at the last committed version — only mutation traffic is
+// refused, with live.ErrReadOnly. The state is sticky; recovering the
+// disk requires a restart, which replays the WAL.
+func (l *Live) Degraded() (bool, string) {
+	ro, err := l.store.ReadOnly()
+	if !ro {
+		return false, ""
+	}
+	reason := "unrecoverable I/O error"
+	if err != nil {
+		reason = err.Error()
+	}
+	return true, reason
+}
 
 // ParseMutations parses assert/retract surface atoms ("edge(a, b)") into
 // a mutation batch, rejecting non-ground atoms. Validation beyond
@@ -163,7 +188,14 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 	}
 	info, err := l.store.Commit(ms)
 	if err != nil {
-		metrics.LiveRejected.Inc()
+		// An I/O failure is a degradation, not a rejection: the batch was
+		// fine, the disk was not. Flip the gauge operators alert on and
+		// surface live.ErrReadOnly so callers can tell the two apart.
+		if errors.Is(err, live.ErrReadOnly) {
+			metrics.LiveReadOnly.Set(1)
+		} else {
+			metrics.LiveRejected.Inc()
+		}
 		return live.CommitInfo{}, err
 	}
 	next, err := l.cur.withFacts(l.store.Facts(), l.pinDom)
@@ -182,6 +214,11 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 	metrics.LiveSnapshotAge.Set(int64(l.store.SinceSnapshot()))
 	if info.Compacted {
 		metrics.LiveCompactions.Inc()
+	}
+	// A commit can succeed and still degrade the store (the WAL rotation
+	// inside its compaction failed after the record was durable).
+	if ro, _ := l.store.ReadOnly(); ro {
+		metrics.LiveReadOnly.Set(1)
 	}
 	return info, nil
 }

@@ -9,8 +9,10 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"hypodatalog/internal/live"
+	"hypodatalog/internal/vfs"
 )
 
 // quietLog drops store diagnostics (compaction notices) in tests.
@@ -326,5 +328,91 @@ func TestLiveConcurrentReadWrite(t *testing.T) {
 	// Ended on a retract (even count): light(on) is off.
 	if ok, err := pl.Ask("light(on)"); err != nil || ok {
 		t.Fatalf("final light(on) = %v, %v", ok, err)
+	}
+}
+
+// TestLiveNoVersionSkewUnderCompactionLatency races Apply (with
+// compaction every other commit) against readers sampling versions,
+// with every fsync slowed by injected latency to stretch the commit
+// window. The pool version is read first, the store version second, so
+// pool > store is a genuine ordering violation: the pool must never
+// publish a version before the store has durably reached it.
+func TestLiveNoVersionSkewUnderCompactionLatency(t *testing.T) {
+	ft := vfs.NewFault(vfs.NewMem(), vfs.Latency(vfs.OpSync, 200*time.Microsecond))
+	l, err := OpenLive(mustParse(t, liveSrc), LiveConfig{
+		WALPath:       "/db/wal.log",
+		SnapshotPath:  "/db/db.snap",
+		SnapshotEvery: 2,
+		Logger:        quietLog,
+		FS:            ft,
+	}, Options{PoolSize: 4})
+	if err != nil {
+		t.Fatalf("OpenLive: %v", err)
+	}
+	defer l.Close()
+	pl := l.Pool()
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pv := pl.Version()
+				if sv := l.Version(); pv > sv {
+					errCh <- fmt.Errorf("pool publishes version %d before the store reaches it (store at %d)", pv, sv)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := pl.Ask("reach(a, b)"); err != nil {
+				errCh <- fmt.Errorf("reader: %w", err)
+				return
+			}
+		}
+	}()
+
+	on := true
+	for i := 0; i < 30; i++ {
+		var ms []live.Mutation
+		if on {
+			ms, err = ParseMutations([]string{"edge(b, c)"}, nil)
+		} else {
+			ms, err = ParseMutations(nil, []string{"edge(b, c)"})
+		}
+		if err == nil {
+			_, err = l.Apply(ms)
+		}
+		if err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+		on = !on
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if pv, sv := pl.Version(), l.Version(); pv != sv {
+		t.Fatalf("after quiescence pool version %d != store version %d", pv, sv)
 	}
 }

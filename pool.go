@@ -102,10 +102,22 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 // version, rebuilding any stale idle engine it draws. The program must
 // share the seed program's symbol table (Pool compiles queries against
 // it before leasing), which holds for every Program.withFacts
-// derivative; version must be monotonic. Used by Live; a static pool
-// never calls it.
+// derivative. Versions are monotonic: a swap carrying a version older
+// than the current one is dropped, so delayed or racing swaps (e.g. a
+// slow commit finishing after a newer one already published) can never
+// roll the served data version back. Used by Live; a static pool never
+// calls it.
 func (pl *Pool) SetProgram(p *Program, version uint64) {
-	pl.cur.Store(&verProgram{prog: p, version: version})
+	next := &verProgram{prog: p, version: version}
+	for {
+		cur := pl.cur.Load()
+		if cur != nil && version < cur.version {
+			return
+		}
+		if pl.cur.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }
 
 // Version reports the data version new leases evaluate at.
