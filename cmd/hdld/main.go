@@ -13,6 +13,10 @@
 //	-pool n         engine pool size = max concurrent evaluations (0 = GOMAXPROCS)
 //	-queue n        admission queue beyond the pool (0 = 4 × pool)
 //	-max n          per-query goal budget (0 = unlimited)
+//	-cache-bytes n  versioned answer cache budget in bytes (0 = disabled);
+//	                repeated identical queries at one data version are
+//	                served from memory and concurrent identical misses
+//	                coalesce onto one evaluation (X-Hdl-Cache: hit|miss|coalesced)
 //	-timeout d      default per-request evaluation deadline (default 10s)
 //	-max-timeout d  clamp on request-supplied timeouts (default 60s)
 //	-max-body n     request body cap in bytes (default 1 MiB)
@@ -70,6 +74,7 @@ func run() int {
 	pool := flag.Int("pool", 0, "engine pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue length (0 = 4 × pool)")
 	maxGoals := flag.Int64("max", 0, "goal budget per query (0 = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "answer cache byte budget (0 = disabled)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request evaluation deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "clamp on request-supplied timeouts")
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
@@ -112,7 +117,7 @@ func run() int {
 		logger.Error("parse program", "err", err)
 		return 1
 	}
-	opts := hypo.Options{MaxGoals: *maxGoals, PoolSize: *pool}
+	opts := hypo.Options{MaxGoals: *maxGoals, PoolSize: *pool, CacheBytes: *cacheBytes}
 	switch *mode {
 	case "auto":
 		opts.Mode = hypo.ModeAuto

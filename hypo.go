@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"hypodatalog/internal/ast"
+	"hypodatalog/internal/cache"
 	"hypodatalog/internal/engine"
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
@@ -282,6 +283,14 @@ type Options struct {
 	// PoolSize bounds the number of engines a Pool keeps alive (and hence
 	// its maximum concurrency). Zero means GOMAXPROCS. Ignored by New.
 	PoolSize int
+	// CacheBytes enables the versioned answer cache: Ask/Query/AskUnder
+	// answers are memoised keyed by (data version, canonical query,
+	// sorted hypothetical adds) up to this byte budget, with singleflight
+	// coalescing of concurrent identical misses on a Pool. Entries from
+	// older data versions are never served after a hot swap (the version
+	// is part of the key); they expire lazily under LRU pressure. Zero
+	// disables caching.
+	CacheBytes int64
 }
 
 // Engine answers queries against a program.
@@ -291,6 +300,12 @@ type Engine struct {
 	uni    *topdown.Engine // non-nil in uniform mode (for stats)
 	cas    *engine.Cascade // non-nil in cascade mode
 	domSet map[symbols.Const]bool
+
+	// cache memoises answers for a standalone engine (Options.CacheBytes
+	// on New). Engines inside a Pool carry no cache of their own — the
+	// Pool owns one shared cache above the lease, so coalesced callers
+	// never consume an engine.
+	cache *cache.Cache
 
 	// version is the data version of the program this engine was built
 	// against; set by Pool on engines serving a live program, zero
@@ -316,6 +331,10 @@ func New(p *Program, opts Options) (*Engine, error) {
 			mode = ModeUniform
 		}
 	}
+	var ac *cache.Cache
+	if opts.CacheBytes > 0 {
+		ac = cache.New(opts.CacheBytes)
+	}
 	switch mode {
 	case ModeUniform:
 		uni := engine.NewUniform(p.comp, dom, topdown.Options{
@@ -323,7 +342,7 @@ func New(p *Program, opts Options) (*Engine, error) {
 			NoTabling: opts.NoTabling,
 			NoPlanner: opts.NoPlanner,
 		})
-		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet}, nil
+		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac}, nil
 	case ModeCascade:
 		if p.strt == nil {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
@@ -332,7 +351,7 @@ func New(p *Program, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet}, nil
+		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac}, nil
 	default:
 		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
 	}
@@ -379,15 +398,40 @@ func (e *Engine) AskCtx(ctx context.Context, query string) (bool, error) {
 }
 
 func (e *Engine) askCtx(ctx context.Context, query string) (bool, error) {
-	pr, names, err := compileQueryChecked(query, e.prog.syms, e.domSet)
+	pr, err := parser.ParsePremise(query)
+	if err != nil {
+		return false, err
+	}
+	cpr, names, err := compilePremiseChecked(pr, e.prog.syms, e.domSet)
 	if err != nil {
 		return false, err
 	}
 	if len(names) > 0 {
 		return false, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
 	}
-	ok, err := e.asker.AskPremiseCtx(ctx, pr, e.asker.EmptyState())
-	return ok, e.enrich(err)
+	if e.cache == nil {
+		ok, err := e.asker.AskPremiseCtx(ctx, cpr, e.asker.EmptyState())
+		return ok, e.enrich(err)
+	}
+	return e.cachedBool(ctx, askCacheKey(pr), func() (bool, error) {
+		return e.asker.AskPremiseCtx(ctx, cpr, e.asker.EmptyState())
+	})
+}
+
+// cachedBool memoises a ground answer in the engine's private cache
+// keyed at the engine's data version.
+func (e *Engine) cachedBool(ctx context.Context, key string, eval func() (bool, error)) (bool, error) {
+	v, _, err := e.cache.Do(ctx, cache.Key{Version: e.version, Query: key}, func() (cache.Computed, error) {
+		ok, err := eval()
+		if err != nil {
+			return cache.Computed{}, e.enrich(err)
+		}
+		return cache.Computed{Val: ok, Bytes: boolAnswerBytes, Store: true}, nil
+	})
+	if err != nil {
+		return false, wrapCacheWait(err)
+	}
+	return v.(bool), nil
 }
 
 // Binding is one answer to a non-ground query: variable name to constant.
@@ -409,12 +453,15 @@ func (e *Engine) QueryCtx(ctx context.Context, query string) ([]Binding, error) 
 }
 
 func (e *Engine) queryCtx(ctx context.Context, query string) ([]Binding, error) {
-	cpr, names, err := compileQueryLoose(query, e.prog.syms)
+	var out []Binding
+	err := e.queryEachCtx(ctx, query, func(b Binding) error {
+		out = append(out, b)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	bs, err := e.queryCompiledCtx(ctx, cpr, names)
-	return bs, e.enrich(err)
+	return out, nil
 }
 
 // QueryEach evaluates a premise like Query but streams each binding to
@@ -437,26 +484,43 @@ func (e *Engine) QueryEachCtx(ctx context.Context, query string, yield func(Bind
 }
 
 func (e *Engine) queryEachCtx(ctx context.Context, query string, yield func(Binding) error) error {
-	cpr, names, err := compileQueryLoose(query, e.prog.syms)
+	pr, err := parser.ParsePremise(query)
 	if err != nil {
 		return err
 	}
-	return e.enrich(e.queryEachCompiledCtx(ctx, cpr, names, yield))
-}
-
-// queryCompiledCtx runs a pre-compiled query premise; names map variable
-// slots back to surface names. Unlike QueryCtx it does not touch the
-// shared symbol table, so Pool can compile before leasing an engine.
-func (e *Engine) queryCompiledCtx(ctx context.Context, cpr ast.CPremise, names []string) ([]Binding, error) {
-	var out []Binding
-	err := e.queryEachCompiledCtx(ctx, cpr, names, func(b Binding) error {
-		out = append(out, b)
-		return nil
+	cpr, names, err := compilePremiseLoose(pr, e.prog.syms)
+	if err != nil {
+		return err
+	}
+	if e.cache == nil {
+		return e.enrich(e.queryEachCompiledCtx(ctx, cpr, names, yield))
+	}
+	v, st, err := e.cache.Do(ctx, cache.Key{Version: e.version, Query: queryCacheKey(pr)}, func() (cache.Computed, error) {
+		// Leader: stream each binding to yield as it is proved while
+		// also materialising the answer set for the cache. A yield abort
+		// surfaces verbatim and caches nothing — the set is partial.
+		acc := []Binding{}
+		err := e.queryEachCompiledCtx(ctx, cpr, names, func(b Binding) error {
+			acc = append(acc, b)
+			return yield(b)
+		})
+		if err != nil {
+			return cache.Computed{}, e.enrich(err)
+		}
+		return cache.Computed{Val: acc, Bytes: bindingsBytes(acc), Store: true}, nil
 	})
 	if err != nil {
-		return nil, err
+		return wrapCacheWait(err)
 	}
-	return out, nil
+	if st == cache.Miss {
+		return nil // already streamed during evaluation
+	}
+	for _, b := range v.([]Binding) {
+		if err := yield(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // queryEachCompiledCtx is the streaming core shared by QueryCtx and
@@ -489,12 +553,17 @@ func (e *Engine) AskUnderCtx(ctx context.Context, query string, added ...string)
 }
 
 func (e *Engine) askUnderCtx(ctx context.Context, query string, added []string) (bool, error) {
-	pr, adds, err := compileAskUnder(query, added, e.prog.syms, e.domSet)
+	pr, adds, key, err := compileAskUnder(query, added, e.prog.syms, e.domSet)
 	if err != nil {
 		return false, err
 	}
-	ok, err := e.askUnderCompiled(ctx, pr, adds)
-	return ok, e.enrich(err)
+	if e.cache == nil {
+		ok, err := e.askUnderCompiled(ctx, pr, adds)
+		return ok, e.enrich(err)
+	}
+	return e.cachedBool(ctx, key, func() (bool, error) {
+		return e.askUnderCompiled(ctx, pr, adds)
+	})
 }
 
 // askUnderCompiled runs a pre-compiled AskUnder; like queryCompiledCtx it
@@ -508,34 +577,42 @@ func (e *Engine) askUnderCompiled(ctx context.Context, pr ast.CPremise, adds []a
 }
 
 // compileAskUnder compiles an AskUnder query and its added atoms,
-// domain-validating everything before any interning.
-func compileAskUnder(query string, added []string, syms *symbols.Table, domSet map[symbols.Const]bool) (ast.CPremise, []ast.CAtom, error) {
+// domain-validating everything before any interning. The third result is
+// the canonical answer-cache key for the operation (kind, rendered
+// premise, sorted adds).
+func compileAskUnder(query string, added []string, syms *symbols.Table, domSet map[symbols.Const]bool) (ast.CPremise, []ast.CAtom, string, error) {
 	adds := make([]ast.CAtom, 0, len(added))
+	surface := make([]ast.Atom, 0, len(added))
 	for _, src := range added {
 		a, err := parser.ParseAtom(src)
 		if err != nil {
-			return ast.CPremise{}, nil, err
+			return ast.CPremise{}, nil, "", err
 		}
 		if !a.IsGround() {
-			return ast.CPremise{}, nil, fmt.Errorf("hypo: added atom %q is not ground", src)
+			return ast.CPremise{}, nil, "", fmt.Errorf("hypo: added atom %q is not ground", src)
 		}
 		if err := checkAtomDomain(a, syms, domSet); err != nil {
-			return ast.CPremise{}, nil, err
+			return ast.CPremise{}, nil, "", err
 		}
 		ca, err := compileGroundAtom(a, syms)
 		if err != nil {
-			return ast.CPremise{}, nil, err
+			return ast.CPremise{}, nil, "", err
 		}
 		adds = append(adds, ca)
+		surface = append(surface, a)
 	}
-	pr, names, err := compileQueryChecked(query, syms, domSet)
+	pr, err := parser.ParsePremise(query)
 	if err != nil {
-		return ast.CPremise{}, nil, err
+		return ast.CPremise{}, nil, "", err
+	}
+	cpr, names, err := compilePremiseChecked(pr, syms, domSet)
+	if err != nil {
+		return ast.CPremise{}, nil, "", err
 	}
 	if len(names) > 0 {
-		return ast.CPremise{}, nil, fmt.Errorf("hypo: AskUnder needs a ground query")
+		return ast.CPremise{}, nil, "", fmt.Errorf("hypo: AskUnder needs a ground query")
 	}
-	return pr, adds, nil
+	return cpr, adds, askUnderCacheKey(pr, surface), nil
 }
 
 // Explain returns a rendered derivation tree for a provable ground query
@@ -608,6 +685,13 @@ func compileQueryChecked(query string, syms *symbols.Table, domSet map[symbols.C
 	if err != nil {
 		return ast.CPremise{}, nil, err
 	}
+	return compilePremiseChecked(pr, syms, domSet)
+}
+
+// compilePremiseChecked is the compile half of compileQueryChecked for
+// callers that parse the premise themselves (the cached read paths keep
+// the parsed form to canonicalise their cache keys).
+func compilePremiseChecked(pr ast.Premise, syms *symbols.Table, domSet map[symbols.Const]bool) (ast.CPremise, []string, error) {
 	if err := checkQueryDomain(pr, syms, domSet); err != nil {
 		return ast.CPremise{}, nil, err
 	}
@@ -620,14 +704,10 @@ func compileQueryChecked(query string, syms *symbols.Table, domSet map[symbols.C
 	return cpr, names, nil
 }
 
-// compileQueryLoose is compileQueryChecked without the domain check —
+// compilePremiseLoose is compilePremiseChecked without the domain check —
 // Query answers over dom(R, DB) bindings anyway, so an out-of-domain
 // constant merely yields zero rows rather than a wrong answer.
-func compileQueryLoose(query string, syms *symbols.Table) (ast.CPremise, []string, error) {
-	pr, err := parser.ParsePremise(query)
-	if err != nil {
-		return ast.CPremise{}, nil, err
-	}
+func compilePremiseLoose(pr ast.Premise, syms *symbols.Table) (ast.CPremise, []string, error) {
 	vars := map[string]int{}
 	var names []string
 	cpr, err := ast.CompilePremise(pr, syms, vars, &names)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,6 +39,7 @@ type Sizes struct {
 	HypOrd []int // E9: domain sizes (n! orders!)
 	HornN  []int // E10
 	LiveN  []int // E16: live-EDB graph sizes
+	CacheN []int // E17: answer-cache graph sizes
 	Seed   int64
 }
 
@@ -52,6 +55,7 @@ func DefaultSizes() Sizes {
 		HypOrd: []int{2, 3, 4, 5},
 		HornN:  []int{16, 64, 256, 512},
 		LiveN:  []int{16, 32, 64},
+		CacheN: []int{32, 48, 64},
 		Seed:   1,
 	}
 }
@@ -68,6 +72,7 @@ func SmokeSizes() Sizes {
 		HypOrd: []int{2, 3},
 		HornN:  []int{16, 32},
 		LiveN:  []int{6, 10},
+		CacheN: []int{6, 10},
 		Seed:   1,
 	}
 }
@@ -864,6 +869,169 @@ func E16LiveChurn(s Sizes) (*Table, error) {
 	return t, nil
 }
 
+// E17CacheReads prices the versioned answer cache on the same
+// MixedReachability workload as E16, cache off vs on. The quiet column
+// is repeated reads at one data version — with the cache every read
+// after the first is a hit and never leases an engine; without it every
+// read re-enters the (warm) memo tables. The churn columns run the mixed
+// read/write stream against the cached pool: every commit moves the data
+// version, so entries expire by construction and the hit rate prices how
+// much reuse survives real write traffic.
+func E17CacheReads(s Sizes) (*Table, error) {
+	t := NewTable("E17 (answer cache): repeated reads, cache on vs off",
+		"n", "quiet p50 off", "quiet p50 on", "speedup", "churn read", "churn hits", "final version")
+	t.Note = "quiet = repeated reads at a fixed version; churn = mixed reads and commits, each commit expires the cached version."
+	rng := rand.New(rand.NewSource(s.Seed + 6))
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	const quietRounds = 25
+	p50 := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	for _, n := range s.CacheN {
+		w := workload.MixedReachability(rng, n, 4*n, 0.3)
+		prog, err := hypo.Parse(w.Source)
+		if err != nil {
+			return nil, err
+		}
+		ground := fmt.Sprintf("reach(v0, v%d)", n-1)
+		// The quiet read materialises the whole closure — the "dashboard
+		// refresh" read pattern the cache exists for. Enumerating it costs
+		// O(n^2) engine work; replaying the cached answer costs a slice walk.
+		closure := "reach(X, Y)"
+
+		// withLive runs body against a fresh Live over its own WAL dir.
+		withLive := func(cacheBytes int64, body func(*hypo.Live) error) error {
+			dir, err := os.MkdirTemp("", "hdl-e17-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			lv, err := hypo.OpenLive(prog, hypo.LiveConfig{
+				WALPath: filepath.Join(dir, "wal.log"),
+				NoSync:  true,
+				Logger:  quiet,
+			}, hypo.Options{PoolSize: 2, CacheBytes: cacheBytes})
+			if err != nil {
+				return err
+			}
+			defer lv.Close()
+			return body(lv)
+		}
+
+		// quietP50: the same closure query repeated at one data version.
+		quietP50 := func(cacheBytes int64) (time.Duration, error) {
+			var reads []time.Duration
+			err := withLive(cacheBytes, func(lv *hypo.Live) error {
+				pl := lv.Pool()
+				ctx := context.Background()
+				ok, _, err := pl.AskInfoCtx(ctx, ground)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("E17: spine unreachable at n=%d", n)
+				}
+				want := -1
+				for i := 0; i < quietRounds; i++ {
+					start := time.Now()
+					bs, _, err := pl.QueryInfoCtx(ctx, closure)
+					if err != nil {
+						return err
+					}
+					reads = append(reads, time.Since(start))
+					if want == -1 {
+						want = len(bs)
+					} else if len(bs) != want {
+						return fmt.Errorf("E17: closure size changed %d -> %d while quiet", want, len(bs))
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+			return p50(reads), nil
+		}
+		p50Off, err := quietP50(0)
+		if err != nil {
+			return nil, err
+		}
+		p50On, err := quietP50(4 << 20)
+		if err != nil {
+			return nil, err
+		}
+
+		// Churn: the mixed op stream against the cached pool.
+		var churnReads, hits, commits int
+		var churnTotal time.Duration
+		var finalVersion uint64
+		err = withLive(4<<20, func(lv *hypo.Live) error {
+			pl := lv.Pool()
+			ctx := context.Background()
+			for _, op := range w.Ops {
+				if op.Query == "" {
+					ms, err := hypo.ParseMutations(op.Assert, op.Retract)
+					if err != nil {
+						return err
+					}
+					if _, err := lv.Apply(ms); err != nil {
+						return err
+					}
+					commits++
+					continue
+				}
+				var st hypo.CacheStatus
+				start := time.Now()
+				if strings.ContainsRune(op.Query, 'Y') {
+					_, info, err := pl.QueryInfoCtx(ctx, op.Query)
+					if err != nil {
+						return err
+					}
+					st = info.Cache
+				} else {
+					ok, info, err := pl.AskInfoCtx(ctx, op.Query)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("E17: %s false at n=%d", op.Query, n)
+					}
+					st = info.Cache
+				}
+				churnTotal += time.Since(start)
+				churnReads++
+				if st == hypo.CacheHit || st == hypo.CacheCoalesced {
+					hits++
+				}
+			}
+			if churnReads == 0 || commits == 0 {
+				return fmt.Errorf("E17: degenerate op stream (%d reads, %d commits)", churnReads, commits)
+			}
+			finalVersion = lv.Version()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(n,
+			p50Off,
+			p50On,
+			fmt.Sprintf("%.1fx", float64(p50Off)/float64(max64(int64(p50On), 1))),
+			churnTotal/time.Duration(churnReads),
+			fmt.Sprintf("%d/%d", hits, churnReads),
+			finalVersion)
+	}
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // Experiment couples an id with its runner.
 type Experiment struct {
 	ID   string
@@ -890,5 +1058,6 @@ func All() []Experiment {
 		{"E14", "constant-free machine compilation (Theorem 2)", E14GenericCompile},
 		{"E15", "alternation / PSPACE fragment (section 4 context)", E15Alternation},
 		{"E16", "live EDB under churn (runtime fact updates)", E16LiveChurn},
+		{"E17", "answer cache: repeated reads on vs off", E17CacheReads},
 	}
 }

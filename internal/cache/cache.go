@@ -1,0 +1,346 @@
+// Package cache is a sharded, byte-budgeted LRU answer cache with
+// singleflight request coalescing, used by the hypo layer to memoise
+// query answers across engine leases.
+//
+// # Keying and version expiry
+//
+// Entries are keyed by (Version, Query): the data version of the base
+// EDB the answer was computed at, and an opaque canonical query string
+// (the hypo layer folds the operation kind and any sorted hypothetical
+// adds into it). Because the version is part of the key, a hot engine
+// swap invalidates by construction: readers at the new version compute
+// new keys and simply never look up the old entries, which age out of
+// the LRU under byte pressure. A stale-version answer can therefore
+// never be served to a reader keyed at a newer version.
+//
+// # Coalescing
+//
+// Do runs at most one computation per key at a time. Concurrent callers
+// of the same key join the in-flight computation ("flight") and receive
+// its value when it completes — N identical cache misses under load cost
+// one evaluation. Errors are deliberately NOT shared: a leader that
+// fails (its context was canceled, its yield callback aborted, the
+// evaluation hit a budget) returns its error only to itself; waiters
+// loop — re-checking the cache and possibly becoming the next leader —
+// so one caller's abort never poisons the answer for the others. A
+// waiter whose own context ends while waiting leaves the flight with its
+// context's error and no side effects.
+//
+// # Budget
+//
+// The byte budget is split evenly across shards; each shard evicts its
+// own least-recently-used entries when over its slice of the budget.
+// Entry sizes are caller-reported (the cache stores opaque values) plus
+// a fixed per-entry overhead and the key length.
+package cache
+
+import (
+	"context"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"hypodatalog/internal/metrics"
+)
+
+// Key identifies one cached answer: the data version it was computed at
+// and the canonical query string (kind, query text, sorted adds).
+type Key struct {
+	Version uint64
+	Query   string
+}
+
+// entryOverhead approximates the bookkeeping bytes per entry (list
+// links, map cell, header fields) charged on top of the caller-reported
+// value size and the key length.
+const entryOverhead = 96
+
+// Status reports how a Do call was served.
+type Status int
+
+const (
+	// Miss: this caller ran the computation (and stored the result).
+	Miss Status = iota
+	// Hit: the answer was already in the cache.
+	Hit
+	// Coalesced: another caller was already computing this key; this
+	// caller waited and shares the result without evaluating anything.
+	Coalesced
+)
+
+func (s Status) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Computed is the result of one Do computation. Store=false returns the
+// value to the caller (and any coalesced waiters) without caching it —
+// the hypo layer uses it when the engine it leased turned out to be at a
+// different data version than the key.
+type Computed struct {
+	Val   any
+	Bytes int64
+	Store bool
+}
+
+// WaitError reports that a Do caller's context ended while it was
+// waiting on another caller's in-flight computation. Err is the context
+// error (context.Canceled or context.DeadlineExceeded); the flight it
+// was waiting on is unaffected.
+type WaitError struct{ Err error }
+
+func (e *WaitError) Error() string { return "cache: wait aborted: " + e.Err.Error() }
+func (e *WaitError) Unwrap() error { return e.Err }
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Evictions int64
+	Bytes     int64
+	Entries   int64
+}
+
+// Cache is the sharded LRU. Safe for concurrent use.
+type Cache struct {
+	shards []shard
+	seed   maphash.Seed
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[Key]*entry
+	flights map[Key]*flight
+	// Intrusive LRU list: head.next is most recent, head.prev least.
+	head entry
+}
+
+type entry struct {
+	key        Key
+	val        any
+	bytes      int64
+	prev, next *entry
+}
+
+// flight is one in-progress computation; done is closed once val/err are
+// set. ok distinguishes a shareable success from a leader failure.
+type flight struct {
+	done chan struct{}
+	val  any
+	ok   bool
+}
+
+// numShards balances lock contention against budget fragmentation.
+const numShards = 16
+
+// New builds a cache with the given total byte budget. Budgets are
+// clamped so every shard can hold at least one small entry.
+func New(budgetBytes int64) *Cache {
+	per := budgetBytes / numShards
+	if per < 1024 {
+		per = 1024
+	}
+	c := &Cache{shards: make([]shard, numShards), seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.budget = per
+		s.entries = make(map[Key]*entry)
+		s.flights = make(map[Key]*flight)
+		s.head.next = &s.head
+		s.head.prev = &s.head
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	var v [8]byte
+	for i := 0; i < 8; i++ {
+		v[i] = byte(k.Version >> (8 * i))
+	}
+	_, _ = h.Write(v[:])
+	_, _ = h.WriteString(k.Query)
+	return &c.shards[h.Sum64()%numShards]
+}
+
+// Get looks the key up without computing anything, refreshing its LRU
+// position on a hit.
+func (c *Cache) Get(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[k]; ok {
+		s.touch(e)
+		c.hits.Add(1)
+		metrics.CacheHits.Inc()
+		return e.val, true
+	}
+	return nil, false
+}
+
+// Do returns the cached value for k, or computes it. At most one compute
+// runs per key at a time; concurrent callers coalesce onto it (see the
+// package comment for the error-sharing policy). ctx bounds only the
+// wait on another caller's flight — the compute callback is responsible
+// for honouring its own context.
+func (c *Cache) Do(ctx context.Context, k Key, compute func() (Computed, error)) (any, Status, error) {
+	s := c.shardFor(k)
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[k]; ok {
+			s.touch(e)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			metrics.CacheHits.Inc()
+			return e.val, Hit, nil
+		}
+		if f, ok := s.flights[k]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.ok {
+					c.coalesced.Add(1)
+					metrics.CacheCoalesced.Inc()
+					return f.val, Coalesced, nil
+				}
+				// The leader failed; its error is its own. Loop: the next
+				// iteration re-checks the cache and may become the leader.
+				continue
+			case <-ctx.Done():
+				return nil, Miss, &WaitError{Err: ctx.Err()}
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[k] = f
+		s.mu.Unlock()
+
+		res, err := compute()
+		s.mu.Lock()
+		delete(s.flights, k)
+		if err == nil && res.Store {
+			evicted := s.insert(c, k, res.Val, res.Bytes)
+			c.evictions.Add(evicted)
+			metrics.CacheEvictions.Add(evicted)
+		}
+		f.val, f.ok = res.Val, err == nil
+		close(f.done)
+		s.mu.Unlock()
+		c.misses.Add(1)
+		metrics.CacheMisses.Inc()
+		return res.Val, Miss, err
+	}
+}
+
+// insert stores (or replaces) an entry and evicts LRU entries until the
+// shard is within budget, returning how many were evicted. Called with
+// the shard lock held.
+func (s *shard) insert(c *Cache, k Key, val any, bytes int64) int64 {
+	size := bytes + int64(len(k.Query)) + entryOverhead
+	if e, ok := s.entries[k]; ok {
+		s.bytes += size - e.bytes
+		metrics.CacheBytes.Add(size - e.bytes)
+		e.val, e.bytes = val, size
+		s.touch(e)
+	} else {
+		e := &entry{key: k, val: val, bytes: size}
+		s.entries[k] = e
+		s.bytes += size
+		metrics.CacheBytes.Add(size)
+		metrics.CacheEntries.Add(1)
+		s.pushFront(e)
+	}
+	var evicted int64
+	for s.bytes > s.budget && s.head.prev != &s.head {
+		old := s.head.prev
+		// Never evict the entry just inserted, even if it alone exceeds
+		// the shard budget — a cache that cannot hold its newest answer
+		// would thrash on every oversized query.
+		if old.key == k {
+			break
+		}
+		s.remove(old)
+		evicted++
+	}
+	return evicted
+}
+
+// Invalidate drops every entry whose version is older than minVersion,
+// returning how many were dropped. The version-in-key scheme makes this
+// optional (stale entries are never served); it exists so callers can
+// reclaim budget eagerly after a burst of commits.
+func (c *Cache) Invalidate(minVersion uint64) int64 {
+	var dropped int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.Version < minVersion {
+				s.remove(e)
+				dropped++
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.evictions.Add(dropped)
+	metrics.CacheEvictions.Add(dropped)
+	return dropped
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// touch moves e to the front of the LRU list.
+func (s *shard) touch(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	s.pushFront(e)
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.next = s.head.next
+	e.prev = &s.head
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// remove unlinks e and releases its accounting. Called with the shard
+// lock held.
+func (s *shard) remove(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	delete(s.entries, e.key)
+	s.bytes -= e.bytes
+	metrics.CacheBytes.Add(-e.bytes)
+	metrics.CacheEntries.Add(-1)
+}

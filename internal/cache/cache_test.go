@@ -1,0 +1,376 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustDo(t *testing.T, c *Cache, k Key, val any) {
+	t.Helper()
+	_, _, err := c.Do(context.Background(), k, func() (Computed, error) {
+		return Computed{Val: val, Bytes: 8, Store: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Version: 1, Query: "q"}
+	calls := 0
+	compute := func() (Computed, error) {
+		calls++
+		return Computed{Val: 42, Bytes: 8, Store: true}, nil
+	}
+	v, st, err := c.Do(context.Background(), k, compute)
+	if err != nil || v.(int) != 42 || st != Miss {
+		t.Fatalf("first Do: v=%v st=%v err=%v", v, st, err)
+	}
+	v, st, err = c.Do(context.Background(), k, compute)
+	if err != nil || v.(int) != 42 || st != Hit {
+		t.Fatalf("second Do: v=%v st=%v err=%v", v, st, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st2 := c.Stats()
+	if st2.Hits != 1 || st2.Misses != 1 || st2.Entries != 1 {
+		t.Fatalf("stats %+v", st2)
+	}
+}
+
+func TestVersionIsPartOfTheKey(t *testing.T) {
+	c := New(1 << 20)
+	mustDo(t, c, Key{Version: 1, Query: "q"}, "old")
+	mustDo(t, c, Key{Version: 2, Query: "q"}, "new")
+	if v, ok := c.Get(Key{Version: 1, Query: "q"}); !ok || v.(string) != "old" {
+		t.Fatalf("v1 entry: %v %v", v, ok)
+	}
+	if v, ok := c.Get(Key{Version: 2, Query: "q"}); !ok || v.(string) != "new" {
+		t.Fatalf("v2 entry: %v %v", v, ok)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(Key{Version: 9, Query: "nope"}); ok {
+		t.Fatal("Get on empty cache reported a hit")
+	}
+}
+
+func TestStoreFalseReturnsWithoutCaching(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Version: 1, Query: "q"}
+	calls := 0
+	compute := func() (Computed, error) {
+		calls++
+		return Computed{Val: "x", Bytes: 8, Store: false}, nil
+	}
+	for i := 0; i < 2; i++ {
+		v, st, err := c.Do(context.Background(), k, compute)
+		if err != nil || v.(string) != "x" || st != Miss {
+			t.Fatalf("Do %d: v=%v st=%v err=%v", i, v, st, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (Store=false must not cache)", calls)
+	}
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Version: 1, Query: "q"}
+	boom := errors.New("boom")
+	_, _, err := c.Do(context.Background(), k, func() (Computed, error) {
+		return Computed{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("leader error: %v", err)
+	}
+	v, st, err := c.Do(context.Background(), k, func() (Computed, error) {
+		return Computed{Val: "ok", Bytes: 8, Store: true}, nil
+	})
+	if err != nil || v.(string) != "ok" || st != Miss {
+		t.Fatalf("after failed compute: v=%v st=%v err=%v", v, st, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard gets budget/numShards; use keys that all land wherever
+	// they land and just assert the global invariant: bytes within budget
+	// and the most recent keys still present.
+	c := New(numShards * 1024) // minimum per-shard budget
+	for i := 0; i < 200; i++ {
+		mustDo(t, c, Key{Version: 1, Query: fmt.Sprintf("q%03d", i)}, i)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite 200 entries against a minimal budget")
+	}
+	if st.Bytes > numShards*1024 {
+		t.Fatalf("bytes %d exceed total budget %d", st.Bytes, numShards*1024)
+	}
+	if st.Entries >= 200 {
+		t.Fatalf("entries %d, want fewer than inserted", st.Entries)
+	}
+}
+
+func TestLRUOrderRespected(t *testing.T) {
+	c := New(numShards * 1024)
+	// Three entries sized so a shard holds ~2: touch the first, insert a
+	// third; the untouched second should go first when pressure comes.
+	// Force same shard by hammering one shard's budget with many inserts
+	// of the same key prefix is not deterministic across seeds, so assert
+	// the weaker but stable property: a just-touched entry survives an
+	// insert that evicts something.
+	k1 := Key{Version: 1, Query: "keep"}
+	mustDo(t, c, k1, 1)
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get(k1); !ok {
+			t.Fatalf("touched entry evicted at i=%d", i)
+		}
+		mustDo(t, c, Key{Version: 1, Query: fmt.Sprintf("filler%03d", i)}, i)
+	}
+	// k1 was re-touched before every insert, so unless it shares a shard
+	// with every filler (impossible across 16 shards), it survives.
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("most-recently-used entry was evicted")
+	}
+}
+
+func TestOversizedEntryIsKeptNotThrashed(t *testing.T) {
+	c := New(1) // clamps to 1024 per shard
+	k := Key{Version: 1, Query: "big"}
+	_, _, err := c.Do(context.Background(), k, func() (Computed, error) {
+		return Computed{Val: "huge", Bytes: 1 << 20, Store: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("oversized entry evicted itself; cache would thrash on every oversized query")
+	}
+}
+
+func TestReplaceExistingKeyAccounting(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Version: 1, Query: "q"}
+	_, _, _ = c.Do(context.Background(), k, func() (Computed, error) {
+		return Computed{Val: "a", Bytes: 100, Store: true}, nil
+	})
+	before := c.Stats()
+	// Force a recompute-and-replace by going through a Store=true compute
+	// for the same key after invalidating the flight path via direct
+	// insert: simplest is Invalidate then Do again with a larger size.
+	c.Invalidate(2)
+	_, _, _ = c.Do(context.Background(), k, func() (Computed, error) {
+		return Computed{Val: "bb", Bytes: 200, Store: true}, nil
+	})
+	after := c.Stats()
+	if after.Entries != 1 {
+		t.Fatalf("entries %d, want 1", after.Entries)
+	}
+	if after.Bytes <= 0 || after.Bytes == before.Bytes {
+		t.Fatalf("bytes not re-accounted: before %d after %d", before.Bytes, after.Bytes)
+	}
+}
+
+func TestInvalidateDropsOldVersions(t *testing.T) {
+	c := New(1 << 20)
+	mustDo(t, c, Key{Version: 1, Query: "a"}, 1)
+	mustDo(t, c, Key{Version: 2, Query: "b"}, 2)
+	mustDo(t, c, Key{Version: 3, Query: "c"}, 3)
+	if n := c.Invalidate(3); n != 2 {
+		t.Fatalf("Invalidate dropped %d, want 2", n)
+	}
+	if _, ok := c.Get(Key{Version: 1, Query: "a"}); ok {
+		t.Fatal("v1 survived Invalidate(3)")
+	}
+	if _, ok := c.Get(Key{Version: 3, Query: "c"}); !ok {
+		t.Fatal("v3 dropped by Invalidate(3)")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries %d, want 1", st.Entries)
+	}
+}
+
+func TestCoalescingSharesOneComputation(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Version: 1, Query: "q"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+
+	var wg sync.WaitGroup
+	results := make([]Status, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, st, err := c.Do(context.Background(), k, func() (Computed, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return Computed{Val: "answer", Bytes: 8, Store: true}, nil
+		})
+		if err != nil || v.(string) != "answer" {
+			t.Errorf("leader: v=%v err=%v", v, err)
+		}
+		results[0] = st
+	}()
+	<-started
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, st, err := c.Do(context.Background(), k, func() (Computed, error) {
+				computes.Add(1)
+				return Computed{Val: "answer", Bytes: 8, Store: true}, nil
+			})
+			if err != nil || v.(string) != "answer" {
+				t.Errorf("waiter %d: v=%v err=%v", i, v, err)
+			}
+			results[i] = st
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computations, want 1", n)
+	}
+	if results[0] != Miss {
+		t.Fatalf("leader status %v, want Miss", results[0])
+	}
+	for i := 1; i < 8; i++ {
+		if results[i] != Coalesced && results[i] != Hit {
+			t.Fatalf("waiter %d status %v, want Coalesced or Hit", i, results[i])
+		}
+	}
+}
+
+func TestLeaderFailureDoesNotPoisonWaiters(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Version: 1, Query: "q"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	boom := errors.New("boom")
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), k, func() (Computed, error) {
+			close(started)
+			<-release
+			return Computed{}, boom
+		})
+		leaderErr <- err
+	}()
+	<-started
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), k, func() (Computed, error) {
+			// The waiter re-loops after the leader's failure and becomes
+			// the next leader; its own computation succeeds.
+			return Computed{Val: "recovered", Bytes: 8, Store: true}, nil
+		})
+		if err == nil && v.(string) != "recovered" {
+			err = fmt.Errorf("waiter got %v", v)
+		}
+		waiterDone <- err
+	}()
+	close(release)
+	if err := <-leaderErr; !errors.Is(err, boom) {
+		t.Fatalf("leader error %v, want boom", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+}
+
+func TestWaiterContextCancellation(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Version: 1, Query: "q"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		_, _, _ = c.Do(context.Background(), k, func() (Computed, error) {
+			close(started)
+			<-release
+			return Computed{Val: "late", Bytes: 8, Store: true}, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, k, func() (Computed, error) {
+			t.Error("canceled waiter must not compute")
+			return Computed{}, nil
+		})
+		waiter <- err
+	}()
+	cancel()
+	err := <-waiter
+	var we *WaitError
+	if !errors.As(err, &we) || !errors.Is(we.Err, context.Canceled) {
+		t.Fatalf("waiter error %v, want WaitError{context.Canceled}", err)
+	}
+	if we.Error() == "" || errors.Unwrap(we) != context.Canceled {
+		t.Fatalf("WaitError surface broken: %q unwrap=%v", we.Error(), errors.Unwrap(we))
+	}
+
+	// The flight is unaffected: release the leader, then the same key
+	// serves the leader's value (a hit, or coalesced if the leader is
+	// still mid-store).
+	close(release)
+	v, st, err := c.Do(context.Background(), k, func() (Computed, error) {
+		return Computed{}, errors.New("must not run")
+	})
+	if err != nil || v.(string) != "late" || (st != Hit && st != Coalesced) {
+		t.Fatalf("after cancellation: v=%v st=%v err=%v", v, st, err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{Miss: "miss", Hit: "hit", Coalesced: "coalesced"} {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{Version: uint64(i % 3), Query: fmt.Sprintf("q%d", i%17)}
+				v, _, err := c.Do(context.Background(), k, func() (Computed, error) {
+					return Computed{Val: k, Bytes: 32, Store: true}, nil
+				})
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if v.(Key) != k {
+					t.Errorf("goroutine %d: wrong value %v for %v", g, v, k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats %+v: expected both hits and misses", st)
+	}
+}

@@ -47,6 +47,10 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Set overwrites the gauge's level (e.g. the current data version).
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
+// Add shifts the gauge by a signed delta (e.g. bytes held by a cache);
+// several instances adding deltas into one gauge aggregate correctly.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
@@ -153,6 +157,20 @@ var (
 	LiveSnapshotAge Gauge
 	LiveReadOnly    Gauge
 
+	// Versioned answer cache (internal/cache). CacheHits counts reads
+	// served from a stored entry, CacheMisses reads that ran an
+	// evaluation, CacheCoalesced reads that waited on another caller's
+	// identical in-flight evaluation and shared its answer (no engine
+	// lease of their own). CacheEvictions counts entries dropped for byte
+	// budget (or by explicit invalidation); CacheBytes and CacheEntries
+	// are the instantaneous totals across every cache in the process.
+	CacheHits      Counter
+	CacheMisses    Counter
+	CacheCoalesced Counter
+	CacheEvictions Counter
+	CacheBytes     Gauge
+	CacheEntries   Gauge
+
 	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
 	QueryLatency = NewHistogram(
 		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
@@ -187,6 +205,12 @@ func Snapshot() map[string]any {
 		"live_version":           LiveVersion.Value(),
 		"live_snapshot_age":      LiveSnapshotAge.Value(),
 		"live_readonly":          LiveReadOnly.Value(),
+		"cache_hits":             CacheHits.Value(),
+		"cache_misses":           CacheMisses.Value(),
+		"cache_coalesced":        CacheCoalesced.Value(),
+		"cache_evictions":        CacheEvictions.Value(),
+		"cache_bytes":            CacheBytes.Value(),
+		"cache_entries":          CacheEntries.Value(),
 		"query_latency_count":    QueryLatency.Count(),
 		"query_latency_sum":      QueryLatency.Sum(),
 	}

@@ -248,7 +248,9 @@ func (s *Server) handleAskUnder(w http.ResponseWriter, r *http.Request, ri *reqI
 }
 
 // answerAsk evaluates a ground ask (optionally under hypothetical adds)
-// and answers {"result": bool}.
+// and answers {"result": bool}. It goes through the pool's Info methods
+// so the answer cache sits above the engine lease: a hit or coalesced
+// read still takes an admission slot (it is HTTP work) but no engine.
 func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, req askRequest) {
 	d, err := s.timeoutFor(req.Timeout)
 	if err != nil {
@@ -258,23 +260,35 @@ func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, 
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	var result bool
-	err = s.run(ctx, ri, func(e *hypo.Engine) error {
-		var err error
-		if len(req.Add) > 0 {
-			result, err = e.AskUnderCtx(ctx, req.Query, req.Add...)
-		} else {
-			result, err = e.AskCtx(ctx, req.Query)
-		}
-		return err
-	})
-	switch {
-	case err == nil:
-		writeJSON(w, askResponse{Result: result, DataVersion: ri.dataVersion})
-	case errors.Is(err, errShed), errors.Is(err, errDraining):
+	release, err := s.admit(ctx)
+	if err != nil {
 		s.refuse(w, ri, err)
-	default:
+		return
+	}
+	defer release()
+	var result bool
+	var info hypo.ReadInfo
+	if len(req.Add) > 0 {
+		result, info, err = s.cfg.Pool.AskUnderInfoCtx(ctx, req.Query, req.Add...)
+	} else {
+		result, info, err = s.cfg.Pool.AskInfoCtx(ctx, req.Query)
+	}
+	ri.dataVersion = info.DataVersion
+	ri.stats = info.Stats
+	ri.cache = info.Cache
+	if err != nil {
 		s.evalError(w, ri, err)
+		return
+	}
+	setCacheHeader(w, info.Cache)
+	writeJSON(w, askResponse{Result: result, DataVersion: info.DataVersion})
+}
+
+// setCacheHeader surfaces how the answer cache served the request. The
+// header is absent when no cache is configured.
+func setCacheHeader(w http.ResponseWriter, st hypo.CacheStatus) {
+	if st != hypo.CacheBypass {
+		w.Header().Set("X-Hdl-Cache", st.String())
 	}
 }
 
@@ -307,25 +321,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	n := 0
-	err = s.cfg.Pool.Do(ctx, func(e *hypo.Engine) error {
-		ri.dataVersion = e.DataVersion()
-		before := e.Stats()
-		defer func() { ri.stats = statsDelta(before, e.Stats()) }()
-		return e.QueryEachCtx(ctx, req.Query, func(b hypo.Binding) error {
-			if n == 0 {
-				w.Header().Set("Content-Type", "application/x-ndjson")
-			}
-			if err := enc.Encode(bindingLine{Binding: b}); err != nil {
-				return fmt.Errorf("%w: %v", errClientWrite, err)
-			}
-			n++
-			if flusher != nil {
-				flusher.Flush()
-			}
-			return nil
-		})
+	var info hypo.ReadInfo
+	// QueryEachInfoCtx guarantees DataVersion and Cache are set before
+	// the first yield, so the headers can go out ahead of the stream.
+	err = s.cfg.Pool.QueryEachInfoCtx(ctx, req.Query, &info, func(b hypo.Binding) error {
+		if n == 0 {
+			setCacheHeader(w, info.Cache)
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		if err := enc.Encode(bindingLine{Binding: b}); err != nil {
+			return fmt.Errorf("%w: %v", errClientWrite, err)
+		}
+		n++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
 	})
 	ri.bindings = n
+	ri.dataVersion = info.DataVersion
+	ri.stats = info.Stats
+	ri.cache = info.Cache
 	if err != nil {
 		if n == 0 {
 			s.evalError(w, ri, err)
@@ -343,9 +359,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 		return
 	}
 	if n == 0 {
+		setCacheHeader(w, info.Cache)
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
-	_ = enc.Encode(doneLine{Done: true, Count: n, DataVersion: ri.dataVersion})
+	_ = enc.Encode(doneLine{Done: true, Count: n, DataVersion: info.DataVersion})
 }
 
 // handleBatch evaluates many queries on a single engine lease — one

@@ -225,12 +225,13 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // through decode, admission and evaluation.
 type reqInfo struct {
 	endpoint    string
-	query       string     // surface query text (first of a batch)
-	outcome     string     // ok | bad_request | deadline | canceled | shed | draining | budget | panic | ...
-	status      int        // overrides the written status in logs (e.g. 499)
-	bindings    int        // bindings streamed / results returned
-	stats       hypo.Stats // evaluation-work delta for this request
-	dataVersion uint64     // data version the request evaluated at (or produced)
+	query       string           // surface query text (first of a batch)
+	outcome     string           // ok | bad_request | deadline | canceled | shed | draining | budget | panic | ...
+	status      int              // overrides the written status in logs (e.g. 499)
+	bindings    int              // bindings streamed / results returned
+	stats       hypo.Stats       // evaluation-work delta for this request
+	dataVersion uint64           // data version the request evaluated at (or produced)
+	cache       hypo.CacheStatus // how the answer cache served this read
 }
 
 // wrap is the middleware around every API handler: request counting, a
@@ -277,6 +278,7 @@ func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request
 				"table_hits", ri.stats.TableHits,
 				"max_depth", ri.stats.MaxDepth,
 				"data_version", ri.dataVersion,
+				"cache", ri.cache.String(),
 			)
 		}()
 		h(sw, r, ri)

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hypodatalog/internal/cache"
 	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/parser"
 	"hypodatalog/internal/symbols"
 	"hypodatalog/internal/topdown"
 )
@@ -52,6 +54,13 @@ type Pool struct {
 	opts   Options
 	domSet map[symbols.Const]bool
 
+	// cache is the pool-wide versioned answer cache (nil when
+	// Options.CacheBytes is zero). It sits ABOVE the engine lease:
+	// coalesced callers of one in-flight query and callers served from a
+	// stored entry never draw an engine at all. Engines built by the pool
+	// carry no cache of their own.
+	cache *cache.Cache
+
 	// cur is the program/version engines must be built against. Leases
 	// check it on every get: an idle engine carrying an older version is
 	// discarded — memo tables keyed to a stale base DB must never answer
@@ -73,6 +82,13 @@ type Pool struct {
 // stratification) surface immediately. The pool holds at most
 // Options.PoolSize engines (GOMAXPROCS when zero).
 func NewPool(p *Program, opts Options) (*Pool, error) {
+	var ac *cache.Cache
+	if opts.CacheBytes > 0 {
+		ac = cache.New(opts.CacheBytes)
+		// The pool owns the one shared cache; strip the budget so the
+		// engines it builds do not each grow a private one.
+		opts.CacheBytes = 0
+	}
 	first, err := New(p, opts)
 	if err != nil {
 		return nil, err
@@ -85,6 +101,7 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 		prog:    p,
 		opts:    opts,
 		domSet:  first.domSet,
+		cache:   ac,
 		free:    make(chan *Engine, size),
 		closing: make(chan struct{}),
 		created: 1,
@@ -253,32 +270,114 @@ func (pl *Pool) Ask(query string) (bool, error) {
 // AskCtx is Ask under a context; see Engine.AskCtx. The context also
 // bounds the wait for a free engine.
 func (pl *Pool) AskCtx(ctx context.Context, query string) (bool, error) {
-	fin := poolTrack()
-	ok, err := pl.askCtx(ctx, query)
-	fin(err)
+	ok, _, err := pl.AskInfoCtx(ctx, query)
 	return ok, err
 }
 
-func (pl *Pool) askCtx(ctx context.Context, query string) (bool, error) {
+// AskInfoCtx is AskCtx additionally reporting how the read was served:
+// the data version the answer is valid at, whether the answer cache was
+// hit, missed, coalesced onto another caller's identical in-flight
+// evaluation, or bypassed, and the evaluation work this call performed.
+func (pl *Pool) AskInfoCtx(ctx context.Context, query string) (bool, ReadInfo, error) {
+	fin := poolTrack()
+	ok, info, err := pl.askInfoCtx(ctx, query)
+	fin(err)
+	return ok, info, err
+}
+
+func (pl *Pool) askInfoCtx(ctx context.Context, query string) (bool, ReadInfo, error) {
 	// Compile (and intern into the shared, concurrency-safe symbol table)
 	// before leasing an engine: a malformed query must not occupy — or
 	// block waiting for — an evaluation slot.
-	pr, names, err := compileQueryChecked(query, pl.prog.syms, pl.domSet)
+	pr, err := parser.ParsePremise(query)
 	if err != nil {
-		return false, err
+		return false, ReadInfo{}, err
+	}
+	cpr, names, err := compilePremiseChecked(pr, pl.prog.syms, pl.domSet)
+	if err != nil {
+		return false, ReadInfo{}, err
 	}
 	if len(names) > 0 {
-		return false, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
+		return false, ReadInfo{}, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
 	}
-	e, err := pl.get(ctx)
+	return pl.cachedBool(ctx, askCacheKey(pr), func(ctx context.Context, e *Engine) (bool, error) {
+		return e.asker.AskPremiseCtx(ctx, cpr, e.asker.EmptyState())
+	})
+}
+
+// statsDelta is the evaluation work between two Stats snapshots of one
+// engine.
+func statsDelta(before, after Stats) Stats {
+	return Stats{
+		Goals:      after.Goals - before.Goals,
+		TableHits:  after.TableHits - before.TableHits,
+		LoopCuts:   after.LoopCuts - before.LoopCuts,
+		Enumerated: after.Enumerated - before.Enumerated,
+		NegCalls:   after.NegCalls - before.NegCalls,
+		MaxDepth:   after.MaxDepth,
+		TableSize:  after.TableSize,
+	}
+}
+
+func cacheStatusOf(st cache.Status) CacheStatus {
+	switch st {
+	case cache.Hit:
+		return CacheHit
+	case cache.Coalesced:
+		return CacheCoalesced
+	default:
+		return CacheMiss
+	}
+}
+
+// cachedBool runs a ground read through the pool's answer cache — or
+// straight to an engine lease when no cache is configured — reporting
+// how it was served. The cache key is built from the data version
+// current at entry; if a hot swap lands between key construction and
+// the engine lease, the (correct, newer-version) answer is returned but
+// not stored, so an entry's version always matches its key.
+func (pl *Pool) cachedBool(ctx context.Context, key string, eval func(context.Context, *Engine) (bool, error)) (bool, ReadInfo, error) {
+	if pl.cache == nil {
+		e, err := pl.get(ctx)
+		if err != nil {
+			return false, ReadInfo{}, err
+		}
+		defer pl.put(e)
+		before := e.Stats()
+		ok, err := eval(ctx, e)
+		e.noteWork(before)
+		info := ReadInfo{DataVersion: e.version, Cache: CacheBypass, Stats: statsDelta(before, e.Stats())}
+		return ok, info, e.enrich(err)
+	}
+	var info ReadInfo
+	ver := pl.cur.Load().version
+	v, st, err := pl.cache.Do(ctx, cache.Key{Version: ver, Query: key}, func() (cache.Computed, error) {
+		e, err := pl.get(ctx)
+		if err != nil {
+			return cache.Computed{}, err
+		}
+		defer pl.put(e)
+		info.DataVersion = e.version
+		before := e.Stats()
+		ok, err := eval(ctx, e)
+		e.noteWork(before)
+		info.Stats = statsDelta(before, e.Stats())
+		if err != nil {
+			return cache.Computed{}, e.enrich(err)
+		}
+		return cache.Computed{
+			Val:   &cachedAnswer{ok: ok, version: e.version},
+			Bytes: boolAnswerBytes,
+			Store: e.version == ver,
+		}, nil
+	})
 	if err != nil {
-		return false, err
+		return false, info, wrapCacheWait(err)
 	}
-	defer pl.put(e)
-	before := e.Stats()
-	ok, err := e.asker.AskPremiseCtx(ctx, pr, e.asker.EmptyState())
-	e.noteWork(before)
-	return ok, e.enrich(err)
+	ca := v.(*cachedAnswer)
+	info.DataVersion = ca.version
+	info.Cache = cacheStatusOf(st)
+	return ca.ok, info, nil
 }
 
 // Do leases an engine, calls fn with it, and returns the engine to the
@@ -305,53 +404,119 @@ func (pl *Pool) Query(query string) ([]Binding, error) {
 
 // QueryCtx is Query under a context; see AskCtx.
 func (pl *Pool) QueryCtx(ctx context.Context, query string) ([]Binding, error) {
-	fin := poolTrack()
-	bs, err := pl.queryCtx(ctx, query)
-	fin(err)
+	bs, _, err := pl.QueryInfoCtx(ctx, query)
 	return bs, err
 }
 
-func (pl *Pool) queryCtx(ctx context.Context, query string) ([]Binding, error) {
-	cpr, names, err := compileQueryLoose(query, pl.prog.syms)
+// QueryInfoCtx is QueryCtx additionally reporting how the read was
+// served; see AskInfoCtx.
+func (pl *Pool) QueryInfoCtx(ctx context.Context, query string) ([]Binding, ReadInfo, error) {
+	fin := poolTrack()
+	var out []Binding
+	var info ReadInfo
+	err := pl.queryEachInfoCtx(ctx, query, &info, func(b Binding) error {
+		out = append(out, b)
+		return nil
+	})
+	fin(err)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	e, err := pl.get(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer pl.put(e)
-	before := e.Stats()
-	bs, err := e.queryCompiledCtx(ctx, cpr, names)
-	e.noteWork(before)
-	return bs, e.enrich(err)
+	return out, info, nil
 }
 
 // QueryEachCtx is the streaming form of QueryCtx: bindings are passed to
-// yield one at a time as their proofs succeed, nothing is materialised,
-// and a non-nil error from yield stops the enumeration and is returned
-// verbatim. Compilation still happens before an engine is leased.
+// yield one at a time as their proofs succeed, and a non-nil error from
+// yield stops the enumeration and is returned verbatim. Compilation
+// still happens before an engine is leased. With the answer cache
+// enabled a miss streams each binding as it is proved while also
+// materialising the set for later hits, which replay in the original
+// enumeration order.
 func (pl *Pool) QueryEachCtx(ctx context.Context, query string, yield func(Binding) error) error {
+	var info ReadInfo
+	return pl.QueryEachInfoCtx(ctx, query, &info, yield)
+}
+
+// QueryEachInfoCtx is QueryEachCtx additionally reporting how the read
+// was served. info is filled in two phases: DataVersion and Cache are
+// set before the first yield call (so a streaming caller can surface
+// them in response headers), Stats when QueryEachInfoCtx returns.
+func (pl *Pool) QueryEachInfoCtx(ctx context.Context, query string, info *ReadInfo, yield func(Binding) error) error {
 	fin := poolTrack()
-	err := pl.queryEachCtx(ctx, query, yield)
+	err := pl.queryEachInfoCtx(ctx, query, info, yield)
 	fin(err)
 	return err
 }
 
-func (pl *Pool) queryEachCtx(ctx context.Context, query string, yield func(Binding) error) error {
-	cpr, names, err := compileQueryLoose(query, pl.prog.syms)
+func (pl *Pool) queryEachInfoCtx(ctx context.Context, query string, info *ReadInfo, yield func(Binding) error) error {
+	if info == nil {
+		info = &ReadInfo{}
+	}
+	pr, err := parser.ParsePremise(query)
 	if err != nil {
 		return err
 	}
-	e, err := pl.get(ctx)
+	cpr, names, err := compilePremiseLoose(pr, pl.prog.syms)
 	if err != nil {
 		return err
 	}
-	defer pl.put(e)
-	before := e.Stats()
-	err = e.queryEachCompiledCtx(ctx, cpr, names, yield)
-	e.noteWork(before)
-	return e.enrich(err)
+	if pl.cache == nil {
+		e, err := pl.get(ctx)
+		if err != nil {
+			return err
+		}
+		defer pl.put(e)
+		info.DataVersion = e.version
+		info.Cache = CacheBypass
+		before := e.Stats()
+		err = e.queryEachCompiledCtx(ctx, cpr, names, yield)
+		e.noteWork(before)
+		info.Stats = statsDelta(before, e.Stats())
+		return e.enrich(err)
+	}
+	ver := pl.cur.Load().version
+	v, st, err := pl.cache.Do(ctx, cache.Key{Version: ver, Query: queryCacheKey(pr)}, func() (cache.Computed, error) {
+		e, err := pl.get(ctx)
+		if err != nil {
+			return cache.Computed{}, err
+		}
+		defer pl.put(e)
+		info.DataVersion = e.version
+		info.Cache = CacheMiss
+		acc := []Binding{}
+		before := e.Stats()
+		err = e.queryEachCompiledCtx(ctx, cpr, names, func(b Binding) error {
+			acc = append(acc, b)
+			return yield(b)
+		})
+		e.noteWork(before)
+		info.Stats = statsDelta(before, e.Stats())
+		if err != nil {
+			// A yield abort — or an evaluation abort — surfaces verbatim
+			// and caches nothing: the materialised set is partial.
+			return cache.Computed{}, e.enrich(err)
+		}
+		return cache.Computed{
+			Val:   &cachedAnswer{bindings: acc, version: e.version},
+			Bytes: bindingsBytes(acc),
+			Store: e.version == ver,
+		}, nil
+	})
+	if err != nil {
+		return wrapCacheWait(err)
+	}
+	if st == cache.Miss {
+		return nil // the leader's yield already saw every binding
+	}
+	ca := v.(*cachedAnswer)
+	info.DataVersion = ca.version
+	info.Cache = cacheStatusOf(st)
+	for _, b := range ca.bindings {
+		if err := yield(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AskUnder evaluates a ground query in a hypothetically extended
@@ -362,24 +527,27 @@ func (pl *Pool) AskUnder(query string, added ...string) (bool, error) {
 
 // AskUnderCtx is AskUnder under a context; see AskCtx.
 func (pl *Pool) AskUnderCtx(ctx context.Context, query string, added ...string) (bool, error) {
-	fin := poolTrack()
-	ok, err := pl.askUnderCtx(ctx, query, added)
-	fin(err)
+	ok, _, err := pl.AskUnderInfoCtx(ctx, query, added...)
 	return ok, err
 }
 
-func (pl *Pool) askUnderCtx(ctx context.Context, query string, added []string) (bool, error) {
-	pr, adds, err := compileAskUnder(query, added, pl.prog.syms, pl.domSet)
+// AskUnderInfoCtx is AskUnderCtx additionally reporting how the read was
+// served; see AskInfoCtx. The cache key sorts the added atoms, so the
+// same hypothetical state reached in a different add order shares one
+// entry.
+func (pl *Pool) AskUnderInfoCtx(ctx context.Context, query string, added ...string) (bool, ReadInfo, error) {
+	fin := poolTrack()
+	ok, info, err := pl.askUnderInfoCtx(ctx, query, added)
+	fin(err)
+	return ok, info, err
+}
+
+func (pl *Pool) askUnderInfoCtx(ctx context.Context, query string, added []string) (bool, ReadInfo, error) {
+	cpr, adds, key, err := compileAskUnder(query, added, pl.prog.syms, pl.domSet)
 	if err != nil {
-		return false, err
+		return false, ReadInfo{}, err
 	}
-	e, err := pl.get(ctx)
-	if err != nil {
-		return false, err
-	}
-	defer pl.put(e)
-	before := e.Stats()
-	ok, err := e.askUnderCompiled(ctx, pr, adds)
-	e.noteWork(before)
-	return ok, e.enrich(err)
+	return pl.cachedBool(ctx, key, func(ctx context.Context, e *Engine) (bool, error) {
+		return e.askUnderCompiled(ctx, cpr, adds)
+	})
 }
