@@ -56,7 +56,9 @@ import (
 
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/cache"
+	"hypodatalog/internal/depgraph"
 	"hypodatalog/internal/engine"
+	"hypodatalog/internal/facts"
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
 	"hypodatalog/internal/ref"
@@ -320,6 +322,127 @@ type Engine struct {
 // at the new version rather than mutating leased ones.
 func (e *Engine) DataVersion() uint64 { return e.version }
 
+// ApplyDelta mutates the engine's base fact set in place — asserts are
+// inserted, retracts removed, both validated like Live mutations (ground,
+// extensional predicate, constants inside dom(R, DB)) — and incrementally
+// maintains the engine's derived state instead of rebuilding it: memo
+// entries and Δ-part materialisations outside the affected cone of the
+// changed predicates survive untouched, those inside it are updated
+// semi-naively (additions) and by delete-and-rederive (retractions), or
+// dropped for lazy recomputation where in-place maintenance is unsound.
+//
+// Mutations apply in batch order against the current base, and only the
+// effective changes (facts whose membership actually flips) propagate —
+// asserting a present fact or retracting an absent one is a no-op.
+// The engine's Program() still reports the fact set it was built with;
+// queries answer against the mutated base. Like every Engine method,
+// ApplyDelta must not run concurrently with queries on the same engine.
+func (e *Engine) ApplyDelta(asserts, retracts []string) error {
+	ms, err := ParseMutations(asserts, retracts)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if err := validateMutation(m, e.prog, e.domSet); err != nil {
+			return err
+		}
+	}
+	base := e.asker.EmptyState().Base
+	in := e.asker.Interner()
+	added, removed := effectiveDelta(ms, func(a ast.Atom) bool {
+		ca, cerr := compileGroundAtom(a, e.prog.syms)
+		if cerr != nil {
+			return false
+		}
+		args := make([]symbols.Const, len(ca.Args))
+		for i, t := range ca.Args {
+			args[i] = t.ConstID()
+		}
+		id, ok := in.Lookup(ca.Pred, args)
+		return ok && base.Has(id)
+	})
+	cadd, crem, seeds, err := compileDelta(added, removed, e.prog.syms)
+	if err != nil {
+		return err
+	}
+	if len(cadd)+len(crem) == 0 {
+		return nil
+	}
+	cone := coneFromGraph(depgraph.Build(e.prog.src), e.prog.syms, seeds)
+	if err := e.applyDeltaCompiled(cadd, crem, cone); err != nil {
+		return err
+	}
+	// The private answer cache keys on the data version; bumping it makes
+	// pre-delta entries unreachable without flushing the whole cache.
+	e.version++
+	return nil
+}
+
+// applyDeltaCompiled applies an effective, already-compiled base-fact
+// delta to the engine in place. On error the engine may be half-mutated
+// and must be discarded (Pool rebuilds; the public ApplyDelta surfaces
+// the error).
+func (e *Engine) applyDeltaCompiled(added, removed []ast.CAtom, cone map[symbols.Pred]bool) error {
+	in := e.asker.Interner()
+	addIDs := make([]facts.AtomID, len(added))
+	for i, ca := range added {
+		addIDs[i] = in.InternGround(ca)
+	}
+	remIDs := make([]facts.AtomID, len(removed))
+	for i, ca := range removed {
+		remIDs[i] = in.InternGround(ca)
+	}
+	if e.cas != nil {
+		return e.cas.ApplyDelta(addIDs, remIDs, cone)
+	}
+	return e.uni.ApplyDelta(addIDs, remIDs, cone)
+}
+
+// compileDelta compiles effective surface-level delta atoms and collects
+// their distinct predicate signatures — the seeds of the affected cone.
+func compileDelta(added, removed []ast.Atom, syms *symbols.Table) (cadd, crem []ast.CAtom, seeds []ast.PredSig, err error) {
+	seen := map[ast.PredSig]bool{}
+	note := func(a ast.Atom) {
+		sig := ast.PredSig{Name: a.Pred, Arity: a.Arity()}
+		if !seen[sig] {
+			seen[sig] = true
+			seeds = append(seeds, sig)
+		}
+	}
+	for _, a := range added {
+		ca, cerr := compileGroundAtom(a, syms)
+		if cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		cadd = append(cadd, ca)
+		note(a)
+	}
+	for _, a := range removed {
+		ca, cerr := compileGroundAtom(a, syms)
+		if cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		crem = append(crem, ca)
+		note(a)
+	}
+	return cadd, crem, seeds, nil
+}
+
+// coneFromGraph translates the dependency-graph cone of the seed
+// predicates into interned predicates. Cone members never interned
+// (mentioned by no compiled rule or fact) are dropped — no evaluation
+// can reference them.
+func coneFromGraph(g *depgraph.Graph, syms *symbols.Table, seeds []ast.PredSig) map[symbols.Pred]bool {
+	sigCone := g.Cone(seeds)
+	cone := make(map[symbols.Pred]bool, len(sigCone))
+	for sig := range sigCone {
+		if pr, ok := syms.LookupPred(sig.Name, sig.Arity); ok {
+			cone[pr] = true
+		}
+	}
+	return cone
+}
+
 // New builds an engine for a program.
 func New(p *Program, opts Options) (*Engine, error) {
 	dom, domSet := domainInfo(p, opts)
@@ -348,6 +471,50 @@ func New(p *Program, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
 		}
 		cas, err := engine.NewCascade(p.comp, p.strt, dom)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac}, nil
+	default:
+		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
+	}
+}
+
+// newFromSubstrate builds an engine whose interner and base database are
+// private clones of a shared per-version substrate (see Pool), skipping
+// the per-engine fact re-interning that New performs. The clones keep
+// the substrate's atom-id assignment, so deltas interned against one
+// engine's interner carry over to any sibling cloned from the same
+// substrate.
+func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *facts.DB) (*Engine, error) {
+	dom, domSet := domainInfo(p, opts)
+	mode := opts.Mode
+	if mode == ModeAuto {
+		if p.strt != nil {
+			mode = ModeCascade
+		} else {
+			mode = ModeUniform
+		}
+	}
+	var ac *cache.Cache
+	if opts.CacheBytes > 0 {
+		ac = cache.New(opts.CacheBytes)
+	}
+	in := subIn.Clone()
+	base := subDB.CloneFor(in)
+	switch mode {
+	case ModeUniform:
+		uni := topdown.NewWithBase(p.comp, base, dom, topdown.Options{
+			MaxGoals:  opts.MaxGoals,
+			NoTabling: opts.NoTabling,
+			NoPlanner: opts.NoPlanner,
+		})
+		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac}, nil
+	case ModeCascade:
+		if p.strt == nil {
+			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
+		}
+		cas, err := engine.NewCascadeWithBase(p.comp, p.strt, dom, base)
 		if err != nil {
 			return nil, err
 		}

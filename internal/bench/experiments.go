@@ -771,7 +771,7 @@ func E15Alternation(s Sizes) (*Table, error) {
 func E16LiveChurn(s Sizes) (*Table, error) {
 	t := NewTable("E16 (live EDB): reads while the fact base churns",
 		"n", "ops", "commits", "quiet read", "churn read", "commit", "final version")
-	t.Note = "commits rebuild engines lazily on the next lease; quiet reads hit warm memo tables."
+	t.Note = "commits are applied incrementally on the next lease; memo state outside the delta's cone stays warm."
 	rng := rand.New(rand.NewSource(s.Seed + 5))
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 	for _, n := range s.LiveN {

@@ -39,7 +39,7 @@ type Prover struct {
 	rules    []int                 // rule indexes forming this Δ part
 	own      map[symbols.Pred]bool // predicates defined by those rules
 	levels   [][]int               // rules grouped by negation sub-stratum
-	cache    map[string]atomSet    // state key -> materialised atoms
+	cache    map[string]*matEntry  // state key -> materialised model
 	maxCache int
 
 	// ctx is the cancellation source of the in-flight *Ctx call, or nil
@@ -56,6 +56,15 @@ type atomSet map[facts.AtomID]struct{}
 
 func (s atomSet) has(id facts.AtomID) bool { _, ok := s[id]; return ok }
 
+// matEntry is one cached materialisation: the perfect model of the Δ part
+// over the state with the given hypothetical delta. The delta is kept so
+// incremental maintenance (incremental.go) can reconstruct the state a
+// cached model belongs to and update it in place on a base-fact commit.
+type matEntry struct {
+	delta facts.Delta
+	atoms atomSet
+}
+
 // New builds a Δ prover over a subset of the program's rules. oracle may
 // be nil when the Δ part is self-contained (stratum 1 with no
 // hypothetical premises); it is then an error for evaluation to need it.
@@ -68,7 +77,7 @@ func New(cp *ast.CProgram, base *facts.DB, dom []symbols.Const, rules []int, ora
 		oracle:   oracle,
 		rules:    rules,
 		own:      make(map[symbols.Pred]bool),
-		cache:    make(map[string]atomSet),
+		cache:    make(map[string]*matEntry),
 		maxCache: 1 << 16,
 	}
 	for _, ri := range rules {
@@ -207,7 +216,7 @@ func (p *Prover) checkCtx() error {
 func (p *Prover) Materialise(st facts.State) (atomSet, error) {
 	key := st.Key()
 	if m, ok := p.cache[key]; ok {
-		return m, nil
+		return m.atoms, nil
 	}
 	metrics.DeltaMaterialisations.Inc()
 	derived := atomSet{}
@@ -217,7 +226,7 @@ func (p *Prover) Materialise(st facts.State) (atomSet, error) {
 		}
 	}
 	if len(p.cache) < p.maxCache {
-		p.cache[key] = derived
+		p.cache[key] = &matEntry{delta: st.Delta, atoms: derived}
 	}
 	return derived, nil
 }

@@ -1,0 +1,371 @@
+// Incremental maintenance of cached Δ-part materialisations across base
+// (extensional) fact commits.
+//
+// A commit that adds and removes base facts invalidates derived state
+// only inside the *affected cone* — the predicates that can reach a
+// changed predicate in the dependency graph (depgraph.Cone). A Δ prover
+// whose own predicates are outside the cone keeps every cached model
+// untouched. An affected prover maintains its cached models in place when
+// the change is provably monotone from its point of view:
+//
+//   - semi-naive addition: new derivations must use at least one changed
+//     atom, so rule bodies are joined with one premise pinned to a delta
+//     atom and the rest evaluated normally;
+//   - DRed-style retraction: first overdelete every cached atom with some
+//     derivation through a removed atom (an overestimate, computed
+//     against the pre-commit database), then rederive the overdeleted
+//     atoms that still have a derivation from the survivors, and finally
+//     propagate rederivations and additions semi-naively to a fixpoint.
+//
+// Rederivation subsumes the counting approach: counting is unsound for
+// recursive strata (a cyclic derivation can keep its own count alive),
+// while delete-and-rederive is correct for any monotone rule set, so the
+// same machinery covers both the non-recursive and the linear-recursive
+// strata of the paper's cascade.
+//
+// Eligibility (incrementalOK) is what keeps the monotonicity argument
+// honest: a rule with a negated or oracle-answered premise inside the
+// cone, or any hypothetical premise, can flip non-monotonically under the
+// commit, so such provers drop their caches and fall back to the paper's
+// from-scratch materialisation on the next query — stratum recomputation,
+// exactly where linear recursion (or negation) makes local maintenance
+// unsound.
+package bottomup
+
+import (
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/facts"
+	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/symbols"
+)
+
+// maxIncStates bounds how many cached states one prover maintains in
+// place per commit; beyond it, updating every entry costs more than
+// letting queries rematerialise the few states they actually revisit.
+const maxIncStates = 64
+
+// Plan is the first (pre-mutation) phase of a two-phase commit against a
+// prover: the overdeletion sets computed while the shared base database
+// still holds its pre-commit contents. The caller mutates the base, then
+// runs ApplyPlan.
+type Plan struct {
+	updates []*pendingUpdate
+}
+
+type pendingUpdate struct {
+	key   string
+	entry *matEntry
+	over  atomSet // own atoms with some derivation through a removed atom
+}
+
+// Affected reports whether a commit touching the cone can change this
+// prover's model. The prover's model consists solely of atoms of its own
+// predicates, and the cone over-approximates every predicate whose
+// extension can move, so unaffected provers keep all caches verbatim.
+func (p *Prover) Affected(cone map[symbols.Pred]bool) bool {
+	for q := range p.own {
+		if cone[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// incrementalOK reports whether in-place maintenance is sound for this
+// prover under the given cone: every premise whose answer can change must
+// be a plain positive one matched locally (own or extensional), so all
+// change is monotone in the delta. Hypothetical premises are excluded
+// outright — they evaluate recursively under extended states whose
+// materialisations are themselves mid-update.
+func (p *Prover) incrementalOK(cone map[symbols.Pred]bool) bool {
+	for _, ri := range p.rules {
+		r := &p.prog.Rules[ri]
+		for i := range r.Body {
+			pr := &r.Body[i]
+			switch pr.Kind {
+			case ast.Hyp:
+				return false
+			case ast.Negated:
+				if cone[pr.Atom.Pred] {
+					return false
+				}
+			case ast.Plain:
+				if p.oracleOwned(pr.Atom.Pred) && cone[pr.Atom.Pred] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// DropCache discards every cached materialisation; queries recompute
+// lazily against whatever the base database holds then.
+func (p *Prover) DropCache() {
+	if n := len(p.cache); n > 0 {
+		metrics.LiveIncrementalDropped.Add(int64(n))
+	}
+	p.cache = make(map[string]*matEntry)
+}
+
+// PlanDelta is phase one of a commit: decide, per cached state, whether
+// the model will be maintained in place, and compute the overdeletion
+// sets against the pre-commit base. It returns nil when there is nothing
+// to apply later — either the prover is unaffected (caches stay) or
+// maintenance is unsound/uneconomical (caches dropped).
+func (p *Prover) PlanDelta(added, removed []facts.AtomID, cone map[symbols.Pred]bool) *Plan {
+	if !p.Affected(cone) {
+		return nil
+	}
+	if !p.incrementalOK(cone) || len(p.cache) > maxIncStates {
+		p.DropCache()
+		return nil
+	}
+	plan := &Plan{}
+	for key, me := range p.cache {
+		// A state whose hypothetical delta mentions a committed atom has a
+		// key that is no longer canonical against the new base (added ∩
+		// base must stay empty, deleted ⊆ base): the entry would be
+		// unreachable garbage, so drop it instead of maintaining it.
+		if deltaTouches(me.delta, added) || deltaTouches(me.delta, removed) {
+			delete(p.cache, key)
+			metrics.LiveIncrementalDropped.Inc()
+			continue
+		}
+		over, err := p.overdelete(me, removed)
+		if err != nil {
+			// An oracle failure mid-plan: dropping the entry is always
+			// sound — the next query rematerialises and surfaces the error
+			// in its own context.
+			delete(p.cache, key)
+			metrics.LiveIncrementalDropped.Inc()
+			continue
+		}
+		plan.updates = append(plan.updates, &pendingUpdate{key: key, entry: me, over: over})
+	}
+	return plan
+}
+
+// ApplyPlan is phase two, run after the shared base database has been
+// mutated: remove the overdeleted atoms, rederive those still provable
+// from the survivors, and propagate rederivations plus the added base
+// atoms semi-naively to the new fixpoint. Errors never propagate — an
+// entry that fails mid-update is dropped, which degrades to lazy
+// rematerialisation.
+func (p *Prover) ApplyPlan(plan *Plan, added []facts.AtomID) {
+	if plan == nil {
+		return
+	}
+	for _, u := range plan.updates {
+		if err := p.applyUpdate(u, added); err != nil {
+			delete(p.cache, u.key)
+			metrics.LiveIncrementalDropped.Inc()
+			continue
+		}
+		metrics.LiveIncrementalStates.Inc()
+	}
+}
+
+func (p *Prover) applyUpdate(u *pendingUpdate, added []facts.AtomID) error {
+	me := u.entry
+	for id := range u.over {
+		delete(me.atoms, id)
+	}
+	st := facts.State{Base: p.base, Delta: me.delta} // base holds post-commit facts now
+	var frontier []facts.AtomID
+	for id := range u.over {
+		ok, err := p.rederivable(id, st, me.atoms)
+		if err != nil {
+			return err
+		}
+		if ok {
+			me.atoms[id] = struct{}{}
+			frontier = append(frontier, id)
+		}
+	}
+	// Added base atoms are visible in every maintained state (a state
+	// whose delta mentioned them was dropped in PlanDelta), so they seed
+	// the semi-naive rounds directly.
+	frontier = append(frontier, added...)
+	return p.propagate(me, st, frontier)
+}
+
+// overdelete computes the DRed overestimate for one cached state: every
+// derived atom with some derivation using a removed base atom (or,
+// transitively, an overdeleted one), joined against the pre-commit
+// database and the still-intact model.
+func (p *Prover) overdelete(me *matEntry, removed []facts.AtomID) (atomSet, error) {
+	if len(removed) == 0 {
+		return atomSet{}, nil
+	}
+	st := facts.State{Base: p.base, Delta: me.delta}
+	over := atomSet{}
+	frontier := removed
+	for len(frontier) > 0 {
+		var next []facts.AtomID
+		err := p.pinnedJoin(st, me.atoms, frontier, func(h facts.AtomID) error {
+			if me.atoms.has(h) && !over.has(h) {
+				over[h] = struct{}{}
+				next = append(next, h)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		frontier = next
+	}
+	return over, nil
+}
+
+// propagate runs semi-naive addition rounds: each round joins every rule
+// with one premise pinned to a frontier atom, deriving only heads not yet
+// in the model; new heads form the next frontier.
+func (p *Prover) propagate(me *matEntry, st facts.State, frontier []facts.AtomID) error {
+	for len(frontier) > 0 {
+		var next []facts.AtomID
+		err := p.pinnedJoin(st, me.atoms, frontier, func(h facts.AtomID) error {
+			if !me.atoms.has(h) && !st.Has(h) {
+				me.atoms[h] = struct{}{}
+				next = append(next, h)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// pinnedJoin joins every rule of the part once per (plain locally-matched
+// premise, frontier atom of its predicate) pair: the premise is bound to
+// the frontier atom, the remaining premises evaluate normally against the
+// state and model, and every resulting head instance is yielded.
+func (p *Prover) pinnedJoin(st facts.State, derived atomSet, frontier []facts.AtomID, yield func(facts.AtomID) error) error {
+	byPred := make(map[symbols.Pred][]facts.AtomID)
+	for _, id := range frontier {
+		pred := p.in.Pred(id)
+		byPred[pred] = append(byPred[pred], id)
+	}
+	for _, ri := range p.rules {
+		r := &p.prog.Rules[ri]
+		for bi := range r.Body {
+			pr := &r.Body[bi]
+			if pr.Kind != ast.Plain || p.oracleOwned(pr.Atom.Pred) {
+				continue
+			}
+			seeds := byPred[pr.Atom.Pred]
+			if len(seeds) == 0 {
+				continue
+			}
+			order := p.orderWithout(r, bi)
+			for _, fa := range seeds {
+				binding := newUnbound(r.NumVars)
+				err := p.tryMatch(pr.Atom, binding, fa, func() error {
+					return p.joinAt(r, order, binding, 0, st, derived, func() error {
+						return p.deriveHeads(r, binding, yield)
+					})
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// orderWithout is the static premise order minus the pinned premise.
+func (p *Prover) orderWithout(r *ast.CRule, skip int) []int {
+	full := p.premiseOrder(r)
+	out := make([]int, 0, len(full)-1)
+	for _, i := range full {
+		if i != skip {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// deriveHeads grounds the rule head under the binding, ranging head
+// variables with no body occurrence over the whole domain (Definition 3),
+// exactly as applyRule does.
+func (p *Prover) deriveHeads(r *ast.CRule, binding []symbols.Const, yield func(facts.AtomID) error) error {
+	var free []int
+	for _, t := range r.Head.Args {
+		if t.IsVar() && binding[t.VarSlot()] == unbound && !contains(free, t.VarSlot()) {
+			free = append(free, t.VarSlot())
+		}
+	}
+	return p.enumSlotsThen(free, binding, func() error {
+		return yield(p.ground(r.Head, binding))
+	})
+}
+
+// rederivable reports whether the goal still has a derivation from the
+// current model and state (used after overdeleted atoms are removed).
+func (p *Prover) rederivable(goal facts.AtomID, st facts.State, derived atomSet) (bool, error) {
+	gp := p.in.Pred(goal)
+	gargs := p.in.Args(goal)
+	for _, ri := range p.rules {
+		r := &p.prog.Rules[ri]
+		if r.Head.Pred != gp {
+			continue
+		}
+		binding := newUnbound(r.NumVars)
+		if !unifyHeadArgs(r.Head, gargs, binding) {
+			continue
+		}
+		found := false
+		err := p.joinAt(r, p.premiseOrder(r), binding, 0, st, derived, func() error {
+			found = true
+			return errStop
+		})
+		if err != nil && err != errStop {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// unifyHeadArgs matches a rule head against ground goal arguments,
+// extending binding; fails on constant mismatch or a repeated head
+// variable bound to two different constants.
+func unifyHeadArgs(head ast.CAtom, goalArgs []symbols.Const, binding []symbols.Const) bool {
+	for i, t := range head.Args {
+		g := goalArgs[i]
+		if t.IsVar() {
+			s := t.VarSlot()
+			if binding[s] == unbound {
+				binding[s] = g
+			} else if binding[s] != g {
+				return false
+			}
+		} else if t.ConstID() != g {
+			return false
+		}
+	}
+	return true
+}
+
+func newUnbound(n int) []symbols.Const {
+	b := make([]symbols.Const, n)
+	for i := range b {
+		b[i] = unbound
+	}
+	return b
+}
+
+func deltaTouches(d facts.Delta, ids []facts.AtomID) bool {
+	for _, id := range ids {
+		if d.Has(id) || d.Deleted(id) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,10 +1,12 @@
 // Package difftest cross-checks the package's evaluators against each
 // other through the public API: the top-down tabled engine
 // (hypo.ModeUniform), the paper's PROVE_Σ/PROVE_Δ cascade
-// (hypo.ModeCascade, when the program is linearly stratifiable), and the
-// naive Definition-3 reference interpreter (internal/ref). Any
-// disagreement on Ask, Query or AskUnder is a bug in at least one of
-// them.
+// (hypo.ModeCascade, when the program is linearly stratifiable), the
+// naive Definition-3 reference interpreter (internal/ref), and — as a
+// fourth implementation — engines mutated in place through
+// Engine.ApplyDelta, which must agree with a cold rebuild at the
+// post-batch fact set. Any disagreement on Ask, Query or AskUnder is a
+// bug in at least one of them.
 //
 // The existing fuzzers in internal/topdown and internal/engine compare
 // the evaluators below the public surface — on interned atom IDs, with
@@ -130,7 +132,182 @@ func Check(src string) error {
 	if err := checkQuery(ctx, src, cp.Syms, dom, ip, engines); err != nil {
 		return err
 	}
-	return checkAskUnder(ctx, src, cp.Syms, dom, ip, engines)
+	if err := checkAskUnder(ctx, src, cp.Syms, dom, ip, engines); err != nil {
+		return err
+	}
+	return checkIncremental(ctx, src, prog, cp, dom, hp)
+}
+
+// checkIncremental is the fourth implementation under test: engines
+// mutated in place through Engine.ApplyDelta must agree with a cold
+// engine built from scratch at the post-batch fact set. The batch is
+// derived deterministically from the program — every third extensional
+// ground atom over the domain, capped — flipping membership: present
+// facts are retracted (exercising DRed delete-rederive), absent ones
+// asserted (semi-naive propagation). The cold engine pins the original
+// domain via ExtraDomain, matching the incremental engines' fixed
+// dom(R, DB).
+func checkIncremental(ctx context.Context, src string, prog *ast.Program, cp *ast.CProgram, dom []symbols.Const, hp *hypo.Program) error {
+	syms := cp.Syms
+	factSet := map[string]ast.Atom{}
+	for _, f := range prog.Facts {
+		factSet[f.String()] = f
+	}
+	const maxBatch = 6
+	var asserts, retracts []string
+	cand := 0
+	_ = eachGroundAtom(syms, dom, func(p symbols.Pred, args []symbols.Const) error {
+		if cp.IDB[p] || len(asserts)+len(retracts) >= maxBatch {
+			return nil
+		}
+		cand++
+		if cand%3 != 0 {
+			return nil
+		}
+		a := ast.Atom{Pred: syms.PredName(p)}
+		for _, c := range args {
+			a.Args = append(a.Args, ast.Term{Name: syms.ConstName(c)})
+		}
+		k := a.String()
+		if _, ok := factSet[k]; ok {
+			retracts = append(retracts, k)
+			delete(factSet, k)
+		} else {
+			asserts = append(asserts, k)
+			factSet[k] = a
+		}
+		return nil
+	})
+	if len(asserts)+len(retracts) == 0 {
+		return nil
+	}
+
+	incremental := map[string]*hypo.Engine{}
+	extra := make([]string, len(dom))
+	for i, c := range dom {
+		extra[i] = syms.ConstName(c)
+	}
+	opts := hypo.Options{Mode: hypo.ModeUniform, MaxGoals: maxGoalBudget, ExtraDomain: extra}
+	uni, err := hypo.New(hp, opts)
+	if err != nil {
+		return fmt.Errorf("%w: incremental ModeUniform construction: %v", ErrSkip, err)
+	}
+	incremental["incremental-uniform"] = uni
+	if hp.Stratification().Linear {
+		opts.Mode = hypo.ModeCascade
+		casc, err := hypo.New(hp, opts)
+		if err != nil {
+			return fmt.Errorf("%w: incremental ModeCascade construction: %v", ErrSkip, err)
+		}
+		incremental["incremental-cascade"] = casc
+	}
+	for name, e := range incremental {
+		if err := e.ApplyDelta(asserts, retracts); err != nil {
+			// Admission rejections on fuzz-shaped names (quoting, arity
+			// oddities) put the batch out of scope rather than failing it;
+			// correctness bugs surface in the comparisons below.
+			return fmt.Errorf("%w: %s ApplyDelta: %v", ErrSkip, name, err)
+		}
+	}
+
+	// The cold reference: the same rules re-parsed with the post-batch
+	// facts (Rule.String/Atom.String round-trip through the parser).
+	var b strings.Builder
+	for _, r := range prog.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	keys := make([]string, 0, len(factSet))
+	for k := range factSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString(".\n")
+	}
+	coldProg, err := hypo.Parse(b.String())
+	if err != nil {
+		return fmt.Errorf("%w: post-batch source re-parse: %v", ErrSkip, err)
+	}
+	opts.Mode = hypo.ModeUniform
+	cold, err := hypo.New(coldProg, opts)
+	if err != nil {
+		return fmt.Errorf("%w: cold post-batch construction: %v", ErrSkip, err)
+	}
+
+	batch := fmt.Sprintf("assert %v retract %v", asserts, retracts)
+	err = eachGroundAtom(syms, dom, func(p symbols.Pred, args []symbols.Const) error {
+		q := atomString(syms, p, args)
+		want, err := cold.AskCtx(ctx, q)
+		if err != nil {
+			return skipOrFail("cold-rebuild", q, err, src)
+		}
+		for name, e := range incremental {
+			got, err := e.AskCtx(ctx, q)
+			if err != nil {
+				return skipOrFail(name, q, err, src)
+			}
+			if got != want {
+				return fmt.Errorf("difftest: after %s, Ask(%s): %s=%v cold=%v\n%s",
+					batch, q, name, got, want, src)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for p := symbols.Pred(0); int(p) < syms.NumPreds(); p++ {
+		arity := syms.PredArity(p)
+		if arity < 1 || arity > 2 {
+			continue
+		}
+		q := syms.PredName(p) + "(X)"
+		if arity == 2 {
+			q = syms.PredName(p) + "(X, Y)"
+		}
+		wantBs, err := cold.QueryCtx(ctx, q)
+		if err != nil {
+			return skipOrFail("cold-rebuild", q, err, src)
+		}
+		want := canonBindings(wantBs)
+		for name, e := range incremental {
+			bs, err := e.QueryCtx(ctx, q)
+			if err != nil {
+				return skipOrFail(name, q, err, src)
+			}
+			if got := canonBindings(bs); !equalStrings(got, want) {
+				return fmt.Errorf("difftest: after %s, Query(%s): %s=%v cold=%v\n%s",
+					batch, q, name, got, want, src)
+			}
+		}
+	}
+	poolPred, ok := syms.LookupPred("pool", 1)
+	if !ok || len(dom) == 0 {
+		return nil
+	}
+	// One hypothetical probe: mutated base plus a pool/1 extension, so
+	// the post-batch memo state is also exercised under [add:].
+	add := atomString(syms, poolPred, []symbols.Const{dom[0]})
+	return eachGroundAtom(syms, dom, func(p symbols.Pred, args []symbols.Const) error {
+		q := atomString(syms, p, args)
+		want, err := cold.AskUnderCtx(ctx, q, add)
+		if err != nil {
+			return skipOrFail("cold-rebuild", q, err, src)
+		}
+		for name, e := range incremental {
+			got, err := e.AskUnderCtx(ctx, q, add)
+			if err != nil {
+				return skipOrFail(name, q, err, src)
+			}
+			if got != want {
+				return fmt.Errorf("difftest: after %s, AskUnder(%s, add %s): %s=%v cold=%v\n%s",
+					batch, q, add, name, got, want, src)
+			}
+		}
+		return nil
+	})
 }
 
 // hypAtoms counts the ground atoms of predicates that appear in an add or

@@ -83,9 +83,17 @@ func NewCascade(cp *ast.CProgram, s *strat.Stratification, dom []symbols.Const) 
 			return nil, err
 		}
 	}
+	return NewCascadeWithBase(cp, s, dom, base)
+}
+
+// NewCascadeWithBase builds the cascade over an existing base database
+// (and its interner); the program's facts are assumed to already be in
+// it. This lets pooled engines share a per-version fact substrate by
+// cloning instead of re-interning from scratch.
+func NewCascadeWithBase(cp *ast.CProgram, s *strat.Stratification, dom []symbols.Const, base *facts.DB) (*Cascade, error) {
 	c := &Cascade{
 		prog:      cp,
-		in:        in,
+		in:        base.Interner(),
 		base:      base,
 		dom:       dom,
 		partOf:    make(map[symbols.Pred]int),
@@ -193,6 +201,46 @@ func (c *Cascade) pushCtx(ctx context.Context) (func(), error) {
 	saved := c.ctx
 	c.ctx = ctx
 	return func() { c.ctx = saved }, nil
+}
+
+// ApplyDelta applies a commit's effective base-fact delta to the cascade
+// in place instead of rebuilding it. cone is the affected cone of the
+// changed predicates (depgraph.Cone translated to interned predicates):
+// everything outside it keeps its Σ memo entries and Δ materialisations
+// verbatim. The update is two-phase because DRed overdeletion must join
+// against the pre-commit database:
+//
+//  1. each Δ prover plans — per cached state, either drop the entry or
+//     compute its overdeletion set against the old base;
+//  2. the shared base database is mutated;
+//  3. Σ memo entries whose goal predicate is in the cone are pruned;
+//  4. each planned Δ entry is finished: overdeleted atoms are removed,
+//     survivors rederived, and rederivations plus additions propagated
+//     semi-naively to the new fixpoint, lowest stratum first so oracle
+//     consultations during rederivation see fully-updated lower strata.
+//
+// The caller must hold the cascade exclusively (no query in flight). On
+// error the cascade is left half-mutated and must be discarded.
+func (c *Cascade) ApplyDelta(added, removed []facts.AtomID, cone map[symbols.Pred]bool) error {
+	plans := make([]*bottomup.Plan, len(c.delta))
+	for i, dp := range c.delta {
+		plans[i] = dp.PlanDelta(added, removed, cone)
+	}
+	for _, id := range removed {
+		c.base.Remove(id)
+	}
+	for _, id := range added {
+		if _, err := c.base.Insert(id); err != nil {
+			return err
+		}
+	}
+	for _, se := range c.sigma {
+		se.PruneTable(cone)
+	}
+	for i, dp := range c.delta {
+		dp.ApplyPlan(plans[i], added)
+	}
+	return nil
 }
 
 // askAt answers a goal whose predicate must live at partition <= maxPart,

@@ -15,7 +15,8 @@ type indexKey struct {
 
 // DB is the base (extensional) database: a set of interned ground atoms
 // with a per-predicate list and per-argument hash indexes. A DB is built
-// once and then read concurrently; Insert must not race with reads.
+// (or incrementally mutated) single-threaded and then read concurrently;
+// Insert and Remove must not race with reads.
 type DB struct {
 	in     *Interner
 	set    map[AtomID]struct{}
@@ -66,6 +67,42 @@ func (db *DB) insert(id AtomID) bool {
 	return true
 }
 
+// Remove deletes an atom from the database, unindexing it. It reports
+// whether the atom was present. The filtered index slices are freshly
+// allocated rather than compacted in place: clones share slice backing
+// arrays copy-on-write (see Clone), so an in-place shift would corrupt a
+// sibling's view of the same array.
+func (db *DB) Remove(id AtomID) bool {
+	if _, ok := db.set[id]; !ok {
+		return false
+	}
+	delete(db.set, id)
+	pred := db.in.Pred(id)
+	db.byPred[pred] = withoutID(db.byPred[pred], id)
+	if len(db.byPred[pred]) == 0 {
+		delete(db.byPred, pred)
+	}
+	for pos, val := range db.in.Args(id) {
+		k := indexKey{pred, pos, val}
+		db.index[k] = withoutID(db.index[k], id)
+		if len(db.index[k]) == 0 {
+			delete(db.index, k)
+		}
+	}
+	return true
+}
+
+// withoutID returns s minus id in a fresh slice (never mutating s).
+func withoutID(s []AtomID, id AtomID) []AtomID {
+	out := make([]AtomID, 0, len(s)-1)
+	for _, v := range s {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Has reports whether the atom is in the base database.
 func (db *DB) Has(id AtomID) bool {
 	_, ok := db.set[id]
@@ -98,10 +135,33 @@ func (db *DB) All() []AtomID {
 }
 
 // Clone returns an independent copy of the database sharing the interner.
-func (db *DB) Clone() *DB {
-	out := NewDB(db.in)
+// The index slices are shared copy-on-write: each is capacity-clipped so
+// an Insert on either copy reallocates instead of appending into the
+// shared backing array, and Remove always builds a fresh slice. This
+// makes cloning O(entries) map copies with no per-atom re-indexing — the
+// path pool engines take when stamping a fresh engine from a shared
+// per-version substrate.
+func (db *DB) Clone() *DB { return db.CloneFor(db.in) }
+
+// CloneFor is Clone with the copy bound to a different interner — one
+// that assigns the same ids (an Interner.Clone of this database's), so a
+// pooled engine gets a fully private interner+database pair cloned from
+// a shared per-version substrate.
+func (db *DB) CloneFor(in *Interner) *DB {
+	out := &DB{
+		in:     in,
+		set:    make(map[AtomID]struct{}, len(db.set)),
+		byPred: make(map[symbols.Pred][]AtomID, len(db.byPred)),
+		index:  make(map[indexKey][]AtomID, len(db.index)),
+	}
 	for id := range db.set {
-		out.insert(id)
+		out.set[id] = struct{}{}
+	}
+	for p, s := range db.byPred {
+		out.byPred[p] = s[:len(s):len(s)]
+	}
+	for k, s := range db.index {
+		out.index[k] = s[:len(s):len(s)]
 	}
 	return out
 }

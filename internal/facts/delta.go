@@ -54,31 +54,28 @@ func normalize(ids []AtomID) []AtomID {
 	return cp[:w]
 }
 
-// separator between the added and deleted sections of a key; AtomIDs are
-// non-negative, so 0xffffffff can never collide with an encoded id.
-const keySep = "\xff\xff\xff\xff"
-
+// makeKey builds the canonical key: a 4-byte length prefix holding the
+// number of added ids, then the sorted added ids, then the sorted deleted
+// ids, each as fixed-width 4-byte words. The length prefix makes the
+// add/del boundary explicit rather than inferred from a separator value,
+// so no sequence of ids — whatever their numeric values — can make the
+// encoding of one (adds, dels) pair collide with another: equal keys
+// imply equal section lengths, hence equal sections word for word.
 func makeKey(ids, dels []AtomID) string {
 	if len(ids) == 0 && len(dels) == 0 {
 		return ""
 	}
-	n := 4 * len(ids)
-	if len(dels) > 0 {
-		n += 4 + 4*len(dels)
-	}
-	b := make([]byte, 0, n)
+	b := make([]byte, 0, 4*(1+len(ids)+len(dels)))
+	var enc [4]byte
+	binary.LittleEndian.PutUint32(enc[:], uint32(len(ids)))
+	b = append(b, enc[:]...)
 	for _, id := range ids {
-		var enc [4]byte
 		binary.LittleEndian.PutUint32(enc[:], uint32(id))
 		b = append(b, enc[:]...)
 	}
-	if len(dels) > 0 {
-		b = append(b, keySep...)
-		for _, id := range dels {
-			var enc [4]byte
-			binary.LittleEndian.PutUint32(enc[:], uint32(id))
-			b = append(b, enc[:]...)
-		}
+	for _, id := range dels {
+		binary.LittleEndian.PutUint32(enc[:], uint32(id))
+		b = append(b, enc[:]...)
 	}
 	return string(b)
 }

@@ -92,6 +92,22 @@ func (in *Interner) Args(id AtomID) []symbols.Const { return in.atoms[id].args }
 // Len reports how many atoms have been interned.
 func (in *Interner) Len() int { return len(in.atoms) }
 
+// Clone returns an independent interner with the same atom/id assignment.
+// The per-atom argument slices are shared (they are immutable after
+// interning); the atoms slice and index map are copied, so interning into
+// either copy never affects the other.
+func (in *Interner) Clone() *Interner {
+	out := &Interner{
+		syms:  in.syms,
+		atoms: append([]groundAtom(nil), in.atoms...),
+		index: make(map[string]AtomID, len(in.index)),
+	}
+	for k, v := range in.index {
+		out.index[k] = v
+	}
+	return out
+}
+
 // InternGround interns a ground compiled atom. It panics if the atom
 // contains variables (callers ground atoms before interning).
 func (in *Interner) InternGround(a ast.CAtom) AtomID {

@@ -157,6 +157,25 @@ var (
 	LiveSnapshotAge Gauge
 	LiveReadOnly    Gauge
 
+	// Incremental maintenance on the commit path. A stale pooled engine
+	// normally catches up to the current data version by replaying the
+	// commits' effective fact deltas in place: LiveIncrementalApplies
+	// counts those catch-ups, LiveIncrementalAtoms the base atoms applied
+	// by them, LiveIncrementalFallbacks the catch-ups that could not use
+	// the delta path (history gap, oversized batch) and fell back to a
+	// rebuild. LiveSubstrateBuilds counts per-version fact substrates
+	// interned (the singleflighted part of a rebuild; K engines rebuilding
+	// at one version share a single substrate build). Inside the cascade,
+	// LiveIncrementalStates counts cached Δ-part materialisations
+	// maintained in place and LiveIncrementalDropped the cached states (or
+	// memo entries' worth of them) discarded to lazy recomputation.
+	LiveIncrementalApplies   Counter
+	LiveIncrementalFallbacks Counter
+	LiveIncrementalAtoms     Counter
+	LiveIncrementalStates    Counter
+	LiveIncrementalDropped   Counter
+	LiveSubstrateBuilds      Counter
+
 	// Versioned answer cache (internal/cache). CacheHits counts reads
 	// served from a stored entry, CacheMisses reads that ran an
 	// evaluation, CacheCoalesced reads that waited on another caller's
@@ -182,37 +201,43 @@ var (
 // used in the expvar export.
 func Snapshot() map[string]any {
 	out := map[string]any{
-		"queries_started":        QueriesStarted.Value(),
-		"queries_succeeded":      QueriesSucceeded.Value(),
-		"queries_failed":         QueriesFailed.Value(),
-		"queries_canceled":       QueriesCanceled.Value(),
-		"goal_expansions":        GoalExpansions.Value(),
-		"table_hits":             TableHits.Value(),
-		"delta_materialisations": DeltaMaterialisations.Value(),
-		"pool_gets":              PoolGets.Value(),
-		"pool_puts":              PoolPuts.Value(),
-		"pool_news":              PoolNews.Value(),
-		"http_requests":          HTTPRequests.Value(),
-		"http_shed":              HTTPShed.Value(),
-		"http_queued":            HTTPQueued.Value(),
-		"http_in_flight":         HTTPInFlight.Value(),
-		"live_commits":           LiveCommits.Value(),
-		"live_mutations":         LiveMutations.Value(),
-		"live_rejected":          LiveRejected.Value(),
-		"live_replayed":          LiveReplayed.Value(),
-		"live_rebuilds":          LiveRebuilds.Value(),
-		"live_compactions":       LiveCompactions.Value(),
-		"live_version":           LiveVersion.Value(),
-		"live_snapshot_age":      LiveSnapshotAge.Value(),
-		"live_readonly":          LiveReadOnly.Value(),
-		"cache_hits":             CacheHits.Value(),
-		"cache_misses":           CacheMisses.Value(),
-		"cache_coalesced":        CacheCoalesced.Value(),
-		"cache_evictions":        CacheEvictions.Value(),
-		"cache_bytes":            CacheBytes.Value(),
-		"cache_entries":          CacheEntries.Value(),
-		"query_latency_count":    QueryLatency.Count(),
-		"query_latency_sum":      QueryLatency.Sum(),
+		"queries_started":            QueriesStarted.Value(),
+		"queries_succeeded":          QueriesSucceeded.Value(),
+		"queries_failed":             QueriesFailed.Value(),
+		"queries_canceled":           QueriesCanceled.Value(),
+		"goal_expansions":            GoalExpansions.Value(),
+		"table_hits":                 TableHits.Value(),
+		"delta_materialisations":     DeltaMaterialisations.Value(),
+		"pool_gets":                  PoolGets.Value(),
+		"pool_puts":                  PoolPuts.Value(),
+		"pool_news":                  PoolNews.Value(),
+		"http_requests":              HTTPRequests.Value(),
+		"http_shed":                  HTTPShed.Value(),
+		"http_queued":                HTTPQueued.Value(),
+		"http_in_flight":             HTTPInFlight.Value(),
+		"live_commits":               LiveCommits.Value(),
+		"live_mutations":             LiveMutations.Value(),
+		"live_rejected":              LiveRejected.Value(),
+		"live_replayed":              LiveReplayed.Value(),
+		"live_rebuilds":              LiveRebuilds.Value(),
+		"live_compactions":           LiveCompactions.Value(),
+		"live_incremental_applies":   LiveIncrementalApplies.Value(),
+		"live_incremental_fallbacks": LiveIncrementalFallbacks.Value(),
+		"live_incremental_atoms":     LiveIncrementalAtoms.Value(),
+		"live_incremental_states":    LiveIncrementalStates.Value(),
+		"live_incremental_dropped":   LiveIncrementalDropped.Value(),
+		"live_substrate_builds":      LiveSubstrateBuilds.Value(),
+		"live_version":               LiveVersion.Value(),
+		"live_snapshot_age":          LiveSnapshotAge.Value(),
+		"live_readonly":              LiveReadOnly.Value(),
+		"cache_hits":                 CacheHits.Value(),
+		"cache_misses":               CacheMisses.Value(),
+		"cache_coalesced":            CacheCoalesced.Value(),
+		"cache_evictions":            CacheEvictions.Value(),
+		"cache_bytes":                CacheBytes.Value(),
+		"cache_entries":              CacheEntries.Value(),
+		"query_latency_count":        QueryLatency.Count(),
+		"query_latency_sum":          QueryLatency.Sum(),
 	}
 	bounds, counts := QueryLatency.Buckets()
 	buckets := make(map[string]int64, len(counts))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,9 +9,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	hypo "hypodatalog"
 	"hypodatalog/internal/metrics"
@@ -338,6 +341,84 @@ func TestDegradedReadOnlyServing(t *testing.T) {
 	}
 	if degraded, cause := lv.Degraded(); !degraded || cause == "" {
 		t.Fatalf("Degraded() = %v, %q", degraded, cause)
+	}
+}
+
+// TestCoalescedAskSurvivesCommitRace is the regression test for the
+// coalesced-waiter/commit race: a waiter that latched onto an identical
+// in-flight ask must echo the dataVersion of the flight that actually
+// computed the answer — not its own admission-time version — and must
+// carry the X-Hdl-Cache: coalesced header. The race is forced: both
+// callers are admitted while the data is at version 0, the pool's only
+// engine is held hostage so the flight leader blocks on its lease, a
+// commit bumps the version to 1, and only then is the engine released —
+// so the flight evaluates at version 1 and both answers are valid only
+// there.
+func TestCoalescedAskSurvivesCommitRace(t *testing.T) {
+	// MaxConcurrent must exceed the pool size, or the second caller waits
+	// in HTTP admission instead of reaching the cache flight.
+	_, ts, lv := newLiveTestServer(t,
+		hypo.Options{PoolSize: 1, CacheBytes: 1 << 20},
+		Config{MaxConcurrent: 4})
+	cl := ts.Client()
+	pl := lv.Pool()
+
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	doDone := make(chan error, 1)
+	go func() {
+		doDone <- pl.Do(context.Background(), func(e *hypo.Engine) error {
+			close(held)
+			<-hold
+			return nil
+		})
+	}()
+	<-held
+
+	type res struct {
+		status int
+		body   string
+		cache  string
+	}
+	results := make(chan res, 2)
+	ask := func() {
+		resp, body := post(t, cl, ts.URL+"/v1/ask", `{"query": "reach(a, c)"}`)
+		results <- res{resp.StatusCode, string(body), resp.Header.Get("X-Hdl-Cache")}
+	}
+	go ask()
+	time.Sleep(50 * time.Millisecond) // first caller becomes the flight leader
+	go ask()
+	time.Sleep(50 * time.Millisecond) // second caller latches onto the flight
+
+	// Commit while both wait. /v1/facts never leases an engine, so it
+	// cannot deadlock against the held pool.
+	if resp, body := post(t, cl, ts.URL+"/v1/facts", `{"assert": ["edge(b, c)"]}`); resp.StatusCode != 200 {
+		t.Fatalf("facts: status %d body %s", resp.StatusCode, body)
+	}
+	close(hold)
+	if err := <-doDone; err != nil {
+		t.Fatal(err)
+	}
+
+	var caches []string
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != 200 {
+			t.Fatalf("ask %d: status %d body %s", i, r.status, r.body)
+		}
+		// reach(a, c) holds at version 1 and at no earlier version, so a
+		// stale answer or a stale echoed version is each detectable.
+		if !strings.Contains(r.body, `"result":true`) {
+			t.Errorf("ask %d answered for the wrong version: %s", i, r.body)
+		}
+		if !strings.Contains(r.body, `"dataVersion":1`) {
+			t.Errorf("ask %d echoed a version its answer is not valid at: %s", i, r.body)
+		}
+		caches = append(caches, r.cache)
+	}
+	sort.Strings(caches)
+	if got := strings.Join(caches, ","); got != "coalesced,miss" {
+		t.Errorf("cache headers %q, want one miss and one coalesced", got)
 	}
 }
 

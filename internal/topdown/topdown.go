@@ -216,6 +216,43 @@ func (e *Engine) ResetStats() { e.stats = Stats{} }
 // ResetTable clears the memo table.
 func (e *Engine) ResetTable() { e.table = make(map[tableKey]bool) }
 
+// PruneTable drops every memo entry whose goal predicate lies in the
+// affected cone of a base-fact commit and returns how many were dropped.
+// Entries outside the cone stay: their truth values are functions of
+// extensions the commit cannot have changed. The state component of a
+// key needs no inspection — a hypothetical delta only narrows which base
+// atoms are visible, and visibility of non-cone predicates is unchanged;
+// keys whose delta mentions a committed atom are simply never asked
+// again (the canonical key for the new base differs), so stale entries
+// under them are unreachable, not wrong.
+func (e *Engine) PruneTable(cone map[symbols.Pred]bool) int {
+	n := 0
+	for k := range e.table {
+		if cone[e.in.Pred(k.goal)] {
+			delete(e.table, k)
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyDelta mutates the engine's base database in place with a commit's
+// effective fact delta and invalidates the memo entries the change can
+// affect. The caller must not be mid-query, and the removed/added ids
+// must already be interned in this engine's interner.
+func (e *Engine) ApplyDelta(added, removed []facts.AtomID, cone map[symbols.Pred]bool) error {
+	for _, id := range removed {
+		e.base.Remove(id)
+	}
+	for _, id := range added {
+		if _, err := e.base.Insert(id); err != nil {
+			return err
+		}
+	}
+	e.PruneTable(cone)
+	return nil
+}
+
 // Ask reports whether the interned ground atom is derivable in the state:
 // R, DB+Δ ⊢ A.
 func (e *Engine) Ask(goal facts.AtomID, st facts.State) (bool, error) {

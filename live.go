@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"sync"
 
+	"hypodatalog/internal/ast"
 	"hypodatalog/internal/live"
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
@@ -186,6 +187,10 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 			return live.CommitInfo{}, err
 		}
 	}
+	// The effective delta must be computed against the pre-commit store:
+	// it is what lets stale pooled engines catch up in place instead of
+	// rebuilding (see Pool.SetProgramDelta).
+	added, removed := effectiveDelta(ms, l.store.Has)
 	info, err := l.store.Commit(ms)
 	if err != nil {
 		// An I/O failure is a degradation, not a rejection: the batch was
@@ -206,7 +211,7 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 		return live.CommitInfo{}, fmt.Errorf("hypo: committed batch failed to compile: %w", err)
 	}
 	l.cur = next
-	l.pool.SetProgram(next, info.Version)
+	l.pool.SetProgramDelta(next, info.Version, added, removed)
 
 	metrics.LiveCommits.Inc()
 	metrics.LiveMutations.Add(int64(len(ms)))
@@ -227,10 +232,16 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 // the fact must be ground, its predicate extensional, and its constants
 // inside the pinned domain.
 func (l *Live) validate(m live.Mutation) error {
+	return validateMutation(m, l.cur, l.domSet)
+}
+
+// validateMutation is the admission check shared by Live.Apply and
+// Engine.ApplyDelta.
+func validateMutation(m live.Mutation, p *Program, domSet map[symbols.Const]bool) error {
 	if !m.Atom.IsGround() {
 		return fmt.Errorf("hypo: %s %s: fact is not ground", m.Op, m.Atom)
 	}
-	if p, ok := l.cur.syms.LookupPred(m.Atom.Pred, len(m.Atom.Args)); ok && l.cur.comp.IDB[p] {
+	if pr, ok := p.syms.LookupPred(m.Atom.Pred, len(m.Atom.Args)); ok && p.comp.IDB[pr] {
 		return fmt.Errorf("hypo: %s %s: predicate %s/%d is intensional (defined by rules); only base facts can be mutated",
 			m.Op, m.Atom, m.Atom.Pred, len(m.Atom.Args))
 	}
@@ -238,12 +249,53 @@ func (l *Live) validate(m live.Mutation) error {
 		if t.IsVar {
 			continue
 		}
-		if c, ok := l.cur.syms.LookupConst(t.Name); !ok || !l.domSet[c] {
+		if c, ok := p.syms.LookupConst(t.Name); !ok || !domSet[c] {
 			return fmt.Errorf("hypo: %s %s: constant %q is outside dom(R, DB); declare it in the program or Options.ExtraDomain",
 				m.Op, m.Atom, t.Name)
 		}
 	}
 	return nil
+}
+
+// effectiveDelta simulates a mutation batch in order against a presence
+// oracle for the pre-batch base and returns the facts whose membership
+// actually changes — asserting a present fact, retracting an absent one,
+// or doing both to the same atom in one batch nets out to nothing. The
+// returned slices preserve first-occurrence order, so the same batch
+// always produces the same delta.
+func effectiveDelta(ms []live.Mutation, has func(ast.Atom) bool) (added, removed []ast.Atom) {
+	type entry struct {
+		atom      ast.Atom
+		base, now bool
+	}
+	state := map[string]*entry{}
+	var order []string
+	for _, m := range ms {
+		k := m.Atom.String()
+		en, ok := state[k]
+		if !ok {
+			p := has(m.Atom)
+			en = &entry{atom: m.Atom, base: p, now: p}
+			state[k] = en
+			order = append(order, k)
+		}
+		switch m.Op {
+		case live.OpAssert:
+			en.now = true
+		case live.OpRetract:
+			en.now = false
+		}
+	}
+	for _, k := range order {
+		en := state[k]
+		if en.now && !en.base {
+			added = append(added, en.atom)
+		}
+		if !en.now && en.base {
+			removed = append(removed, en.atom)
+		}
+	}
+	return added, removed
 }
 
 // Close shuts the pool down (in-flight queries finish on their leased

@@ -8,7 +8,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hypodatalog/internal/ast"
 	"hypodatalog/internal/cache"
+	"hypodatalog/internal/depgraph"
+	"hypodatalog/internal/facts"
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
 	"hypodatalog/internal/symbols"
@@ -43,11 +46,65 @@ var ErrPoolClosed = errors.New("hypo: pool is closed")
 // afterwards — is dropped so its memo tables and interner become
 // garbage. A closed pool stays closed.
 // verProgram pairs a program with its data version so both swap
-// atomically under SetProgram.
+// atomically under SetProgram. It also owns the version's fact
+// substrate — the interner and base database holding the program's
+// facts — built at most once per version no matter how many engines
+// rebuild at it: after a commit invalidates every idle engine, K
+// concurrent leases would otherwise each re-intern the whole fact set
+// (the thundering herd); with the singleflight they share one build and
+// pay only a clone each.
 type verProgram struct {
 	prog    *Program
 	version uint64
+
+	subOnce sync.Once
+	sub     *substrate
+	subErr  error
 }
+
+// substrate is a per-version interner + base database pair that engines
+// clone from instead of re-interning the program's facts.
+type substrate struct {
+	in *facts.Interner
+	db *facts.DB
+}
+
+// substrate builds the version's fact substrate on first use; concurrent
+// callers block on the one build.
+func (v *verProgram) substrate() (*substrate, error) {
+	v.subOnce.Do(func() {
+		metrics.LiveSubstrateBuilds.Inc()
+		in := facts.NewInterner(v.prog.syms)
+		db := facts.NewDB(in)
+		for _, f := range v.prog.comp.Facts {
+			if _, err := db.Insert(in.InternGround(f)); err != nil {
+				v.subErr = err
+				return
+			}
+		}
+		v.sub = &substrate{in: in, db: db}
+	})
+	return v.sub, v.subErr
+}
+
+// commitDelta is one commit's effective base-fact change, kept so stale
+// idle engines can catch up from version `from` to `to` by mutating
+// their state in place instead of rebuilding.
+type commitDelta struct {
+	from, to uint64
+	added    []ast.CAtom
+	removed  []ast.CAtom
+	cone     map[symbols.Pred]bool
+}
+
+const (
+	// maxDeltaHistory bounds how many commits the pool retains for
+	// catch-up; an engine idle for longer rebuilds.
+	maxDeltaHistory = 64
+	// maxDeltaAtoms bounds one commit's recorded delta; a bulk load
+	// bigger than this is cheaper to rebuild into than to propagate.
+	maxDeltaAtoms = 1024
+)
 
 type Pool struct {
 	prog   *Program // the seed program; syms and domSet are version-stable
@@ -75,6 +132,12 @@ type Pool struct {
 	mu      sync.Mutex    // guards created, closed
 	created int
 	closed  bool
+
+	// hmu guards the commit-delta history and the lazily-built dependency
+	// graph used to compute affected cones.
+	hmu     sync.Mutex
+	history []commitDelta
+	graph   *depgraph.Graph
 }
 
 // NewPool builds an engine pool. It constructs one engine eagerly so that
@@ -135,6 +198,73 @@ func (pl *Pool) SetProgram(p *Program, version uint64) {
 			return
 		}
 	}
+}
+
+// SetProgramDelta is SetProgram for commits whose effective base-fact
+// change is known: it records the delta (with its affected predicate
+// cone) in the pool's catch-up history before publishing the new
+// version, so stale idle engines drawn after the swap apply the change
+// in place — keeping memo tables and materialisations outside the cone —
+// instead of rebuilding from scratch. Oversized batches and deltas that
+// fail to compile are published without history; engines then rebuild
+// exactly as under SetProgram, sharing the version's substrate build.
+func (pl *Pool) SetProgramDelta(p *Program, version uint64, added, removed []ast.Atom) {
+	if len(added)+len(removed) <= maxDeltaAtoms {
+		if cadd, crem, seeds, err := compileDelta(added, removed, p.syms); err == nil {
+			cone := pl.coneOf(seeds)
+			pl.hmu.Lock()
+			from := pl.cur.Load().version
+			if version > from {
+				pl.history = append(pl.history, commitDelta{from: from, to: version, added: cadd, removed: crem, cone: cone})
+				if len(pl.history) > maxDeltaHistory {
+					pl.history = append([]commitDelta(nil), pl.history[len(pl.history)-maxDeltaHistory:]...)
+				}
+			}
+			pl.hmu.Unlock()
+		}
+	}
+	pl.SetProgram(p, version)
+}
+
+// coneOf computes the affected cone of the seed predicates against the
+// pool's dependency graph (built once — every data version shares the
+// seed program's rules, and facts contribute no edges).
+func (pl *Pool) coneOf(seeds []ast.PredSig) map[symbols.Pred]bool {
+	pl.hmu.Lock()
+	if pl.graph == nil {
+		pl.graph = depgraph.Build(pl.prog.src)
+	}
+	g := pl.graph
+	pl.hmu.Unlock()
+	return coneFromGraph(g, pl.prog.syms, seeds)
+}
+
+// deltasBetween returns the contiguous chain of recorded commit deltas
+// leading from version `from` to version `to`, or ok=false when the
+// history has a gap (evicted entry, oversized batch, plain SetProgram).
+func (pl *Pool) deltasBetween(from, to uint64) ([]commitDelta, bool) {
+	pl.hmu.Lock()
+	defer pl.hmu.Unlock()
+	var out []commitDelta
+	v := from
+	for v < to {
+		found := false
+		for i := range pl.history {
+			if pl.history[i].from == v {
+				out = append(out, pl.history[i])
+				v = pl.history[i].to
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	if v != to {
+		return nil, false
+	}
+	return out, true
 }
 
 // Version reports the data version new leases evaluate at.
@@ -218,10 +348,16 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	}
 }
 
-// build constructs an engine at the current data version.
+// build constructs an engine at the current data version, cloning the
+// version's singleflighted fact substrate instead of re-interning the
+// facts per engine.
 func (pl *Pool) build() (*Engine, error) {
 	cur := pl.cur.Load()
-	e, err := New(cur.prog, pl.opts)
+	sub, err := cur.substrate()
+	if err != nil {
+		return nil, err
+	}
+	e, err := newFromSubstrate(cur.prog, pl.opts, sub.in, sub.db)
 	if err != nil {
 		return nil, err
 	}
@@ -229,15 +365,41 @@ func (pl *Pool) build() (*Engine, error) {
 	return e, nil
 }
 
-// fresh returns e if it matches the current data version; otherwise it
-// drops e (memo tables of an old version are never reused) and builds a
-// replacement. A rebuild failure — only possible if a withFacts
+// fresh returns e if it matches the current data version. A stale engine
+// first tries to catch up in place: if the pool's history holds a
+// contiguous chain of commit deltas from the engine's version to the
+// current one, each is applied incrementally — derived state outside the
+// commits' affected cones survives, warm. Only when the chain is missing
+// (engine idle past the history bound, bulk load, plain SetProgram) or
+// an application fails is the engine dropped and rebuilt from the
+// version's substrate. A rebuild failure — only possible if a withFacts
 // derivative fails to construct, which New already succeeded on at
 // SetProgram time — releases the engine slot so the pool keeps serving.
 func (pl *Pool) fresh(e *Engine) (*Engine, error) {
-	if e.version == pl.cur.Load().version {
+	cur := pl.cur.Load()
+	if e.version == cur.version {
 		return e, nil
 	}
+	if ds, ok := pl.deltasBetween(e.version, cur.version); ok {
+		applied := true
+		atoms := 0
+		for _, d := range ds {
+			if err := e.applyDeltaCompiled(d.added, d.removed, d.cone); err != nil {
+				// The engine is half-mutated; fall through to a rebuild.
+				applied = false
+				break
+			}
+			atoms += len(d.added) + len(d.removed)
+		}
+		if applied {
+			e.prog = cur.prog
+			e.version = cur.version
+			metrics.LiveIncrementalApplies.Inc()
+			metrics.LiveIncrementalAtoms.Add(int64(atoms))
+			return e, nil
+		}
+	}
+	metrics.LiveIncrementalFallbacks.Inc()
 	ne, err := pl.build()
 	if err != nil {
 		pl.mu.Lock()
