@@ -523,3 +523,64 @@ func TestCacheMetamorphicUnderMutation(t *testing.T) {
 		t.Fatalf("only %d samples recorded; the storm did not exercise the cache", hits)
 	}
 }
+
+// TestCacheCarriesAcrossUnrelatedCommit: a commit invalidates only the
+// cached answers whose premises intersect its cone; everything else is
+// re-keyed to the new version and keeps serving without evaluation.
+// liveSrc has two independent cones — flag/light and edge/reach.
+func TestCacheCarriesAcrossUnrelatedCommit(t *testing.T) {
+	l := openLive(t, Options{CacheBytes: 1 << 20, Mode: ModeUniform})
+	pl := l.Pool()
+	ctx := context.Background()
+
+	// Warm both cones at v0.
+	for _, q := range []string{"light(off)", "reach(a, b)"} {
+		ok, info, err := pl.AskInfoCtx(ctx, q)
+		if err != nil || !ok {
+			t.Fatalf("warm %q: ok=%v err=%v", q, ok, err)
+		}
+		if info.Cache != CacheMiss {
+			t.Fatalf("warm %q served %v, want miss", q, info.Cache)
+		}
+	}
+
+	// Commit inside the edge/reach cone only.
+	if _, err := l.Apply(mutations(t, []string{"edge(b, c)"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// light(off) is outside the cone: its answer was carried to v1 and
+	// still serves as a hit.
+	ok, info, err := pl.AskInfoCtx(ctx, "light(off)")
+	if err != nil || !ok {
+		t.Fatalf("light(off) after commit: ok=%v err=%v", ok, err)
+	}
+	if info.Cache != CacheHit {
+		t.Fatalf("light(off) after unrelated commit served %v, want carried hit", info.Cache)
+	}
+	if info.DataVersion != 1 {
+		t.Fatalf("carried hit at version %d, want 1", info.DataVersion)
+	}
+
+	// reach(a, b) is inside the cone: the old answer must not survive.
+	ok, info, err = pl.AskInfoCtx(ctx, "reach(a, b)")
+	if err != nil || !ok {
+		t.Fatalf("reach(a, b) after commit: ok=%v err=%v", ok, err)
+	}
+	if info.Cache != CacheMiss {
+		t.Fatalf("reach(a, b) after in-cone commit served %v, want miss", info.Cache)
+	}
+
+	// A commit in the flag/light cone drops the carried entry: the next
+	// light read is a miss, not a stale carried answer.
+	if _, err := l.Apply(mutations(t, []string{"flag(a)"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	ok, info, err = pl.AskInfoCtx(ctx, "light(a)")
+	if err != nil || !ok {
+		t.Fatalf("light(a) after flag commit: ok=%v err=%v", ok, err)
+	}
+	if info.Cache != CacheMiss {
+		t.Fatalf("light(a) after flag commit served %v, want miss", info.Cache)
+	}
+}

@@ -29,6 +29,21 @@
 //	                preference to the program's facts on startup)
 //	-snapshot-every n  compact after n commits (default 1024; 0 = only on
 //	                clean shutdown)
+//	-role r         replication role: primary | replica (default standalone)
+//	-primary URL    the primary's base URL (required with -role replica;
+//	                writes landing on the replica proxy there)
+//	-replicate-addr a  serve the replication endpoints on a separate
+//	                listener instead of -addr (primary only)
+//	-min-version-wait d  longest a read carrying X-Hdl-Min-Version waits
+//	                for replication before 503 "stale" (default 2s)
+//
+// With -role primary the daemon streams its WAL to followers
+// (GET /v1/repl/snapshot + /v1/repl/stream); with -role replica it tails
+// the primary at -primary, applies each commit to its own durable store,
+// serves reads at the applied version, and proxies POST /v1/facts to the
+// primary. Clients get read-your-writes on any node by echoing a write's
+// committed version in the X-Hdl-Min-Version header of later reads. See
+// README, "Scaling reads with replicas".
 //
 // Without -wal the base database is frozen at startup and /v1/facts
 // answers 501. With it, the daemon recovers snapshot + WAL tail before
@@ -63,6 +78,7 @@ import (
 	"time"
 
 	hypo "hypodatalog"
+	"hypodatalog/internal/repl"
 	"hypodatalog/internal/server"
 )
 
@@ -83,6 +99,10 @@ func run() int {
 	wal := flag.String("wal", "", "WAL file enabling runtime fact mutation (empty = read-only EDB)")
 	snapshot := flag.String("snapshot", "", "HDLSNAP compaction target (and preferred fact source on startup)")
 	snapshotEvery := flag.Int("snapshot-every", 1024, "compact after this many commits (0 = only on clean shutdown)")
+	role := flag.String("role", "", "replication role: primary | replica (empty = standalone)")
+	primaryURL := flag.String("primary", "", "primary's base URL (required with -role replica; writes proxy there)")
+	replicateAddr := flag.String("replicate-addr", "", "extra listener serving only the replication endpoints (primary; empty = share -addr)")
+	minVersionWait := flag.Duration("min-version-wait", 2*time.Second, "max wait for X-Hdl-Min-Version before 503 stale")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -129,6 +149,21 @@ func run() int {
 		logger.Error("unknown mode", "mode", *mode)
 		return 2
 	}
+	switch *role {
+	case "", "primary", "replica":
+	default:
+		logger.Error("unknown role", "role", *role)
+		return 2
+	}
+	if *role == "replica" && (*wal == "" || *primaryURL == "") {
+		logger.Error("-role replica requires both -wal (local durable store) and -primary (who to tail)")
+		return 2
+	}
+	if *role == "primary" && *wal == "" {
+		logger.Error("-role primary requires -wal (followers tail the WAL)")
+		return 2
+	}
+
 	var pl *hypo.Pool
 	var lv *hypo.Live
 	if *wal != "" {
@@ -166,6 +201,42 @@ func run() int {
 		defer pl.Close()
 	}
 
+	// Any node with a live store can be tailed — a standalone or replica
+	// node serving the endpoints costs nothing until a follower connects,
+	// and makes promotion (point followers at a former replica) a pure
+	// config change.
+	var rp *repl.Primary
+	if lv != nil {
+		rp = repl.NewPrimary(repl.PrimaryConfig{
+			Source:    lv.Store(),
+			RulesHash: prog.RulesHash(),
+			Logger:    logger,
+		})
+	}
+
+	var replicaStatus func() repl.Status
+	if *role == "replica" {
+		rep, err := repl.Start(repl.ReplicaConfig{
+			Primary:   *primaryURL,
+			Target:    lv,
+			RulesHash: prog.RulesHash(),
+			Logger:    logger,
+		})
+		if err != nil {
+			logger.Error("start replication", "err", err)
+			return 1
+		}
+		defer rep.Close()
+		replicaStatus = rep.Status
+	}
+
+	mountPrimary := rp
+	if *replicateAddr != "" {
+		// Replication gets its own listener (own port, own firewall rules);
+		// the query listener then does not serve the repl endpoints.
+		mountPrimary = nil
+	}
+
 	srv, err := server.New(server.Config{
 		Pool:           pl,
 		Live:           lv,
@@ -174,10 +245,37 @@ func run() int {
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
 		Logger:         logger,
+		Role:           *role,
+		ReplPrimary:    mountPrimary,
+		ReplicaStatus:  replicaStatus,
+		PrimaryURL:     *primaryURL,
+		MinVersionWait: *minVersionWait,
 	})
 	if err != nil {
 		logger.Error("build server", "err", err)
 		return 1
+	}
+
+	if *replicateAddr != "" {
+		if rp == nil {
+			logger.Error("-replicate-addr requires -wal (there is no WAL to ship)")
+			return 2
+		}
+		rmux := http.NewServeMux()
+		rp.Mount(rmux)
+		rln, err := net.Listen("tcp", *replicateAddr)
+		if err != nil {
+			logger.Error("listen (replication)", "err", err)
+			return 1
+		}
+		rs := &http.Server{Handler: rmux, ReadHeaderTimeout: 10 * time.Second}
+		defer rs.Close()
+		go func() {
+			if err := rs.Serve(rln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("serve (replication)", "err", err)
+			}
+		}()
+		logger.Info("replication listener", "addr", rln.Addr().String())
 	}
 
 	// root is the BaseContext of every request: canceling it after the

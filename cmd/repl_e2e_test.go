@@ -1,0 +1,129 @@
+package cmd_test
+
+// Full-stack replication e2e: three real hdld processes — one primary,
+// two replicas — write on one node, read-your-writes on the others.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const clusterProg = `
+node(a). node(b). node(c). node(d).
+edge(a, b).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+`
+
+// startNode launches one cluster member via the shared startHdld
+// helper and registers its teardown.
+func startNode(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd, addr, _, _ := startHdld(t, args...)
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	return addr
+}
+
+func TestHdldReplicationCluster(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "cluster.hdl")
+	if err := os.WriteFile(prog, []byte(clusterProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"p", "r1", "r2"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	primary := startNode(t,
+		"-role", "primary", "-wal", filepath.Join(dir, "p", "wal.log"), prog)
+	rep1 := startNode(t,
+		"-role", "replica", "-primary", "http://"+primary,
+		"-wal", filepath.Join(dir, "r1", "wal.log"), prog)
+	rep2 := startNode(t,
+		"-role", "replica", "-primary", "http://"+primary,
+		"-wal", filepath.Join(dir, "r2", "wal.log"), prog)
+
+	// Write on the primary; its response carries the committed version.
+	resp, err := http.Post("http://"+primary+"/v1/facts", "application/json",
+		strings.NewReader(`{"assert": ["edge(b, c)"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commit struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&commit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || commit.Version != 1 {
+		t.Fatalf("primary write: status %d version %d", resp.StatusCode, commit.Version)
+	}
+
+	// Read-your-writes on both replicas: X-Hdl-Min-Version parks the
+	// read until the record arrives, so this must answer at >= v without
+	// any sleep-and-retry on our side.
+	askMin := func(addr, query string, min uint64) (int, string) {
+		req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/ask",
+			strings.NewReader(fmt.Sprintf(`{"query": %q}`, query)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Hdl-Min-Version", fmt.Sprint(min))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	for i, addr := range []string{rep1, rep2} {
+		code, body := askMin(addr, "reach(a, c)", commit.Version)
+		if code != 200 || !strings.Contains(body, `"result":true`) {
+			t.Fatalf("replica %d gated read: status %d body %s", i+1, code, body)
+		}
+		if !strings.Contains(body, `"dataVersion":1`) {
+			t.Fatalf("replica %d answered below the demanded version: %s", i+1, body)
+		}
+	}
+
+	// Write through a replica: proxied to the primary, response relayed
+	// with the new version — usable as the next min-version anywhere.
+	resp, err = http.Post("http://"+rep1+"/v1/facts", "application/json",
+		strings.NewReader(`{"assert": ["edge(c, d)"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"version":2`) {
+		t.Fatalf("proxied write: status %d body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Hdl-Proxied"); got != "primary" {
+		t.Fatalf("X-Hdl-Proxied = %q, want primary", got)
+	}
+	if code, body := askMin(rep2, "reach(a, d)", 2); code != 200 || !strings.Contains(body, `"result":true`) {
+		t.Fatalf("read-your-proxied-write on replica 2: status %d body %s", code, body)
+	}
+
+	// healthz on a replica reports its role and replication state.
+	hresp, err := http.Get("http://" + rep2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if !strings.Contains(string(hbody), `"role":"replica"`) || !strings.Contains(string(hbody), `"replication"`) {
+		t.Fatalf("replica healthz lacks replication fields: %s", hbody)
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
 	"time"
@@ -209,6 +210,20 @@ func (p *Program) withFacts(fs []ast.Atom, pinDom []symbols.Const) (*Program, er
 
 // AST returns the underlying syntax tree (after the section 3.1 rewrite).
 func (p *Program) AST() *ast.Program { return p.src }
+
+// RulesHash is a fingerprint of the program's rule set (canonical text,
+// facts excluded). Replication uses it as a compatibility check: a
+// replica may only apply a primary's WAL stream when both run the same
+// rules, since validation, stratification and the pinned base domain all
+// derive from them.
+func (p *Program) RulesHash() uint64 {
+	h := fnv.New64a()
+	for _, r := range p.src.Rules {
+		_, _ = io.WriteString(h, r.String())
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
 
 // Compiled returns the interned form used by the engines.
 func (p *Program) Compiled() *ast.CProgram { return p.comp }

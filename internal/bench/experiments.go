@@ -40,6 +40,7 @@ type Sizes struct {
 	HornN  []int // E10
 	LiveN  []int // E16: live-EDB graph sizes
 	CacheN []int // E17: answer-cache graph sizes
+	ReplN  []int // E18: replica counts
 	Seed   int64
 }
 
@@ -56,6 +57,7 @@ func DefaultSizes() Sizes {
 		HornN:  []int{16, 64, 256, 512},
 		LiveN:  []int{16, 32, 64},
 		CacheN: []int{32, 48, 64},
+		ReplN:  []int{1, 2, 3},
 		Seed:   1,
 	}
 }
@@ -73,6 +75,7 @@ func SmokeSizes() Sizes {
 		HornN:  []int{16, 32},
 		LiveN:  []int{6, 10},
 		CacheN: []int{6, 10},
+		ReplN:  []int{1, 2},
 		Seed:   1,
 	}
 }
@@ -1059,5 +1062,6 @@ func All() []Experiment {
 		{"E15", "alternation / PSPACE fragment (section 4 context)", E15Alternation},
 		{"E16", "live EDB under churn (runtime fact updates)", E16LiveChurn},
 		{"E17", "answer cache: repeated reads on vs off", E17CacheReads},
+		{"E18", "replication: read scaling across replicas, min-version wait", E18Replication},
 	}
 }

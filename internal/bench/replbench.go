@@ -1,0 +1,199 @@
+package bench
+
+// E18: replication read scaling and read-your-writes wait latency.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	hypo "hypodatalog"
+	"hypodatalog/internal/repl"
+	"hypodatalog/internal/workload"
+)
+
+// e18Node opens one hypo.Live over a fresh temp dir, returning a
+// cleanup.
+func e18Node(prog *hypo.Program, poolSize int) (*hypo.Live, func(), error) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	dir, err := os.MkdirTemp("", "hdl-e18-")
+	if err != nil {
+		return nil, nil, err
+	}
+	lv, err := hypo.OpenLive(prog, hypo.LiveConfig{
+		WALPath: filepath.Join(dir, "wal.log"),
+		NoSync:  true,
+		Logger:  quiet,
+	}, hypo.Options{PoolSize: poolSize})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return lv, func() { lv.Close(); os.RemoveAll(dir) }, nil
+}
+
+// E18Replication prices WAL-shipping read replicas: closure-read
+// throughput as replicas are added (each replica runs its own engine
+// pool, so aggregate read capacity should scale), and the
+// read-your-writes cost — after each primary commit, how long a replica
+// read demanding that version (X-Hdl-Min-Version) waits for the record
+// to ship and apply.
+func E18Replication(s Sizes) (*Table, error) {
+	t := NewTable("E18 (replication): read scaling across replicas, min-version wait under churn",
+		"replicas", "reads", "node read p50", "aggregate reads/s", "scaling", "min-ver wait p50", "final version")
+	t.Note = "aggregate = sum of per-node isolated rates (replicas are separate hosts in production; one shared benchmark CPU would serialize them); min-ver wait = time a replica read demanding the just-committed version parks before the record arrives."
+	rng := rand.New(rand.NewSource(s.Seed + 7))
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// One fixed mid-size graph: E18 sweeps replica count, not data size.
+	const n = 24
+	w := workload.MixedReachability(rng, n, 4*n, 0.3)
+	prog, err := hypo.Parse(w.Source)
+	if err != nil {
+		return nil, err
+	}
+	closure := "reach(X, Y)"
+	const readsPerReplica = 60
+	const churnCommits = 15
+
+	var baseline float64
+	for _, replicas := range s.ReplN {
+		err := func() error {
+			primary, cleanup, err := e18Node(prog, 2)
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+
+			mux := http.NewServeMux()
+			repl.NewPrimary(repl.PrimaryConfig{
+				Source:    primary.Store(),
+				RulesHash: prog.RulesHash(),
+				Heartbeat: 100 * time.Millisecond,
+				Logger:    quiet,
+			}).Mount(mux)
+			srv := httptest.NewServer(mux)
+			defer srv.Close()
+
+			nodes := make([]*hypo.Live, replicas)
+			for i := range nodes {
+				lv, cleanup, err := e18Node(prog, 2)
+				if err != nil {
+					return err
+				}
+				defer cleanup()
+				nodes[i] = lv
+				rep, err := repl.Start(repl.ReplicaConfig{
+					Primary:    srv.URL,
+					Target:     lv,
+					RulesHash:  prog.RulesHash(),
+					BackoffMin: 5 * time.Millisecond,
+					Logger:     quiet,
+				})
+				if err != nil {
+					return err
+				}
+				defer rep.Close()
+			}
+			waitAll := func(v uint64) error {
+				deadline := time.Now().Add(30 * time.Second)
+				for _, lv := range nodes {
+					ctx, cancel := context.WithDeadline(context.Background(), deadline)
+					err := lv.WaitVersion(ctx, v)
+					cancel()
+					if err != nil {
+						return fmt.Errorf("E18: replica stuck at %d waiting for %d", lv.Version(), v)
+					}
+				}
+				return nil
+			}
+			if err := waitAll(primary.Version()); err != nil {
+				return err
+			}
+
+			// Warm each replica's memo tables once so the throughput phase
+			// measures steady-state reads, not first-touch compilation.
+			for _, lv := range nodes {
+				if _, err := lv.Pool().Query(closure); err != nil {
+					return err
+				}
+			}
+
+			// Read-scaling phase: measure each node's serving rate in
+			// isolation and sum — the capacity a load balancer can draw on
+			// when every replica is its own host.
+			totalReads := readsPerReplica * replicas
+			var reads []time.Duration
+			var aggregate float64
+			for _, lv := range nodes {
+				start := time.Now()
+				for r := 0; r < readsPerReplica; r++ {
+					rs := time.Now()
+					if _, err := lv.Pool().Query(closure); err != nil {
+						return err
+					}
+					reads = append(reads, time.Since(rs))
+				}
+				aggregate += readsPerReplica / time.Since(start).Seconds()
+			}
+			sort.Slice(reads, func(i, j int) bool { return reads[i] < reads[j] })
+			if baseline == 0 {
+				baseline = aggregate
+			}
+
+			// Churn phase: commit on the primary, then immediately demand the
+			// new version on a replica — the X-Hdl-Min-Version server gate is
+			// Live.WaitVersion, measured here without the HTTP overhead.
+			var waits []time.Duration
+			toggles := 0
+			for _, op := range w.Ops {
+				if op.Query != "" {
+					continue
+				}
+				ms, err := hypo.ParseMutations(op.Assert, op.Retract)
+				if err != nil {
+					return err
+				}
+				info, err := primary.Apply(ms)
+				if err != nil {
+					return err
+				}
+				lv := nodes[toggles%replicas]
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				ws := time.Now()
+				err = lv.WaitVersion(ctx, info.Version)
+				cancel()
+				if err != nil {
+					return fmt.Errorf("E18: min-version wait for %d timed out at replica version %d", info.Version, lv.Version())
+				}
+				waits = append(waits, time.Since(ws))
+				if toggles++; toggles >= churnCommits {
+					break
+				}
+			}
+			if len(waits) == 0 {
+				return fmt.Errorf("E18: workload produced no commits")
+			}
+			sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+			if err := waitAll(primary.Version()); err != nil {
+				return err
+			}
+
+			t.Add(replicas, totalReads, reads[len(reads)/2], aggregate, aggregate/baseline,
+				waits[len(waits)/2], primary.Version())
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -119,6 +119,12 @@ type Config struct {
 	// and benchmarks, not production.
 	NoSync bool
 
+	// StreamTailLen bounds the in-memory ring of recent commit records
+	// kept for replication streaming (RecordsSince). A follower whose
+	// resume point has aged out of the ring must bootstrap from a
+	// snapshot. Default: 4096.
+	StreamTailLen int
+
 	// FS is the filesystem the store runs on. Default: the real one
 	// (vfs.OS). Tests inject vfs.Mem/vfs.Fault to simulate crashes and
 	// disk faults.
@@ -175,6 +181,15 @@ type Store struct {
 	cache  []ast.Atom // sorted fact slice for the current version
 	closed bool
 	roErr  error // first unrecoverable I/O error; non-nil = read-only
+
+	// tail is the in-memory ring of recent commit records — the stream
+	// source for replication followers. It is seeded from the WAL tail at
+	// recovery and bounded by cfg.StreamTailLen; a follower further behind
+	// than the ring's first record must bootstrap from a snapshot instead.
+	tail []Record
+	// changed is closed (and replaced) on every commit or reset — the
+	// broadcast replication streamers block on between records.
+	changed chan struct{}
 }
 
 // Open builds a store from the seed program and the durable state at
@@ -191,12 +206,16 @@ func Open(seed *ast.Program, cfg Config) (*Store, Recovery, error) {
 	if cfg.FS == nil {
 		cfg.FS = vfs.OS{}
 	}
+	if cfg.StreamTailLen <= 0 {
+		cfg.StreamTailLen = 4096
+	}
 	s := &Store{
-		cfg:   cfg,
-		fs:    cfg.FS,
-		log:   cfg.Logger,
-		rules: &ast.Program{Rules: seed.Rules, Queries: seed.Queries},
-		facts: make(map[string]ast.Atom),
+		cfg:     cfg,
+		fs:      cfg.FS,
+		log:     cfg.Logger,
+		rules:   &ast.Program{Rules: seed.Rules, Queries: seed.Queries},
+		facts:   make(map[string]ast.Atom),
+		changed: make(chan struct{}),
 	}
 	var rec Recovery
 
@@ -272,10 +291,17 @@ func (s *Store) openWAL(rec *Recovery) error {
 	s.walBase = base
 	s.version = base
 	for _, r := range recs {
+		if r.reset {
+			s.facts = make(map[string]ast.Atom, len(r.muts))
+			s.tail = nil
+		}
 		for _, m := range r.muts {
 			s.apply(m)
 		}
 		s.version = r.version
+		if !r.reset {
+			s.appendTailLocked(Record{Version: r.version, Muts: r.muts})
+		}
 	}
 	rec.Replayed = len(recs)
 	f, err := s.fs.OpenFile(s.cfg.WALPath, os.O_WRONLY|os.O_APPEND, 0o644)
@@ -283,7 +309,7 @@ func (s *Store) openWAL(rec *Recovery) error {
 		return fmt.Errorf("live: reopening WAL for append: %w", err)
 	}
 	s.wal = f
-	s.sinceSnap = int(s.version - base)
+	s.sinceSnap = len(recs)
 	return nil
 }
 
@@ -440,6 +466,8 @@ func (s *Store) Commit(ms []Mutation) (CommitInfo, error) {
 	s.version++
 	s.cache = nil
 	s.sinceSnap++
+	s.appendTailLocked(Record{Version: s.version, Muts: append([]Mutation(nil), ms...)})
+	s.broadcastLocked()
 
 	if s.cfg.SnapshotEvery > 0 && s.cfg.SnapshotPath != "" && s.sinceSnap >= s.cfg.SnapshotEvery {
 		if err := s.compactLocked(); err != nil {
@@ -611,6 +639,135 @@ func (s *Store) compactLocked() error {
 	}
 	s.log.Info("live: compacted",
 		"snapshot", s.cfg.SnapshotPath, "version", s.version, "facts", len(s.facts))
+	return nil
+}
+
+// appendTailLocked pushes one record onto the bounded stream ring.
+func (s *Store) appendTailLocked(r Record) {
+	s.tail = append(s.tail, r)
+	if n := len(s.tail); n > s.cfg.StreamTailLen {
+		// Copy rather than re-slice so the evicted prefix becomes garbage.
+		s.tail = append([]Record(nil), s.tail[n-s.cfg.StreamTailLen:]...)
+	}
+}
+
+// broadcastLocked wakes everyone blocked on Updates.
+func (s *Store) broadcastLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// Updates returns a channel that is closed when the store moves past the
+// current version (a commit or a reset). Callers re-arm by calling
+// Updates again after each wakeup: grab the channel, re-check the
+// version, then block — in that order, or a commit landing in between is
+// missed until the next one.
+func (s *Store) Updates() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.changed
+}
+
+// RecordsSince returns the commit records with versions in (from,
+// current], in order. ok is false when the in-memory ring no longer
+// reaches back to from+1 — the caller (a replication follower) must
+// bootstrap from a snapshot instead. A from at or past the current
+// version returns (nil, true): caught up.
+func (s *Store) RecordsSince(from uint64) ([]Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from >= s.version {
+		return nil, true
+	}
+	if len(s.tail) == 0 || s.tail[0].Version > from+1 {
+		return nil, false
+	}
+	i := 0
+	for i < len(s.tail) && s.tail[i].Version <= from {
+		i++
+	}
+	return append([]Record(nil), s.tail[i:]...), true
+}
+
+// StreamHorizon reports the lowest version a follower may resume
+// streaming from (the largest version already folded out of the ring);
+// a follower at an older version must snapshot-bootstrap.
+func (s *Store) StreamHorizon() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tail) == 0 {
+		return s.version
+	}
+	return s.tail[0].Version - 1
+}
+
+// SnapshotProgram returns the rules plus the fact set of the current
+// version as one program, with the version it is consistent at — the
+// payload a primary serves to a bootstrapping follower. The fact slice
+// is the shared immutable per-version slice; callers must not modify it.
+func (s *Store) SnapshotProgram() (*ast.Program, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prog := &ast.Program{Rules: s.rules.Rules, Queries: s.rules.Queries, Facts: s.factsLocked()}
+	return prog, s.version
+}
+
+// ResetToFacts atomically replaces the whole fact set, jumping the store
+// to the given version — how a replication follower installs a snapshot
+// fetched from its primary. The reset is a single durable WAL append
+// (fsynced before the fact set or version move), so a crash at any point
+// leaves either the old state or the new one, never a mixture. version
+// must be ahead of the current one. When a snapshot path is configured
+// the store compacts immediately afterwards, folding the (fact-set-
+// sized) reset record out of the WAL.
+func (s *Store) ResetToFacts(facts []ast.Atom, version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.roErr != nil {
+		return errors.Join(ErrReadOnly, s.roErr)
+	}
+	if version <= s.version {
+		return fmt.Errorf("live: reset to version %d would not advance the store (at %d)", version, s.version)
+	}
+	for _, a := range facts {
+		if !a.IsGround() {
+			return fmt.Errorf("live: reset fact %s is not ground", a)
+		}
+	}
+	record := encodeResetRecord(version, facts)
+	off, err := s.wal.Seek(0, io.SeekEnd)
+	if err != nil {
+		return s.degradeLocked(fmt.Errorf("live: WAL seek: %w", err))
+	}
+	if _, err := s.wal.Write(record); err != nil {
+		_ = s.wal.Truncate(off)
+		return s.degradeLocked(fmt.Errorf("live: WAL reset append: %w", err))
+	}
+	if err := s.syncFile(s.wal); err != nil {
+		_ = s.wal.Truncate(off)
+		return s.degradeLocked(err)
+	}
+	s.facts = make(map[string]ast.Atom, len(facts))
+	for _, a := range facts {
+		s.facts[a.String()] = a
+	}
+	s.version = version
+	s.cache = nil
+	s.sinceSnap++
+	// Records before the jump cannot seed a contiguous catch-up chain any
+	// more; followers of this store (chained replicas) must re-bootstrap.
+	s.tail = nil
+	s.broadcastLocked()
+	if s.cfg.SnapshotPath != "" {
+		if err := s.compactLocked(); err != nil {
+			// The reset itself is durable in the WAL; a failed compaction
+			// only leaves the oversized record for the next one to fold.
+			s.log.Error("live: post-reset compaction failed", "err", err)
+		}
+	}
 	return nil
 }
 

@@ -28,6 +28,16 @@ import (
 // seed program) is at when the WAL file is created; replaying every
 // record on top of it reconstructs the latest committed version.
 //
+// One record form may jump versions: a *reset* record, whose body starts
+// with uvarint 0 (impossible for a commit record — versions start at
+// baseVersion+1 ≥ 1) followed by the real version and the complete fact
+// set as OpAssert mutations. A reset replaces the whole fact set at that
+// version in a single atomic append — it is how a read replica installs
+// a snapshot fetched from its primary without rewriting its snapshot and
+// WAL files in a multi-step (and hence crash-fragile) dance. Replay
+// clears the fact set, applies the asserts, and continues sequentially
+// from the reset's version.
+//
 // Replay is tolerant of one specific overlap: after a compaction crash
 // between the snapshot rename and the WAL rotation, the snapshot may
 // already contain a prefix of the WAL's records. Re-applying that prefix
@@ -42,10 +52,49 @@ var walMagic = []byte("HDLWAL\x01")
 const maxSaneLen = 1 << 28
 
 // walRecord is one decoded commit: the version it produced and its
-// mutations.
+// mutations. reset marks a full-fact-set reset record (see the package
+// comment): muts are then the complete fact set as asserts and version
+// may jump past the previous record's.
 type walRecord struct {
 	version uint64
 	muts    []Mutation
+	reset   bool
+}
+
+// Record is one committed mutation batch as replayed from — or shipped
+// out of — the WAL: the data version the batch produced and its
+// mutations. It is the unit of replication: a primary streams Records to
+// its followers, which apply them in version order.
+type Record struct {
+	Version uint64
+	Muts    []Mutation
+}
+
+// EncodeRecordPayload renders a Record in the WAL record-body encoding
+// (uvarint version | uvarint nMuts | mutations) — the payload format the
+// replication stream ships, identical to what the WAL stores inside its
+// frames.
+func EncodeRecordPayload(r Record) []byte {
+	return encodeRecordBody(r.Version, r.Muts)
+}
+
+// DecodeRecordPayload parses a WAL record body as produced by
+// EncodeRecordPayload. Reset records (version 0 marker) are not valid on
+// the wire and are rejected.
+func DecodeRecordPayload(b []byte) (Record, error) {
+	d := &walDecoder{buf: b}
+	version := d.uvarint()
+	if d.err != nil {
+		return Record{}, fmt.Errorf("live: record payload has no version")
+	}
+	if version == 0 {
+		return Record{}, fmt.Errorf("live: reset records are not streamable")
+	}
+	rec, err := decodeMutations(b[d.pos:], version)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Version: rec.version, Muts: rec.muts}, nil
 }
 
 func appendUvarint(b []byte, v uint64) []byte {
@@ -76,8 +125,8 @@ func encodeHeader(baseVersion uint64) []byte {
 	return appendFramed(append([]byte(nil), walMagic...), body)
 }
 
-// encodeRecord renders one commit record.
-func encodeRecord(version uint64, ms []Mutation) []byte {
+// encodeRecordBody renders a commit record's body (unframed).
+func encodeRecordBody(version uint64, ms []Mutation) []byte {
 	body := appendUvarint(nil, version)
 	body = appendUvarint(body, uint64(len(ms)))
 	for _, m := range ms {
@@ -85,6 +134,28 @@ func encodeRecord(version uint64, ms []Mutation) []byte {
 		body = appendString(body, m.Atom.Pred)
 		body = appendUvarint(body, uint64(len(m.Atom.Args)))
 		for _, t := range m.Atom.Args {
+			body = appendString(body, t.Name)
+		}
+	}
+	return body
+}
+
+// encodeRecord renders one framed commit record.
+func encodeRecord(version uint64, ms []Mutation) []byte {
+	return appendFramed(nil, encodeRecordBody(version, ms))
+}
+
+// encodeResetRecord renders a framed reset record: the uvarint 0 marker,
+// then a normal record body carrying the complete fact set as asserts.
+func encodeResetRecord(version uint64, facts []ast.Atom) []byte {
+	body := appendUvarint(nil, 0)
+	body = appendUvarint(body, version)
+	body = appendUvarint(body, uint64(len(facts)))
+	for _, a := range facts {
+		body = append(body, byte(OpAssert))
+		body = appendString(body, a.Pred)
+		body = appendUvarint(body, uint64(len(a.Args)))
+		for _, t := range a.Args {
 			body = appendString(body, t.Name)
 		}
 	}
@@ -238,7 +309,21 @@ func parseWAL(data []byte) (base uint64, recs []walRecord, goodLen int, err erro
 		if rd.err != nil {
 			return 0, nil, 0, fmt.Errorf("live: record at offset %d has no version", goodLen)
 		}
-		if version != next {
+		reset := false
+		if version == 0 {
+			// Reset record: the real version follows the marker and may
+			// jump forward past the sequence (never backward — that could
+			// only come from corruption, not from any writer).
+			reset = true
+			version = rd.uvarint()
+			if rd.err != nil || version == 0 {
+				return 0, nil, 0, fmt.Errorf("live: reset record at offset %d has no version", goodLen)
+			}
+			if version < next {
+				return 0, nil, 0, fmt.Errorf("live: reset record version %d at offset %d rewinds past %d",
+					version, goodLen, next)
+			}
+		} else if version != next {
 			return 0, nil, 0, fmt.Errorf("live: record version %d at offset %d, want %d (WAL sequence broken)",
 				version, goodLen, next)
 		}
@@ -246,9 +331,17 @@ func parseWAL(data []byte) (base uint64, recs []walRecord, goodLen int, err erro
 		if err != nil {
 			return 0, nil, 0, fmt.Errorf("live: record %d: %w", version, err)
 		}
+		rec.reset = reset
+		if reset {
+			for _, m := range rec.muts {
+				if m.Op != OpAssert {
+					return 0, nil, 0, fmt.Errorf("live: reset record %d contains a retract", version)
+				}
+			}
+		}
 		recs = append(recs, *rec)
 		goodLen = d.pos
-		next++
+		next = version + 1
 	}
 	return base, recs, goodLen, nil
 }

@@ -190,6 +190,40 @@ var (
 	CacheBytes     Gauge
 	CacheEntries   Gauge
 
+	// CacheCarried counts entries carried forward across a commit because
+	// the commit's recorded predicate cone could not have changed their
+	// answer (cone-aware retention; without it every version bump expires
+	// the whole cache).
+	CacheCarried Counter
+
+	// WAL-shipping replication (internal/repl). Primary side:
+	// ReplFramesSent counts record/heartbeat/gone frames written to
+	// followers, ReplSnapshotsServed bootstrap snapshots streamed, and
+	// ReplStreams the tail streams currently open. Replica side:
+	// ReplRecordsApplied counts WAL records applied through the local
+	// store, ReplBootstraps snapshot bootstraps performed, ReplReconnects
+	// stream re-establishments after an error or disconnect.
+	// ReplAppliedVersion/ReplPrimaryVersion are the replica's applied data
+	// version and the primary's last advertised one; ReplLag is their
+	// difference and ReplConnected is 1 while a tail stream is open — the
+	// pair to alert on. Serving layer: ReplProxiedWrites counts writes a
+	// replica forwarded to the primary, ReplMinVersionWaits reads that had
+	// to wait for the store to reach X-Hdl-Min-Version, and
+	// ReplMinVersionTimeouts the waits that expired into a 503.
+	ReplFramesSent         Counter
+	ReplSnapshotsServed    Counter
+	ReplStreams            Gauge
+	ReplRecordsApplied     Counter
+	ReplBootstraps         Counter
+	ReplReconnects         Counter
+	ReplAppliedVersion     Gauge
+	ReplPrimaryVersion     Gauge
+	ReplLag                Gauge
+	ReplConnected          Gauge
+	ReplProxiedWrites      Counter
+	ReplMinVersionWaits    Counter
+	ReplMinVersionTimeouts Counter
+
 	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
 	QueryLatency = NewHistogram(
 		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
@@ -236,6 +270,20 @@ func Snapshot() map[string]any {
 		"cache_evictions":            CacheEvictions.Value(),
 		"cache_bytes":                CacheBytes.Value(),
 		"cache_entries":              CacheEntries.Value(),
+		"cache_carried":              CacheCarried.Value(),
+		"repl_frames_sent":           ReplFramesSent.Value(),
+		"repl_snapshots_served":      ReplSnapshotsServed.Value(),
+		"repl_streams":               ReplStreams.Value(),
+		"repl_records_applied":       ReplRecordsApplied.Value(),
+		"repl_bootstraps":            ReplBootstraps.Value(),
+		"repl_reconnects":            ReplReconnects.Value(),
+		"repl_applied_version":       ReplAppliedVersion.Value(),
+		"repl_primary_version":       ReplPrimaryVersion.Value(),
+		"repl_lag":                   ReplLag.Value(),
+		"repl_connected":             ReplConnected.Value(),
+		"repl_proxied_writes":        ReplProxiedWrites.Value(),
+		"repl_min_version_waits":     ReplMinVersionWaits.Value(),
+		"repl_min_version_timeouts":  ReplMinVersionTimeouts.Value(),
 		"query_latency_count":        QueryLatency.Count(),
 		"query_latency_sum":          QueryLatency.Sum(),
 	}

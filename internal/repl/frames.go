@@ -1,0 +1,112 @@
+// Package repl is WAL-shipping replication for the live store: a
+// primary streams committed WAL records to read replicas over HTTP,
+// each replica applies them through its own durable store and serves
+// reads at its applied data version.
+//
+// # Protocol
+//
+// A follower bootstraps with GET /v1/repl/snapshot (the full fact base
+// in storage.Write format, its version in the X-Hdl-Version response
+// header), then tails GET /v1/repl/stream?from=<version>. The stream is
+// a sequence of binary frames:
+//
+//	[type 1B] [payload length u32 BE] [payload] [CRC32-IEEE(type ∥ payload) u32 BE]
+//
+// Frame types:
+//
+//	'R' — one committed WAL record (live.EncodeRecordPayload); records
+//	      arrive in version order with no gaps.
+//	'H' — heartbeat; payload is the primary's current data version as a
+//	      uvarint. Sent immediately on connect and every Heartbeat
+//	      interval, so a follower can measure lag while idle and detect
+//	      a dead peer.
+//	'G' — gone; empty payload. The follower's resume point aged out of
+//	      the primary's in-memory tail mid-stream; it must re-bootstrap
+//	      from a snapshot. Sent instead of silently skipping versions.
+//
+// The stream request carries X-Hdl-Rules-Hash: replication is only
+// sound between processes running the same rule set (validation and the
+// pinned domain derive from it), so a mismatch is refused with 409
+// rather than detected later as a validation failure. A from-version
+// ahead of the primary (split brain, or a primary restored from an old
+// backup) is also 409; a from-version already evicted from the tail is
+// 410, telling the follower to bootstrap.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types on the stream wire.
+const (
+	frameRecord    = 'R'
+	frameHeartbeat = 'H'
+	frameGone      = 'G'
+)
+
+// maxFramePayload bounds one frame so a corrupt length prefix cannot
+// make a reader allocate unbounded memory.
+const maxFramePayload = 1 << 28
+
+// appendFrame appends one wire frame to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.NewIEEE()
+	_, _ = crc.Write([]byte{typ})
+	_, _ = crc.Write(payload)
+	return binary.BigEndian.AppendUint32(dst, crc.Sum32())
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	_, err := w.Write(appendFrame(nil, typ, payload))
+	return err
+}
+
+// readFrame reads and checksums one frame. io.EOF is returned verbatim
+// at a clean frame boundary; a short read inside a frame is
+// io.ErrUnexpectedEOF.
+func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("repl: frame payload of %d bytes exceeds the %d limit", n, maxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	crc := crc32.NewIEEE()
+	_, _ = crc.Write([]byte{typ})
+	_, _ = crc.Write(payload)
+	if got, want := binary.BigEndian.Uint32(crcBuf[:]), crc.Sum32(); got != want {
+		return 0, nil, fmt.Errorf("repl: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return typ, payload, nil
+}

@@ -1,0 +1,77 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		typ     byte
+		payload []byte
+	}{
+		{frameHeartbeat, binary.AppendUvarint(nil, 42)},
+		{frameRecord, []byte("some record bytes")},
+		{frameGone, nil},
+		{frameRecord, bytes.Repeat([]byte{0xab}, 1<<16)},
+	}
+	for _, f := range frames {
+		if err := writeFrame(&buf, f.typ, f.payload); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i, f := range frames {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("readFrame %d: %v", i, err)
+		}
+		if typ != f.typ || !bytes.Equal(payload, f.payload) {
+			t.Fatalf("frame %d round trip: type %q len %d, want %q len %d",
+				i, typ, len(payload), f.typ, len(f.payload))
+		}
+	}
+	if _, _, err := readFrame(br); err != io.EOF {
+		t.Fatalf("err at clean boundary = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCRCMismatch(t *testing.T) {
+	raw := appendFrame(nil, frameRecord, []byte("payload"))
+	for _, flip := range []int{0, 3, 7, len(raw) - 1} {
+		corrupt := append([]byte(nil), raw...)
+		corrupt[flip] ^= 0x01
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(corrupt)))
+		if err == nil {
+			t.Fatalf("flipping byte %d went undetected", flip)
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	raw := appendFrame(nil, frameRecord, []byte("payload"))
+	// Every strict prefix (past the first byte) is a torn frame.
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw[:cut])))
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameLengthBound(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(frameRecord)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], maxFramePayload+1)
+	buf.Write(lenBuf[:])
+	_, _, err := readFrame(bufio.NewReader(&buf))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized length prefix: err = %v, want payload-limit error", err)
+	}
+}

@@ -1,0 +1,279 @@
+package repl_test
+
+// Replication torture harness.
+//
+// A primary with a deliberately short stream tail serves a replica
+// whose every HTTP exchange passes through a seeded flaky transport —
+// connections are refused, cut mid-body, or stalled until the liveness
+// watchdog fires — while the replica's disk is an in-memory image that
+// is crash-damaged (kill -9) at random points. After every crash the
+// recovered replica must satisfy the replication contract:
+//
+//	recovered version == the version the replica had durably applied
+//	recovered facts   == the primary's fact set at exactly that version
+//
+// (nothing acked is lost, nothing uncommitted is served), and after the
+// network heals the replica must converge to the primary's head.
+//
+// Failing seeds shrink to the smallest failing round count. Knobs match
+// the live-store torture harness:
+//
+//	TORTURE_SEED=N      torture exactly seed N
+//	TORTURE_RANDOM=1    use a time-derived seed (CI torture job)
+//	$TORTURE_ARTIFACT_DIR  failing-seed reports for CI upload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	hypo "hypodatalog"
+	"hypodatalog/internal/vfs"
+)
+
+// flakyTransport injects partitions: per request it may refuse the
+// connection, cut the response body after a bounded number of bytes, or
+// stall it until the peer gives up. Heal() stops all injection.
+type flakyTransport struct {
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	healed bool
+}
+
+func (f *flakyTransport) Heal() {
+	f.mu.Lock()
+	f.healed = true
+	f.mu.Unlock()
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	healed := f.healed
+	var mode, cut int
+	if !healed {
+		mode = f.rng.Intn(5)
+		cut = f.rng.Intn(4096)
+	}
+	f.mu.Unlock()
+	if healed || mode <= 1 { // pass 2/5 of the time
+		return f.inner.RoundTrip(req)
+	}
+	if mode == 2 {
+		return nil, errors.New("flaky: connection refused")
+	}
+	resp, err := f.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = &flakyBody{rc: resp.Body, remaining: cut, stall: mode == 4, closed: make(chan struct{})}
+	return resp, nil
+}
+
+// flakyBody delivers at most `remaining` bytes, then errors (cut) or
+// blocks until closed (stall — what a silent partition looks like; the
+// replica's watchdog must cut it).
+type flakyBody struct {
+	rc        io.ReadCloser
+	remaining int
+	stall     bool
+	closed    chan struct{}
+	once      sync.Once
+}
+
+func (b *flakyBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		if b.stall {
+			<-b.closed
+		}
+		return 0, errors.New("flaky: connection lost")
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	return n, err
+}
+
+func (b *flakyBody) Close() error {
+	b.once.Do(func() { close(b.closed) })
+	return b.rc.Close()
+}
+
+// tortureOp is one scripted step, pre-generated so a shorter run is a
+// prefix of a longer one (what shrinking relies on).
+type tortureOp struct {
+	assert   bool
+	from, to string
+	crash    bool // crash + recover the replica after this op
+}
+
+func makeOps(rng *rand.Rand, n int) []tortureOp {
+	consts := []string{"a", "b", "c", "d", "e", "f"}
+	ops := make([]tortureOp, n)
+	for i := range ops {
+		ops[i] = tortureOp{
+			assert: rng.Intn(3) != 0,
+			from:   consts[rng.Intn(len(consts))],
+			to:     consts[rng.Intn(len(consts))],
+			crash:  rng.Intn(4) == 0,
+		}
+	}
+	return ops
+}
+
+// replTorture runs one seeded schedule and returns the first contract
+// violation.
+func replTorture(t *testing.T, seed int64, nOps int) error {
+	rng := newRand(seed)
+	ops := makeOps(rng, nOps)
+
+	primary := openNode(t, nil, 3) // short tail: disconnected replicas fall behind it
+	defer primary.Close()
+	srv := newPrimaryServer(t, primary)
+
+	flaky := &flakyTransport{inner: http.DefaultTransport, rng: newRand(seed * 31)}
+	client := &http.Client{Transport: flaky}
+
+	// model[v] is the primary's sorted fact set at version v.
+	model := map[uint64][]string{0: nodeFacts(t, primary)}
+
+	crng := newRand(seed * 7)
+	mem := vfs.NewMem()
+	replica := openNode(t, mem, 0)
+	rep := startReplica(t, srv.URL, replica, client)
+
+	closeAll := func() {
+		rep.Close()
+		_ = replica.Close()
+	}
+
+	var head uint64
+	for i, op := range ops {
+		var asserts, retracts []string
+		lit := fmt.Sprintf("edge(%s, %s)", op.from, op.to)
+		if op.assert {
+			asserts = []string{lit}
+		} else {
+			retracts = []string{lit}
+		}
+		ms, err := hypo.ParseMutations(asserts, retracts)
+		if err != nil {
+			closeAll()
+			return fmt.Errorf("op %d: %v", i, err)
+		}
+		info, err := primary.Apply(ms)
+		if err != nil {
+			closeAll()
+			return fmt.Errorf("op %d: primary apply: %v", i, err)
+		}
+		head = info.Version
+		model[head] = nodeFacts(t, primary)
+
+		if !op.crash {
+			continue
+		}
+		// kill -9 the replica, crash its disk, recover, check the contract.
+		rep.Close()
+		applied := replica.Version()
+		_ = replica.Close()
+		mem.Crash(crng)
+		replica = openNode(t, mem, 0)
+		v := replica.Version()
+		if v != applied {
+			_ = replica.Close()
+			return fmt.Errorf("op %d: recovered version %d != durably applied %d", i, v, applied)
+		}
+		want, okv := model[v]
+		if !okv {
+			_ = replica.Close()
+			return fmt.Errorf("op %d: recovered version %d was never a primary version", i, v)
+		}
+		if got := nodeFacts(t, replica); !equalStrings(got, want) {
+			_ = replica.Close()
+			return fmt.Errorf("op %d: facts at recovered version %d diverge:\n got %v\nwant %v", i, v, got, want)
+		}
+		rep = startReplica(t, srv.URL, replica, client)
+	}
+
+	// Heal the network and demand convergence to head.
+	flaky.Heal()
+	deadline := time.Now().Add(20 * time.Second)
+	for replica.Version() < head {
+		if time.Now().After(deadline) {
+			st := rep.Status()
+			closeAll()
+			return fmt.Errorf("no convergence after heal: replica at %d, head %d (status %+v)", replica.Version(), head, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got, want := nodeFacts(t, replica), model[head]; !equalStrings(got, want) {
+		closeAll()
+		return fmt.Errorf("converged facts diverge:\n got %v\nwant %v", got, want)
+	}
+	if v := replica.Version(); v != head {
+		closeAll()
+		return fmt.Errorf("replica overshot head: at %d, head %d", v, head)
+	}
+	closeAll()
+	return nil
+}
+
+func shrinkReplTorture(t *testing.T, seed int64, nOps int) (int, error) {
+	for n := 1; n <= nOps; n++ {
+		if err := replTorture(t, seed, n); err != nil {
+			return n, err
+		}
+	}
+	return nOps, fmt.Errorf("failure did not reproduce during shrinking")
+}
+
+func replTortureSeeds(t *testing.T) []int64 {
+	if v := os.Getenv("TORTURE_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("TORTURE_SEED=%q: %v", v, err)
+		}
+		return []int64{seed}
+	}
+	if os.Getenv("TORTURE_RANDOM") == "1" {
+		seed := time.Now().UnixNano()
+		t.Logf("torture: random seed %d (repro with TORTURE_SEED=%d)", seed, seed)
+		return []int64{seed}
+	}
+	return []int64{1, 2}
+}
+
+func TestReplicationTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication torture is not -short")
+	}
+	const nOps = 20
+	for _, seed := range replTortureSeeds(t) {
+		err := replTorture(t, seed, nOps)
+		if err == nil {
+			continue
+		}
+		n, minErr := shrinkReplTorture(t, seed, nOps)
+		report := fmt.Sprintf("replication torture seed %d failed: %v\n\nminimal repro: %d op(s): %v\nrerun: TORTURE_SEED=%d go test -run TestReplicationTorture ./internal/repl/\n",
+			seed, err, n, minErr, seed)
+		if dir := os.Getenv("TORTURE_ARTIFACT_DIR"); dir != "" {
+			_ = os.MkdirAll(dir, 0o755)
+			path := filepath.Join(dir, fmt.Sprintf("repl-torture-seed-%d.txt", seed))
+			if werr := os.WriteFile(path, []byte(report), 0o644); werr == nil {
+				t.Logf("torture: failing seed written to %s", path)
+			}
+		}
+		t.Fatal(report)
+	}
+}

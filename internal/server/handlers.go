@@ -260,6 +260,9 @@ func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, 
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
+	if !s.gateMinVersion(ctx, w, r, ri) {
+		return
+	}
 	release, err := s.admit(ctx)
 	if err != nil {
 		s.refuse(w, ri, err)
@@ -311,6 +314,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
+	if !s.gateMinVersion(ctx, w, r, ri) {
+		return
+	}
 	release, err := s.admit(ctx)
 	if err != nil {
 		s.refuse(w, ri, err)
@@ -396,6 +402,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
+	if !s.gateMinVersion(ctx, w, r, ri) {
+		return
+	}
 
 	results := make([]batchResult, len(req.Queries))
 	err = s.run(ctx, ri, func(e *hypo.Engine) error {
@@ -471,6 +480,17 @@ func evalBatchItem(ctx context.Context, e *hypo.Engine, item batchItem) (batchRe
 // never lease an engine — but a draining server refuses new writes like
 // it refuses new queries.
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	if s.cfg.Role == "replica" && s.cfg.PrimaryURL != "" {
+		// Replicas never commit locally — their store is written only by
+		// the replication stream. Forward the write so clients can talk to
+		// any node.
+		if s.draining.Load() {
+			s.refuse(w, ri, errDraining)
+			return
+		}
+		s.proxyFacts(w, r, ri)
+		return
+	}
 	if s.cfg.Live == nil {
 		ri.outcome = "not_enabled"
 		writeError(w, http.StatusNotImplemented, "not_enabled",
@@ -532,11 +552,35 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo
 // machine-readable reason for operators and write-path routers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"ok": true, "status": "ok", "dataVersion": s.cfg.Pool.Version()}
+	if s.cfg.Role != "" {
+		resp["role"] = s.cfg.Role
+	}
 	if s.cfg.Live != nil {
 		if degraded, cause := s.cfg.Live.Degraded(); degraded {
 			resp["status"] = "degraded"
 			resp["reason"] = "read_only"
 			resp["detail"] = cause
+		}
+	}
+	if s.cfg.ReplicaStatus != nil {
+		st := s.cfg.ReplicaStatus()
+		repl := map[string]any{
+			"connected":      st.Connected,
+			"applied":        st.Applied,
+			"primaryVersion": st.Primary,
+			"lag":            st.Lag(),
+			"bootstraps":     st.Bootstraps,
+			"reconnects":     st.Reconnects,
+		}
+		if st.LastError != "" {
+			repl["lastError"] = st.LastError
+		}
+		resp["replication"] = repl
+		if !st.Connected && resp["status"] == "ok" {
+			// Still serving (at the applied version) but no longer tracking
+			// the primary — the operator signal that this follower is adrift.
+			resp["status"] = "degraded"
+			resp["reason"] = "repl_disconnected"
 		}
 	}
 	writeJSON(w, resp)
@@ -548,6 +592,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(map[string]bool{"ready": false, "draining": true})
 		return
+	}
+	if s.cfg.ReplicaStatus != nil {
+		// A replica that has never caught up to its primary serves stale —
+		// possibly empty — data; keep it out of the load balancer until the
+		// first sync completes. Ready is sticky, so transient lag afterwards
+		// does not flap readiness (min-version gating handles per-request
+		// freshness).
+		if st := s.cfg.ReplicaStatus(); !st.Ready {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]bool{"ready": false, "syncing": true})
+			return
+		}
 	}
 	writeJSON(w, map[string]bool{"ready": true})
 }

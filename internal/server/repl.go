@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hypodatalog/internal/metrics"
+)
+
+// gateMinVersion enforces the X-Hdl-Min-Version read-your-writes
+// contract: a client that just wrote at version V sends V on its next
+// read and is never answered from older data, whichever node it lands
+// on. A read at or past the demanded version proceeds immediately; an
+// earlier one waits (bounded by Config.MinVersionWait) for the local
+// store to catch up, then is refused with 503 kind "stale" + Retry-After
+// if it has not. Returns false when the response has been written.
+//
+// The gate runs before admission: a request parked on replication lag
+// must not hold an evaluation slot while it waits.
+func (s *Server) gateMinVersion(ctx context.Context, w http.ResponseWriter, r *http.Request, ri *reqInfo) bool {
+	h := r.Header.Get("X-Hdl-Min-Version")
+	if h == "" {
+		return true
+	}
+	min, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		ri.outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "bad_request", "X-Hdl-Min-Version is not a uint64")
+		return false
+	}
+	ri.minVersion = min
+	if s.cfg.Pool.Version() >= min {
+		return true
+	}
+	if s.cfg.Live == nil {
+		// A static server can never reach the demanded version.
+		s.refuseStale(w, ri, min)
+		return false
+	}
+	metrics.ReplMinVersionWaits.Inc()
+	wctx, cancel := context.WithTimeout(ctx, s.cfg.MinVersionWait)
+	defer cancel()
+	if err := s.cfg.Live.WaitVersion(wctx, min); err != nil {
+		metrics.ReplMinVersionTimeouts.Inc()
+		s.refuseStale(w, ri, min)
+		return false
+	}
+	return true
+}
+
+// refuseStale answers a read whose X-Hdl-Min-Version the node could not
+// reach in time: 503 kind "stale" with Retry-After and the version the
+// node IS at, so the client can retry here later or fall back to the
+// primary.
+func (s *Server) refuseStale(w http.ResponseWriter, ri *reqInfo, min uint64) {
+	ri.outcome = "stale"
+	retry := strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+	w.Header().Set("Retry-After", retry)
+	w.Header().Set("X-Hdl-Version", strconv.FormatUint(s.cfg.Pool.Version(), 10))
+	writeError(w, http.StatusServiceUnavailable, "stale",
+		fmt.Sprintf("data version %d not yet replicated here (at %d); retry or read the primary", min, s.cfg.Pool.Version()))
+}
+
+// proxyFacts forwards a write landing on a replica to the primary, so
+// clients can POST /v1/facts to any node. The response — including the
+// committed version the client will use as its next X-Hdl-Min-Version —
+// is relayed verbatim, plus an X-Hdl-Proxied marker.
+func (s *Server) proxyFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		ri.outcome = "too_large"
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	url := strings.TrimRight(s.cfg.PrimaryURL, "/") + "/v1/facts"
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		ri.outcome = "proxy_error"
+		writeError(w, http.StatusInternalServerError, "internal", "building proxy request: "+err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cfg.ProxyClient.Do(req)
+	if err != nil {
+		ri.outcome = "primary_unreachable"
+		writeError(w, http.StatusBadGateway, "primary_unreachable",
+			"write could not be forwarded to the primary: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	metrics.ReplProxiedWrites.Inc()
+	ri.outcome = "proxied"
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Hdl-Proxied", "primary")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

@@ -44,6 +44,7 @@ import (
 
 	hypo "hypodatalog"
 	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/repl"
 )
 
 // statusClientClosed is the nginx convention for "client closed the
@@ -93,6 +94,37 @@ type Config struct {
 	// Logger receives structured access and error logs. Default:
 	// slog.Default().
 	Logger *slog.Logger
+
+	// Role names this node's replication role in logs and healthz:
+	// "primary", "replica", or "" for a standalone server.
+	Role string
+
+	// ReplPrimary, when set, mounts the replication endpoints
+	// (GET /v1/repl/snapshot and /v1/repl/stream) so followers can
+	// bootstrap and tail this node. Replication traffic bypasses
+	// admission control: streams are long-lived and must not occupy — or
+	// be shed from — query evaluation slots.
+	ReplPrimary *repl.Primary
+
+	// ReplicaStatus, when set, marks this server a tailing replica: it is
+	// polled for healthz/readyz replication state, and reads carrying
+	// X-Hdl-Min-Version ahead of the applied version wait for replication
+	// to catch up (see MinVersionWait).
+	ReplicaStatus func() repl.Status
+
+	// PrimaryURL is the primary's base URL. On a replica, POST /v1/facts
+	// is proxied there instead of being refused, so clients can write to
+	// any node.
+	PrimaryURL string
+
+	// MinVersionWait bounds how long a read carrying X-Hdl-Min-Version
+	// may wait for the local store to catch up before being refused with
+	// 503 kind "stale". Default: 2s.
+	MinVersionWait time.Duration
+
+	// ProxyClient issues proxied write requests; nil means a default
+	// client.
+	ProxyClient *http.Client
 }
 
 // Server is the HTTP query server. Create it with New, mount Handler on
@@ -137,6 +169,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.MinVersionWait <= 0 {
+		cfg.MinVersionWait = 2 * time.Second
+	}
+	if cfg.ProxyClient == nil {
+		cfg.ProxyClient = &http.Client{Timeout: 30 * time.Second}
+	}
 	metrics.PublishExpvar()
 	s := &Server{
 		cfg:     cfg,
@@ -153,6 +191,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	if cfg.ReplPrimary != nil {
+		// Unwrapped: replication streams are long-lived infrastructure
+		// traffic, not query requests — no admission slot, no per-request
+		// access-log line (the repl package logs lifecycle events).
+		cfg.ReplPrimary.Mount(s.mux)
+	}
 	return s, nil
 }
 
@@ -232,6 +276,7 @@ type reqInfo struct {
 	stats       hypo.Stats       // evaluation-work delta for this request
 	dataVersion uint64           // data version the request evaluated at (or produced)
 	cache       hypo.CacheStatus // how the answer cache served this read
+	minVersion  uint64           // X-Hdl-Min-Version the client demanded (0 if absent)
 }
 
 // wrap is the middleware around every API handler: request counting, a
@@ -279,6 +324,8 @@ func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request
 				"max_depth", ri.stats.MaxDepth,
 				"data_version", ri.dataVersion,
 				"cache", ri.cache.String(),
+				"role", s.cfg.Role,
+				"min_version", ri.minVersion,
 			)
 		}()
 		h(sw, r, ri)

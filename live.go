@@ -1,8 +1,10 @@
 package hypo
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"sync"
 
@@ -10,6 +12,7 @@ import (
 	"hypodatalog/internal/live"
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
+	"hypodatalog/internal/storage"
 	"hypodatalog/internal/symbols"
 	"hypodatalog/internal/vfs"
 )
@@ -25,6 +28,11 @@ type LiveConfig struct {
 	// FS, when non-nil, replaces the real filesystem under the store —
 	// the seam fault-injection and crash tests use. Nil means the OS.
 	FS vfs.FS
+	// StreamTailLen bounds the in-memory ring of recent commit records
+	// kept for replication followers; 0 means the store default. A
+	// follower further behind than the tail reaches must
+	// snapshot-bootstrap instead of streaming.
+	StreamTailLen int
 }
 
 // Live couples a Pool with a durable, versioned fact store
@@ -44,6 +52,12 @@ type Live struct {
 	pinDom []symbols.Const
 	domSet map[symbols.Const]bool
 	rec    live.Recovery
+
+	// changed is closed and replaced after each pool swap (under mu).
+	// WaitVersion waits on it rather than on the store's own broadcast,
+	// which fires between the durable commit and the swap — waking there
+	// could admit a read that still leases an engine at the old version.
+	changed chan struct{}
 }
 
 // OpenLive builds a live engine: it recovers the durable state at lc's
@@ -66,6 +80,7 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 		NoSync:        lc.NoSync,
 		Logger:        lc.Logger,
 		FS:            lc.FS,
+		StreamTailLen: lc.StreamTailLen,
 	})
 	if err != nil {
 		return nil, err
@@ -104,12 +119,13 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 	metrics.LiveReadOnly.Set(0)
 
 	return &Live{
-		store:  st,
-		pool:   pl,
-		cur:    cur,
-		pinDom: pinDom,
-		domSet: domSet,
-		rec:    rec,
+		store:   st,
+		pool:    pl,
+		cur:     cur,
+		pinDom:  pinDom,
+		domSet:  domSet,
+		rec:     rec,
+		changed: make(chan struct{}),
 	}, nil
 }
 
@@ -180,7 +196,10 @@ func ParseMutations(asserts, retracts []string) ([]live.Mutation, error) {
 func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.applyLocked(ms)
+}
 
+func (l *Live) applyLocked(ms []live.Mutation) (live.CommitInfo, error) {
 	for _, m := range ms {
 		if err := l.validate(m); err != nil {
 			metrics.LiveRejected.Inc()
@@ -212,6 +231,7 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 	}
 	l.cur = next
 	l.pool.SetProgramDelta(next, info.Version, added, removed)
+	l.broadcastLocked()
 
 	metrics.LiveCommits.Inc()
 	metrics.LiveMutations.Add(int64(len(ms)))
@@ -226,6 +246,113 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 		metrics.LiveReadOnly.Set(1)
 	}
 	return info, nil
+}
+
+// Store exposes the underlying versioned store. Replication
+// (internal/repl) reads the WAL tail and snapshots through it; normal
+// mutation traffic must keep going through Apply, which is what
+// validates and swaps the pool.
+func (l *Live) Store() *live.Store { return l.store }
+
+// ApplyReplicated applies one streamed WAL record from a replication
+// primary, exactly as Apply would have applied the original batch: same
+// validation, same durability (the record is re-framed into the local
+// WAL), same pool swap. Records must arrive in version order with no
+// gaps — the record's version must be exactly the local version + 1;
+// anything else means the stream and the store have diverged and the
+// caller must re-bootstrap from a snapshot.
+func (l *Live) ApplyReplicated(rec live.Record) (live.CommitInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if want := l.store.Version() + 1; rec.Version != want {
+		return live.CommitInfo{}, fmt.Errorf("hypo: replicated record jumps from version %d to %d; resync required", l.store.Version(), rec.Version)
+	}
+	info, err := l.applyLocked(rec.Muts)
+	if err != nil {
+		return info, err
+	}
+	if info.Version != rec.Version {
+		// Cannot happen while the version check above holds (Commit
+		// increments by one), but a silent renumbering would desync every
+		// answer's version stamp — fail loudly.
+		return info, fmt.Errorf("hypo: replicated record %d committed as version %d", rec.Version, info.Version)
+	}
+	return info, nil
+}
+
+// InstallSnapshot replaces the entire fact base with a bootstrap
+// snapshot (storage.Write format) at the given version, durably, and
+// swaps the pool to it. It is the replication cold-start path: a
+// follower whose WAL position has aged out of the primary's stream
+// window downloads a full snapshot and resumes tailing from its
+// version. Every fact is validated against the local program's pinned
+// domain first — with primary and replica running the same program the
+// check always passes; a failure means the programs differ and the
+// replica must not serve.
+func (l *Live) InstallSnapshot(rd io.Reader, version uint64) error {
+	snap, err := storage.Read(rd)
+	if err != nil {
+		return fmt.Errorf("hypo: parsing bootstrap snapshot: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, f := range snap.Facts {
+		if err := l.validate(live.Mutation{Op: live.OpAssert, Atom: f}); err != nil {
+			metrics.LiveRejected.Inc()
+			return fmt.Errorf("hypo: bootstrap snapshot: %w", err)
+		}
+	}
+	if err := l.store.ResetToFacts(snap.Facts, version); err != nil {
+		if errors.Is(err, live.ErrReadOnly) {
+			metrics.LiveReadOnly.Set(1)
+		}
+		return err
+	}
+	next, err := l.cur.withFacts(l.store.Facts(), l.pinDom)
+	if err != nil {
+		return fmt.Errorf("hypo: bootstrap snapshot failed to compile: %w", err)
+	}
+	l.cur = next
+	l.pool.SetProgram(next, version)
+	l.broadcastLocked()
+	metrics.LiveCommits.Inc()
+	metrics.LiveVersion.Set(int64(version))
+	metrics.LiveSnapshotAge.Set(int64(l.store.SinceSnapshot()))
+	return nil
+}
+
+// broadcastLocked wakes WaitVersion waiters; called with mu held, after
+// the pool has been swapped to the new version.
+func (l *Live) broadcastLocked() {
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// WaitVersion blocks until the pool serves data version min or later —
+// i.e. until a lease taken after it returns is guaranteed to evaluate
+// at >= min — or until ctx is done, returning ctx's error in that case.
+// It is the read-your-writes primitive: a server gating on
+// X-Hdl-Min-Version parks the request here until replication catches
+// up.
+func (l *Live) WaitVersion(ctx context.Context, min uint64) error {
+	for {
+		// Grab the channel and check the version under one lock: the swap
+		// and the broadcast also happen under it, so a commit landing after
+		// the check closes the channel we already hold — the wake-up cannot
+		// be missed.
+		l.mu.Lock()
+		ch := l.changed
+		v := l.pool.Version()
+		l.mu.Unlock()
+		if v >= min {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // validate enforces the engine-level admission rules for one mutation:

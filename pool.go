@@ -209,19 +209,47 @@ func (pl *Pool) SetProgram(p *Program, version uint64) {
 // fail to compile are published without history; engines then rebuild
 // exactly as under SetProgram, sharing the version's substrate build.
 func (pl *Pool) SetProgramDelta(p *Program, version uint64, added, removed []ast.Atom) {
+	var (
+		recorded bool
+		from     uint64
+		cone     map[symbols.Pred]bool
+	)
 	if len(added)+len(removed) <= maxDeltaAtoms {
 		if cadd, crem, seeds, err := compileDelta(added, removed, p.syms); err == nil {
-			cone := pl.coneOf(seeds)
+			cone = pl.coneOf(seeds)
 			pl.hmu.Lock()
-			from := pl.cur.Load().version
+			from = pl.cur.Load().version
 			if version > from {
 				pl.history = append(pl.history, commitDelta{from: from, to: version, added: cadd, removed: crem, cone: cone})
 				if len(pl.history) > maxDeltaHistory {
 					pl.history = append([]commitDelta(nil), pl.history[len(pl.history)-maxDeltaHistory:]...)
 				}
+				recorded = true
 			}
 			pl.hmu.Unlock()
 		}
+	}
+	if recorded && pl.cache != nil {
+		// Cone-aware retention: answers whose predicates are all outside
+		// the commit's affected cone cannot have changed — re-key them to
+		// the new version before it is published, so the first readers
+		// after the swap hit instead of re-evaluating. Entries that
+		// predate `from`, carry no predicate list, or touch the cone stay
+		// behind and age out.
+		pl.cache.CarryForward(from, version, func(_ cache.Key, val any) (any, bool) {
+			ca, ok := val.(*cachedAnswer)
+			if !ok || ca.preds == nil {
+				return nil, false
+			}
+			for _, p := range ca.preds {
+				if cone[p] {
+					return nil, false
+				}
+			}
+			nc := *ca
+			nc.version = version
+			return &nc, true
+		})
 	}
 	pl.SetProgram(p, version)
 }
@@ -462,7 +490,7 @@ func (pl *Pool) askInfoCtx(ctx context.Context, query string) (bool, ReadInfo, e
 	if len(names) > 0 {
 		return false, ReadInfo{}, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
 	}
-	return pl.cachedBool(ctx, askCacheKey(pr), func(ctx context.Context, e *Engine) (bool, error) {
+	return pl.cachedBool(ctx, askCacheKey(pr), premisePreds(cpr, nil), func(ctx context.Context, e *Engine) (bool, error) {
 		return e.asker.AskPremiseCtx(ctx, cpr, e.asker.EmptyState())
 	})
 }
@@ -498,7 +526,7 @@ func cacheStatusOf(st cache.Status) CacheStatus {
 // current at entry; if a hot swap lands between key construction and
 // the engine lease, the (correct, newer-version) answer is returned but
 // not stored, so an entry's version always matches its key.
-func (pl *Pool) cachedBool(ctx context.Context, key string, eval func(context.Context, *Engine) (bool, error)) (bool, ReadInfo, error) {
+func (pl *Pool) cachedBool(ctx context.Context, key string, preds []symbols.Pred, eval func(context.Context, *Engine) (bool, error)) (bool, ReadInfo, error) {
 	if pl.cache == nil {
 		e, err := pl.get(ctx)
 		if err != nil {
@@ -528,7 +556,7 @@ func (pl *Pool) cachedBool(ctx context.Context, key string, eval func(context.Co
 			return cache.Computed{}, e.enrich(err)
 		}
 		return cache.Computed{
-			Val:   &cachedAnswer{ok: ok, version: e.version},
+			Val:   &cachedAnswer{ok: ok, version: e.version, preds: preds},
 			Bytes: boolAnswerBytes,
 			Store: e.version == ver,
 		}, nil
@@ -659,7 +687,7 @@ func (pl *Pool) queryEachInfoCtx(ctx context.Context, query string, info *ReadIn
 			return cache.Computed{}, e.enrich(err)
 		}
 		return cache.Computed{
-			Val:   &cachedAnswer{bindings: acc, version: e.version},
+			Val:   &cachedAnswer{bindings: acc, version: e.version, preds: premisePreds(cpr, nil)},
 			Bytes: bindingsBytes(acc),
 			Store: e.version == ver,
 		}, nil
@@ -709,7 +737,7 @@ func (pl *Pool) askUnderInfoCtx(ctx context.Context, query string, added []strin
 	if err != nil {
 		return false, ReadInfo{}, err
 	}
-	return pl.cachedBool(ctx, key, func(ctx context.Context, e *Engine) (bool, error) {
+	return pl.cachedBool(ctx, key, premisePreds(cpr, adds), func(ctx context.Context, e *Engine) (bool, error) {
 		return e.askUnderCompiled(ctx, cpr, adds)
 	})
 }
