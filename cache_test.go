@@ -115,7 +115,7 @@ func TestPoolCacheSingleflight(t *testing.T) {
 	}()
 	<-held
 
-	leases0 := metrics.PoolGets.Value() + metrics.PoolNews.Value()
+	leases0 := metrics.Default.PoolGets.Value() + metrics.Default.PoolNews.Value()
 	const K = 12
 	var wg sync.WaitGroup
 	oks := make([]bool, K)
@@ -136,7 +136,7 @@ func TestPoolCacheSingleflight(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if leases := metrics.PoolGets.Value() + metrics.PoolNews.Value() - leases0; leases != 1 {
+	if leases := metrics.Default.PoolGets.Value() + metrics.Default.PoolNews.Value() - leases0; leases != 1 {
 		t.Fatalf("%d engine leases for %d identical queries, want 1", leases, K)
 	}
 	misses := 0

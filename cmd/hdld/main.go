@@ -36,6 +36,15 @@
 //	                listener instead of -addr (primary only)
 //	-min-version-wait d  longest a read carrying X-Hdl-Min-Version waits
 //	                for replication before 503 "stale" (default 2s)
+//	-programs-dir DIR  serve many programs from one daemon: each tenant
+//	                lives in DIR/<name>/ (program.hdl + wal.log +
+//	                snapshot.hdlsnap), every tenant found on disk is
+//	                recovered before the listener opens, and the admin
+//	                API (PUT|GET|DELETE /v1/programs/{name}) manages
+//	                them at runtime. Incompatible with -wal, -snapshot
+//	                and -role (replication is single-program).
+//	-default-program NAME  the tenant the un-prefixed /v1/* routes alias
+//	                (default "default"; only meaningful with -programs-dir)
 //
 // With -role primary the daemon streams its WAL to followers
 // (GET /v1/repl/snapshot + /v1/repl/stream); with -role replica it tails
@@ -44,6 +53,13 @@
 // primary. Clients get read-your-writes on any node by echoing a write's
 // committed version in the X-Hdl-Min-Version header of later reads. See
 // README, "Scaling reads with replicas".
+//
+// With -programs-dir the positional program.hdl arguments seed the
+// default program on first boot; on later boots the on-disk rulebase
+// wins (it owns the WAL's identity) and a differing CLI program only
+// logs a warning. Each tenant gets its own pool, answer cache,
+// admission quota and expvar metric prefix, so one hot program cannot
+// shed or slow another. See README, "Serving many programs".
 //
 // Without -wal the base database is frozen at startup and /v1/facts
 // answers 501. With it, the daemon recovers snapshot + WAL tail before
@@ -103,6 +119,8 @@ func run() int {
 	primaryURL := flag.String("primary", "", "primary's base URL (required with -role replica; writes proxy there)")
 	replicateAddr := flag.String("replicate-addr", "", "extra listener serving only the replication endpoints (primary; empty = share -addr)")
 	minVersionWait := flag.Duration("min-version-wait", 2*time.Second, "max wait for X-Hdl-Min-Version before 503 stale")
+	programsDir := flag.String("programs-dir", "", "multi-tenant state directory (one program per subdirectory; empty = single program)")
+	defaultProgram := flag.String("default-program", "default", "program the un-prefixed /v1/* routes alias (with -programs-dir)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -117,7 +135,7 @@ func run() int {
 	}
 	logger := slog.New(handler)
 
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && *programsDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: hdld [flags] program.hdl ...")
 		flag.PrintDefaults()
 		return 2
@@ -132,10 +150,14 @@ func run() int {
 		src.Write(data)
 		src.WriteByte('\n')
 	}
-	prog, err := hypo.Parse(src.String())
-	if err != nil {
-		logger.Error("parse program", "err", err)
-		return 1
+	var prog *hypo.Program
+	var err error
+	if flag.NArg() > 0 {
+		prog, err = hypo.Parse(src.String())
+		if err != nil {
+			logger.Error("parse program", "err", err)
+			return 1
+		}
 	}
 	opts := hypo.Options{MaxGoals: *maxGoals, PoolSize: *pool, CacheBytes: *cacheBytes}
 	switch *mode {
@@ -154,6 +176,26 @@ func run() int {
 	default:
 		logger.Error("unknown role", "role", *role)
 		return 2
+	}
+	if *programsDir != "" {
+		if *role != "" {
+			logger.Error("-programs-dir is incompatible with -role: replication is single-program")
+			return 2
+		}
+		if *wal != "" || *snapshot != "" {
+			logger.Error("-programs-dir owns the per-tenant WAL/snapshot layout; drop -wal and -snapshot")
+			return 2
+		}
+		return runRegistry(logger, *programsDir, *defaultProgram, prog, src.String(), opts, registryServeConfig{
+			addr:           *addr,
+			queue:          *queue,
+			timeout:        *timeout,
+			maxTimeout:     *maxTimeout,
+			maxBody:        *maxBody,
+			drain:          *drain,
+			snapshotEvery:  *snapshotEvery,
+			minVersionWait: *minVersionWait,
+		})
 	}
 	if *role == "replica" && (*wal == "" || *primaryURL == "") {
 		logger.Error("-role replica requires both -wal (local durable store) and -primary (who to tail)")
@@ -278,6 +320,20 @@ func run() int {
 		logger.Info("replication listener", "addr", rln.Addr().String())
 	}
 
+	st := prog.Stratification()
+	return serveLoop(logger, *addr, *drain, srv,
+		"pool", pl.Size(),
+		"linear", st.Linear,
+		"strata", st.Strata,
+	)
+}
+
+// serveLoop runs the HTTP listener until SIGTERM/SIGINT, then executes
+// the two-phase drain: BeginDrain (readyz fails, new requests 503),
+// wait out the grace period, then cancel the BaseContext so queries
+// still evaluating abort with ErrCanceled. Shared by the single-program
+// and -programs-dir modes.
+func serveLoop(logger *slog.Logger, addr string, drainGrace time.Duration, srv *server.Server, listenAttrs ...any) int {
 	// root is the BaseContext of every request: canceling it after the
 	// drain grace period force-aborts queries still evaluating.
 	root, cancelRoot := context.WithCancel(context.Background())
@@ -287,7 +343,7 @@ func run() int {
 		BaseContext:       func(net.Listener) context.Context { return root },
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		logger.Error("listen", "err", err)
 		return 1
@@ -295,13 +351,7 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	s := prog.Stratification()
-	logger.Info("listening",
-		"addr", ln.Addr().String(),
-		"pool", pl.Size(),
-		"linear", s.Linear,
-		"strata", s.Strata,
-	)
+	logger.Info("listening", append([]any{"addr", ln.Addr().String()}, listenAttrs...)...)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -310,9 +360,9 @@ func run() int {
 		logger.Error("serve", "err", err)
 		return 1
 	case got := <-sig:
-		logger.Info("draining", "signal", got.String(), "grace", drain.String())
+		logger.Info("draining", "signal", got.String(), "grace", drainGrace.String())
 		srv.BeginDrain()
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 		err := hs.Shutdown(ctx)
 		cancel()
 		if err != nil {

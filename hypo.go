@@ -308,6 +308,20 @@ type Options struct {
 	// is part of the key); they expire lazily under LRU pressure. Zero
 	// disables caching.
 	CacheBytes int64
+	// Metrics selects the metric set this engine (and any Pool, Live or
+	// cache built from these options) reports into. Nil means
+	// metrics.Default — the process-wide set published under the legacy
+	// "hypo" expvar name. A multi-tenant process gives each tenant its own
+	// set so one tenant's counters never mix with another's.
+	Metrics *metrics.Set
+}
+
+// metricSet resolves Options.Metrics, defaulting to the process-wide set.
+func (o Options) metricSet() *metrics.Set {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return metrics.Default
 }
 
 // Engine answers queries against a program.
@@ -329,6 +343,10 @@ type Engine struct {
 	// otherwise. Memo tables, interner and base DB are all private to the
 	// engine, so an engine never observes facts from any other version.
 	version uint64
+
+	// mets is the metric set this engine reports into (never nil; defaults
+	// to metrics.Default).
+	mets *metrics.Set
 }
 
 // DataVersion reports the data version of the base database this engine
@@ -469,9 +487,10 @@ func New(p *Program, opts Options) (*Engine, error) {
 			mode = ModeUniform
 		}
 	}
+	mets := opts.metricSet()
 	var ac *cache.Cache
 	if opts.CacheBytes > 0 {
-		ac = cache.New(opts.CacheBytes)
+		ac = cache.New(opts.CacheBytes, mets)
 	}
 	switch mode {
 	case ModeUniform:
@@ -480,7 +499,7 @@ func New(p *Program, opts Options) (*Engine, error) {
 			NoTabling: opts.NoTabling,
 			NoPlanner: opts.NoPlanner,
 		})
-		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac}, nil
+		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets}, nil
 	case ModeCascade:
 		if p.strt == nil {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
@@ -489,7 +508,7 @@ func New(p *Program, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac}, nil
+		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets}, nil
 	default:
 		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
 	}
@@ -511,9 +530,10 @@ func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *fa
 			mode = ModeUniform
 		}
 	}
+	mets := opts.metricSet()
 	var ac *cache.Cache
 	if opts.CacheBytes > 0 {
-		ac = cache.New(opts.CacheBytes)
+		ac = cache.New(opts.CacheBytes, mets)
 	}
 	in := subIn.Clone()
 	base := subDB.CloneFor(in)
@@ -524,7 +544,7 @@ func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *fa
 			NoTabling: opts.NoTabling,
 			NoPlanner: opts.NoPlanner,
 		})
-		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac}, nil
+		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets}, nil
 	case ModeCascade:
 		if p.strt == nil {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
@@ -533,7 +553,7 @@ func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *fa
 		if err != nil {
 			return nil, err
 		}
-		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac}, nil
+		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets}, nil
 	default:
 		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
 	}
@@ -938,7 +958,7 @@ func checkAtomDomain(a ast.Atom, syms *symbols.Table, domSet map[symbols.Const]b
 // delta. Hot evaluation loops never touch the metrics package — all
 // accounting happens here, once per query.
 func (e *Engine) track() func(error) {
-	fin := poolTrack()
+	fin := poolTrack(e.mets)
 	before := e.Stats()
 	return func(err error) {
 		e.noteWork(before)
@@ -948,31 +968,31 @@ func (e *Engine) track() func(error) {
 
 // poolTrack is the engine-independent half of track: Pool uses it
 // directly because it leases an engine only after compilation succeeds.
-func poolTrack() func(error) {
-	metrics.QueriesStarted.Inc()
+func poolTrack(m *metrics.Set) func(error) {
+	m.QueriesStarted.Inc()
 	start := time.Now()
-	return func(err error) { recordOutcome(start, err) }
+	return func(err error) { recordOutcome(m, start, err) }
 }
 
 // noteWork adds the engine's evaluation-stats growth since before to the
-// global counters.
+// engine's metric set.
 func (e *Engine) noteWork(before topdown.Stats) {
 	after := e.Stats()
-	metrics.GoalExpansions.Add(after.Goals - before.Goals)
-	metrics.TableHits.Add(after.TableHits - before.TableHits)
+	e.mets.GoalExpansions.Add(after.Goals - before.Goals)
+	e.mets.TableHits.Add(after.TableHits - before.TableHits)
 }
 
 // recordOutcome classifies one finished query for the metrics layer;
 // queries_started always equals succeeded + failed + canceled.
-func recordOutcome(start time.Time, err error) {
-	metrics.QueryLatency.Observe(time.Since(start).Seconds())
+func recordOutcome(m *metrics.Set, start time.Time, err error) {
+	m.QueryLatency.Observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
-		metrics.QueriesSucceeded.Inc()
+		m.QueriesSucceeded.Inc()
 	case errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline):
-		metrics.QueriesCanceled.Inc()
+		m.QueriesCanceled.Inc()
 	default:
-		metrics.QueriesFailed.Inc()
+		m.QueriesFailed.Inc()
 	}
 }
 

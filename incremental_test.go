@@ -177,8 +177,8 @@ func TestLiveIncrementalCatchUp(t *testing.T) {
 	if ok, err := pl.Ask("reach(a, b)"); err != nil || !ok {
 		t.Fatalf("warmup: %v, %v", ok, err)
 	}
-	rebuilds := metrics.LiveRebuilds.Value()
-	applies := metrics.LiveIncrementalApplies.Value()
+	rebuilds := metrics.Default.LiveRebuilds.Value()
+	applies := metrics.Default.LiveIncrementalApplies.Value()
 
 	if _, err := l.Apply(mutations(t, []string{"edge(b, c)"}, nil)); err != nil {
 		t.Fatal(err)
@@ -204,10 +204,10 @@ func TestLiveIncrementalCatchUp(t *testing.T) {
 		t.Fatal("reach(a, b) survived retracting edge(a, b)")
 	}
 
-	if got := metrics.LiveRebuilds.Value() - rebuilds; got != 0 {
+	if got := metrics.Default.LiveRebuilds.Value() - rebuilds; got != 0 {
 		t.Errorf("commit path rebuilt %d engines; want 0 (incremental)", got)
 	}
-	if got := metrics.LiveIncrementalApplies.Value() - applies; got < 2 {
+	if got := metrics.Default.LiveIncrementalApplies.Value() - applies; got < 2 {
 		t.Errorf("incremental applies = %d, want >= 2", got)
 	}
 }
@@ -229,7 +229,7 @@ func TestCommitSubstrateSingleflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := metrics.LiveSubstrateBuilds.Value()
+	before := metrics.Default.LiveSubstrateBuilds.Value()
 	pl.SetProgram(p2, 1)
 
 	var ready, release sync.WaitGroup
@@ -255,7 +255,7 @@ func TestCommitSubstrateSingleflight(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := metrics.LiveSubstrateBuilds.Value() - before; got != 1 {
+	if got := metrics.Default.LiveSubstrateBuilds.Value() - before; got != 1 {
 		t.Errorf("substrate builds after one swap with %d concurrent leases = %d, want 1", k, got)
 	}
 }

@@ -30,53 +30,56 @@ import (
 // Sizes configure the sweeps; the zero value selects the defaults used by
 // EXPERIMENTS.md.
 type Sizes struct {
-	Chain  []int // E1
-	Order  []int // E2
-	Parity []int // E3
-	HamN   []int // E4/E5
-	StratM []int // E6: k values (width fixed at 4)
-	TMLen  []int // E7: input lengths
-	HypOrd []int // E9: domain sizes (n! orders!)
-	HornN  []int // E10
-	LiveN  []int // E16: live-EDB graph sizes
-	CacheN []int // E17: answer-cache graph sizes
-	ReplN  []int // E18: replica counts
-	Seed   int64
+	Chain   []int // E1
+	Order   []int // E2
+	Parity  []int // E3
+	HamN    []int // E4/E5
+	StratM  []int // E6: k values (width fixed at 4)
+	TMLen   []int // E7: input lengths
+	HypOrd  []int // E9: domain sizes (n! orders!)
+	HornN   []int // E10
+	LiveN   []int // E16: live-EDB graph sizes
+	CacheN  []int // E17: answer-cache graph sizes
+	ReplN   []int // E18: replica counts
+	TenantK []int // E19: co-resident tenant counts
+	Seed    int64
 }
 
 // DefaultSizes are the sweep points reported in EXPERIMENTS.md.
 func DefaultSizes() Sizes {
 	return Sizes{
-		Chain:  []int{4, 16, 64, 256, 512},
-		Order:  []int{4, 16, 64, 128},
-		Parity: []int{4, 8, 16, 32, 48},
-		HamN:   []int{4, 6, 8, 10},
-		StratM: []int{4, 16, 64, 256, 1024},
-		TMLen:  []int{0, 1, 2, 3},
-		HypOrd: []int{2, 3, 4, 5},
-		HornN:  []int{16, 64, 256, 512},
-		LiveN:  []int{16, 32, 64},
-		CacheN: []int{32, 48, 64},
-		ReplN:  []int{1, 2, 3},
-		Seed:   1,
+		Chain:   []int{4, 16, 64, 256, 512},
+		Order:   []int{4, 16, 64, 128},
+		Parity:  []int{4, 8, 16, 32, 48},
+		HamN:    []int{4, 6, 8, 10},
+		StratM:  []int{4, 16, 64, 256, 1024},
+		TMLen:   []int{0, 1, 2, 3},
+		HypOrd:  []int{2, 3, 4, 5},
+		HornN:   []int{16, 64, 256, 512},
+		LiveN:   []int{16, 32, 64},
+		CacheN:  []int{32, 48, 64},
+		ReplN:   []int{1, 2, 3},
+		TenantK: []int{1, 2, 4},
+		Seed:    1,
 	}
 }
 
 // SmokeSizes are tiny sweeps for tests.
 func SmokeSizes() Sizes {
 	return Sizes{
-		Chain:  []int{4, 8},
-		Order:  []int{4, 8},
-		Parity: []int{3, 6},
-		HamN:   []int{4, 5},
-		StratM: []int{4, 8},
-		TMLen:  []int{0, 1},
-		HypOrd: []int{2, 3},
-		HornN:  []int{16, 32},
-		LiveN:  []int{6, 10},
-		CacheN: []int{6, 10},
-		ReplN:  []int{1, 2},
-		Seed:   1,
+		Chain:   []int{4, 8},
+		Order:   []int{4, 8},
+		Parity:  []int{3, 6},
+		HamN:    []int{4, 5},
+		StratM:  []int{4, 8},
+		TMLen:   []int{0, 1},
+		HypOrd:  []int{2, 3},
+		HornN:   []int{16, 32},
+		LiveN:   []int{6, 10},
+		CacheN:  []int{6, 10},
+		ReplN:   []int{1, 2},
+		TenantK: []int{1, 2},
+		Seed:    1,
 	}
 }
 
@@ -1063,5 +1066,6 @@ func All() []Experiment {
 		{"E16", "live EDB under churn (runtime fact updates)", E16LiveChurn},
 		{"E17", "answer cache: repeated reads on vs off", E17CacheReads},
 		{"E18", "replication: read scaling across replicas, min-version wait", E18Replication},
+		{"E19", "multi-tenant: per-tenant tail latency as co-resident programs grow", E19MultiTenant},
 	}
 }

@@ -218,7 +218,7 @@ func (p *Prover) Materialise(st facts.State) (atomSet, error) {
 	if m, ok := p.cache[key]; ok {
 		return m.atoms, nil
 	}
-	metrics.DeltaMaterialisations.Inc()
+	metrics.Default.DeltaMaterialisations.Inc()
 	derived := atomSet{}
 	for _, lvlRules := range p.levels {
 		if err := p.lfp(lvlRules, st, derived); err != nil {

@@ -103,7 +103,7 @@ func (p *Prover) incrementalOK(cone map[symbols.Pred]bool) bool {
 // lazily against whatever the base database holds then.
 func (p *Prover) DropCache() {
 	if n := len(p.cache); n > 0 {
-		metrics.LiveIncrementalDropped.Add(int64(n))
+		metrics.Default.LiveIncrementalDropped.Add(int64(n))
 	}
 	p.cache = make(map[string]*matEntry)
 }
@@ -129,7 +129,7 @@ func (p *Prover) PlanDelta(added, removed []facts.AtomID, cone map[symbols.Pred]
 		// unreachable garbage, so drop it instead of maintaining it.
 		if deltaTouches(me.delta, added) || deltaTouches(me.delta, removed) {
 			delete(p.cache, key)
-			metrics.LiveIncrementalDropped.Inc()
+			metrics.Default.LiveIncrementalDropped.Inc()
 			continue
 		}
 		over, err := p.overdelete(me, removed)
@@ -138,7 +138,7 @@ func (p *Prover) PlanDelta(added, removed []facts.AtomID, cone map[symbols.Pred]
 			// sound — the next query rematerialises and surfaces the error
 			// in its own context.
 			delete(p.cache, key)
-			metrics.LiveIncrementalDropped.Inc()
+			metrics.Default.LiveIncrementalDropped.Inc()
 			continue
 		}
 		plan.updates = append(plan.updates, &pendingUpdate{key: key, entry: me, over: over})
@@ -159,10 +159,10 @@ func (p *Prover) ApplyPlan(plan *Plan, added []facts.AtomID) {
 	for _, u := range plan.updates {
 		if err := p.applyUpdate(u, added); err != nil {
 			delete(p.cache, u.key)
-			metrics.LiveIncrementalDropped.Inc()
+			metrics.Default.LiveIncrementalDropped.Inc()
 			continue
 		}
-		metrics.LiveIncrementalStates.Inc()
+		metrics.Default.LiveIncrementalStates.Inc()
 	}
 }
 

@@ -112,6 +112,7 @@ type Stats struct {
 type Cache struct {
 	shards []shard
 	seed   maphash.Seed
+	mets   *metrics.Set // metric set the cache reports into (never nil)
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -121,6 +122,7 @@ type Cache struct {
 
 type shard struct {
 	mu      sync.Mutex
+	mets    *metrics.Set // the owning cache's set
 	budget  int64
 	bytes   int64
 	entries map[Key]*entry
@@ -147,16 +149,21 @@ type flight struct {
 // numShards balances lock contention against budget fragmentation.
 const numShards = 16
 
-// New builds a cache with the given total byte budget. Budgets are
-// clamped so every shard can hold at least one small entry.
-func New(budgetBytes int64) *Cache {
+// New builds a cache with the given total byte budget, reporting into
+// the given metric set (nil means metrics.Default). Budgets are clamped
+// so every shard can hold at least one small entry.
+func New(budgetBytes int64, mets *metrics.Set) *Cache {
+	if mets == nil {
+		mets = metrics.Default
+	}
 	per := budgetBytes / numShards
 	if per < 1024 {
 		per = 1024
 	}
-	c := &Cache{shards: make([]shard, numShards), seed: maphash.MakeSeed()}
+	c := &Cache{shards: make([]shard, numShards), seed: maphash.MakeSeed(), mets: mets}
 	for i := range c.shards {
 		s := &c.shards[i]
+		s.mets = mets
 		s.budget = per
 		s.entries = make(map[Key]*entry)
 		s.flights = make(map[Key]*flight)
@@ -187,7 +194,7 @@ func (c *Cache) Get(k Key) (any, bool) {
 	if e, ok := s.entries[k]; ok {
 		s.touch(e)
 		c.hits.Add(1)
-		metrics.CacheHits.Inc()
+		c.mets.CacheHits.Inc()
 		return e.val, true
 	}
 	return nil, false
@@ -206,7 +213,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (Computed, error))
 			s.touch(e)
 			s.mu.Unlock()
 			c.hits.Add(1)
-			metrics.CacheHits.Inc()
+			c.mets.CacheHits.Inc()
 			return e.val, Hit, nil
 		}
 		if f, ok := s.flights[k]; ok {
@@ -215,7 +222,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (Computed, error))
 			case <-f.done:
 				if f.ok {
 					c.coalesced.Add(1)
-					metrics.CacheCoalesced.Inc()
+					c.mets.CacheCoalesced.Inc()
 					return f.val, Coalesced, nil
 				}
 				// The leader failed; its error is its own. Loop: the next
@@ -235,13 +242,13 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (Computed, error))
 		if err == nil && res.Store {
 			evicted := s.insert(c, k, res.Val, res.Bytes)
 			c.evictions.Add(evicted)
-			metrics.CacheEvictions.Add(evicted)
+			c.mets.CacheEvictions.Add(evicted)
 		}
 		f.val, f.ok = res.Val, err == nil
 		close(f.done)
 		s.mu.Unlock()
 		c.misses.Add(1)
-		metrics.CacheMisses.Inc()
+		c.mets.CacheMisses.Inc()
 		return res.Val, Miss, err
 	}
 }
@@ -253,15 +260,15 @@ func (s *shard) insert(c *Cache, k Key, val any, bytes int64) int64 {
 	size := bytes + int64(len(k.Query)) + entryOverhead
 	if e, ok := s.entries[k]; ok {
 		s.bytes += size - e.bytes
-		metrics.CacheBytes.Add(size - e.bytes)
+		s.mets.CacheBytes.Add(size - e.bytes)
 		e.val, e.bytes = val, size
 		s.touch(e)
 	} else {
 		e := &entry{key: k, val: val, bytes: size}
 		s.entries[k] = e
 		s.bytes += size
-		metrics.CacheBytes.Add(size)
-		metrics.CacheEntries.Add(1)
+		s.mets.CacheBytes.Add(size)
+		s.mets.CacheEntries.Add(1)
 		s.pushFront(e)
 	}
 	var evicted int64
@@ -327,12 +334,12 @@ func (c *Cache) CarryForward(from, to uint64, rekey func(k Key, val any) (any, b
 		if !haveEntry && !haveFlight {
 			evicted := s.insert(c, k, cr.val, cr.bytes)
 			c.evictions.Add(evicted)
-			metrics.CacheEvictions.Add(evicted)
+			c.mets.CacheEvictions.Add(evicted)
 			carried++
 		}
 		s.mu.Unlock()
 	}
-	metrics.CacheCarried.Add(carried)
+	c.mets.CacheCarried.Add(carried)
 	return carried
 }
 
@@ -354,7 +361,7 @@ func (c *Cache) Invalidate(minVersion uint64) int64 {
 		s.mu.Unlock()
 	}
 	c.evictions.Add(dropped)
-	metrics.CacheEvictions.Add(dropped)
+	c.mets.CacheEvictions.Add(dropped)
 	return dropped
 }
 
@@ -398,6 +405,6 @@ func (s *shard) remove(e *entry) {
 	e.prev, e.next = nil, nil
 	delete(s.entries, e.key)
 	s.bytes -= e.bytes
-	metrics.CacheBytes.Add(-e.bytes)
-	metrics.CacheEntries.Add(-1)
+	s.mets.CacheBytes.Add(-e.bytes)
+	s.mets.CacheEntries.Add(-1)
 }

@@ -20,7 +20,7 @@ func mustDo(t *testing.T, c *Cache, k Key, val any) {
 }
 
 func TestDoMissThenHit(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	k := Key{Version: 1, Query: "q"}
 	calls := 0
 	compute := func() (Computed, error) {
@@ -45,7 +45,7 @@ func TestDoMissThenHit(t *testing.T) {
 }
 
 func TestVersionIsPartOfTheKey(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	mustDo(t, c, Key{Version: 1, Query: "q"}, "old")
 	mustDo(t, c, Key{Version: 2, Query: "q"}, "new")
 	if v, ok := c.Get(Key{Version: 1, Query: "q"}); !ok || v.(string) != "old" {
@@ -57,14 +57,14 @@ func TestVersionIsPartOfTheKey(t *testing.T) {
 }
 
 func TestGetMiss(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	if _, ok := c.Get(Key{Version: 9, Query: "nope"}); ok {
 		t.Fatal("Get on empty cache reported a hit")
 	}
 }
 
 func TestStoreFalseReturnsWithoutCaching(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	k := Key{Version: 1, Query: "q"}
 	calls := 0
 	compute := func() (Computed, error) {
@@ -83,7 +83,7 @@ func TestStoreFalseReturnsWithoutCaching(t *testing.T) {
 }
 
 func TestComputeErrorNotCached(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	k := Key{Version: 1, Query: "q"}
 	boom := errors.New("boom")
 	_, _, err := c.Do(context.Background(), k, func() (Computed, error) {
@@ -104,7 +104,7 @@ func TestLRUEviction(t *testing.T) {
 	// One shard gets budget/numShards; use keys that all land wherever
 	// they land and just assert the global invariant: bytes within budget
 	// and the most recent keys still present.
-	c := New(numShards * 1024) // minimum per-shard budget
+	c := New(numShards*1024, nil) // minimum per-shard budget
 	for i := 0; i < 200; i++ {
 		mustDo(t, c, Key{Version: 1, Query: fmt.Sprintf("q%03d", i)}, i)
 	}
@@ -121,7 +121,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestLRUOrderRespected(t *testing.T) {
-	c := New(numShards * 1024)
+	c := New(numShards*1024, nil)
 	// Three entries sized so a shard holds ~2: touch the first, insert a
 	// third; the untouched second should go first when pressure comes.
 	// Force same shard by hammering one shard's budget with many inserts
@@ -144,7 +144,7 @@ func TestLRUOrderRespected(t *testing.T) {
 }
 
 func TestOversizedEntryIsKeptNotThrashed(t *testing.T) {
-	c := New(1) // clamps to 1024 per shard
+	c := New(1, nil) // clamps to 1024 per shard
 	k := Key{Version: 1, Query: "big"}
 	_, _, err := c.Do(context.Background(), k, func() (Computed, error) {
 		return Computed{Val: "huge", Bytes: 1 << 20, Store: true}, nil
@@ -158,7 +158,7 @@ func TestOversizedEntryIsKeptNotThrashed(t *testing.T) {
 }
 
 func TestReplaceExistingKeyAccounting(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	k := Key{Version: 1, Query: "q"}
 	_, _, _ = c.Do(context.Background(), k, func() (Computed, error) {
 		return Computed{Val: "a", Bytes: 100, Store: true}, nil
@@ -181,7 +181,7 @@ func TestReplaceExistingKeyAccounting(t *testing.T) {
 }
 
 func TestInvalidateDropsOldVersions(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	mustDo(t, c, Key{Version: 1, Query: "a"}, 1)
 	mustDo(t, c, Key{Version: 2, Query: "b"}, 2)
 	mustDo(t, c, Key{Version: 3, Query: "c"}, 3)
@@ -200,7 +200,7 @@ func TestInvalidateDropsOldVersions(t *testing.T) {
 }
 
 func TestCoalescingSharesOneComputation(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	k := Key{Version: 1, Query: "q"}
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -254,7 +254,7 @@ func TestCoalescingSharesOneComputation(t *testing.T) {
 }
 
 func TestLeaderFailureDoesNotPoisonWaiters(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	k := Key{Version: 1, Query: "q"}
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -293,7 +293,7 @@ func TestLeaderFailureDoesNotPoisonWaiters(t *testing.T) {
 }
 
 func TestWaiterContextCancellation(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	k := Key{Version: 1, Query: "q"}
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -347,7 +347,7 @@ func TestStatusString(t *testing.T) {
 }
 
 func TestConcurrentMixedKeys(t *testing.T) {
-	c := New(64 << 10)
+	c := New(64<<10, nil)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -376,7 +376,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 }
 
 func TestCarryForwardRekeysEntries(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	mustDo(t, c, Key{Version: 3, Query: "keep"}, "k")
 	mustDo(t, c, Key{Version: 3, Query: "drop"}, "d")
 	mustDo(t, c, Key{Version: 2, Query: "old"}, "o")
@@ -408,7 +408,7 @@ func TestCarryForwardRekeysEntries(t *testing.T) {
 }
 
 func TestCarryForwardNeverOverwrites(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	mustDo(t, c, Key{Version: 1, Query: "q"}, "stale")
 	mustDo(t, c, Key{Version: 2, Query: "q"}, "fresh")
 	n := c.CarryForward(1, 2, func(k Key, val any) (any, bool) { return val, true })
@@ -421,7 +421,7 @@ func TestCarryForwardNeverOverwrites(t *testing.T) {
 }
 
 func TestCarryForwardSkipsActiveFlights(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	mustDo(t, c, Key{Version: 1, Query: "q"}, "stale")
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -447,7 +447,7 @@ func TestCarryForwardSkipsActiveFlights(t *testing.T) {
 }
 
 func TestCarryForwardDegenerateArgs(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	mustDo(t, c, Key{Version: 2, Query: "q"}, "v")
 	if n := c.CarryForward(2, 2, func(Key, any) (any, bool) { return nil, true }); n != 0 {
 		t.Fatalf("same-version carry: %d", n)
@@ -461,7 +461,7 @@ func TestCarryForwardDegenerateArgs(t *testing.T) {
 }
 
 func TestCarryForwardAccountsBytes(t *testing.T) {
-	c := New(1 << 20)
+	c := New(1<<20, nil)
 	mustDo(t, c, Key{Version: 1, Query: "q"}, "v")
 	before := c.Stats()
 	c.CarryForward(1, 2, func(k Key, val any) (any, bool) { return val, true })

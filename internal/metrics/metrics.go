@@ -1,8 +1,16 @@
-// Package metrics is the process-wide observability layer for the
-// hypothetical Datalog engines: lock-free atomic counters and latency
-// histograms, exported through the standard library's expvar registry
-// under the name "hypo" (so `GET /debug/vars` on any process that mounts
-// expvar's handler reports them).
+// Package metrics is the observability layer for the hypothetical
+// Datalog engines: lock-free atomic counters and latency histograms,
+// exported through the standard library's expvar registry (so
+// `GET /debug/vars` on any process that mounts expvar's handler reports
+// them).
+//
+// Metrics are grouped into instance-scoped Sets. A Set is one serving
+// instance's counters — one engine pool, one live store, one HTTP
+// surface. A process hosting several independent pools (the multi-tenant
+// hdld) gives each its own Set so that one tenant's traffic never
+// perturbs another's numbers; Default is the process-wide set used by
+// everything that is not explicitly scoped, published under the legacy
+// expvar name "hypo" (the default tenant's alias).
 //
 // The hot proving loops never touch this package. Counters are updated
 // once per query (or per pool transition) from the public API layer, so
@@ -98,9 +106,19 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 	return h.bounds, out
 }
 
-// The process-wide metric set. Every hypo.Engine and hypo.Pool in the
-// process reports into these.
-var (
+// queryLatencyBounds bucket wall-clock seconds per query, 100µs to 10s.
+var queryLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Set is one serving instance's metric set: every hypo.Engine, hypo.Pool,
+// hypo.Live, answer cache and HTTP surface reports into exactly one Set.
+// The zero value is NOT usable (QueryLatency needs allocation) — build
+// Sets with NewSet. All fields are safe for concurrent use.
+type Set struct {
+	name string
+
 	// Query lifecycle. Every started query ends in exactly one of
 	// succeeded (evaluated to an answer, true or false), failed (parse,
 	// domain, configuration or budget error), or canceled (the caller's
@@ -182,7 +200,8 @@ var (
 	// identical in-flight evaluation and shared its answer (no engine
 	// lease of their own). CacheEvictions counts entries dropped for byte
 	// budget (or by explicit invalidation); CacheBytes and CacheEntries
-	// are the instantaneous totals across every cache in the process.
+	// are the instantaneous totals across every cache reporting into this
+	// set.
 	CacheHits      Counter
 	CacheMisses    Counter
 	CacheCoalesced Counter
@@ -225,69 +244,80 @@ var (
 	ReplMinVersionTimeouts Counter
 
 	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
-	QueryLatency = NewHistogram(
-		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
-		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-	)
-)
+	QueryLatency *Histogram
+}
 
-// Snapshot returns the current value of every metric, keyed by the names
-// used in the expvar export.
-func Snapshot() map[string]any {
+// NewSet builds a fresh, zeroed metric set. name is the expvar name the
+// set registers under when Publish is called; use one name per serving
+// instance ("hypo" is reserved for Default, tenants use "hypo_<tenant>").
+// NewSet does not publish — a Set is usable without ever touching expvar,
+// which is how per-tenant sets are surfaced through a single dynamic
+// registry snapshot instead of leaking one expvar per created-then-
+// deleted tenant.
+func NewSet(name string) *Set {
+	return &Set{name: name, QueryLatency: NewHistogram(queryLatencyBounds...)}
+}
+
+// Name returns the expvar name the set registers under.
+func (s *Set) Name() string { return s.name }
+
+// Snapshot returns the current value of every metric in the set, keyed by
+// the names used in the expvar export.
+func (s *Set) Snapshot() map[string]any {
 	out := map[string]any{
-		"queries_started":            QueriesStarted.Value(),
-		"queries_succeeded":          QueriesSucceeded.Value(),
-		"queries_failed":             QueriesFailed.Value(),
-		"queries_canceled":           QueriesCanceled.Value(),
-		"goal_expansions":            GoalExpansions.Value(),
-		"table_hits":                 TableHits.Value(),
-		"delta_materialisations":     DeltaMaterialisations.Value(),
-		"pool_gets":                  PoolGets.Value(),
-		"pool_puts":                  PoolPuts.Value(),
-		"pool_news":                  PoolNews.Value(),
-		"http_requests":              HTTPRequests.Value(),
-		"http_shed":                  HTTPShed.Value(),
-		"http_queued":                HTTPQueued.Value(),
-		"http_in_flight":             HTTPInFlight.Value(),
-		"live_commits":               LiveCommits.Value(),
-		"live_mutations":             LiveMutations.Value(),
-		"live_rejected":              LiveRejected.Value(),
-		"live_replayed":              LiveReplayed.Value(),
-		"live_rebuilds":              LiveRebuilds.Value(),
-		"live_compactions":           LiveCompactions.Value(),
-		"live_incremental_applies":   LiveIncrementalApplies.Value(),
-		"live_incremental_fallbacks": LiveIncrementalFallbacks.Value(),
-		"live_incremental_atoms":     LiveIncrementalAtoms.Value(),
-		"live_incremental_states":    LiveIncrementalStates.Value(),
-		"live_incremental_dropped":   LiveIncrementalDropped.Value(),
-		"live_substrate_builds":      LiveSubstrateBuilds.Value(),
-		"live_version":               LiveVersion.Value(),
-		"live_snapshot_age":          LiveSnapshotAge.Value(),
-		"live_readonly":              LiveReadOnly.Value(),
-		"cache_hits":                 CacheHits.Value(),
-		"cache_misses":               CacheMisses.Value(),
-		"cache_coalesced":            CacheCoalesced.Value(),
-		"cache_evictions":            CacheEvictions.Value(),
-		"cache_bytes":                CacheBytes.Value(),
-		"cache_entries":              CacheEntries.Value(),
-		"cache_carried":              CacheCarried.Value(),
-		"repl_frames_sent":           ReplFramesSent.Value(),
-		"repl_snapshots_served":      ReplSnapshotsServed.Value(),
-		"repl_streams":               ReplStreams.Value(),
-		"repl_records_applied":       ReplRecordsApplied.Value(),
-		"repl_bootstraps":            ReplBootstraps.Value(),
-		"repl_reconnects":            ReplReconnects.Value(),
-		"repl_applied_version":       ReplAppliedVersion.Value(),
-		"repl_primary_version":       ReplPrimaryVersion.Value(),
-		"repl_lag":                   ReplLag.Value(),
-		"repl_connected":             ReplConnected.Value(),
-		"repl_proxied_writes":        ReplProxiedWrites.Value(),
-		"repl_min_version_waits":     ReplMinVersionWaits.Value(),
-		"repl_min_version_timeouts":  ReplMinVersionTimeouts.Value(),
-		"query_latency_count":        QueryLatency.Count(),
-		"query_latency_sum":          QueryLatency.Sum(),
+		"queries_started":            s.QueriesStarted.Value(),
+		"queries_succeeded":          s.QueriesSucceeded.Value(),
+		"queries_failed":             s.QueriesFailed.Value(),
+		"queries_canceled":           s.QueriesCanceled.Value(),
+		"goal_expansions":            s.GoalExpansions.Value(),
+		"table_hits":                 s.TableHits.Value(),
+		"delta_materialisations":     s.DeltaMaterialisations.Value(),
+		"pool_gets":                  s.PoolGets.Value(),
+		"pool_puts":                  s.PoolPuts.Value(),
+		"pool_news":                  s.PoolNews.Value(),
+		"http_requests":              s.HTTPRequests.Value(),
+		"http_shed":                  s.HTTPShed.Value(),
+		"http_queued":                s.HTTPQueued.Value(),
+		"http_in_flight":             s.HTTPInFlight.Value(),
+		"live_commits":               s.LiveCommits.Value(),
+		"live_mutations":             s.LiveMutations.Value(),
+		"live_rejected":              s.LiveRejected.Value(),
+		"live_replayed":              s.LiveReplayed.Value(),
+		"live_rebuilds":              s.LiveRebuilds.Value(),
+		"live_compactions":           s.LiveCompactions.Value(),
+		"live_incremental_applies":   s.LiveIncrementalApplies.Value(),
+		"live_incremental_fallbacks": s.LiveIncrementalFallbacks.Value(),
+		"live_incremental_atoms":     s.LiveIncrementalAtoms.Value(),
+		"live_incremental_states":    s.LiveIncrementalStates.Value(),
+		"live_incremental_dropped":   s.LiveIncrementalDropped.Value(),
+		"live_substrate_builds":      s.LiveSubstrateBuilds.Value(),
+		"live_version":               s.LiveVersion.Value(),
+		"live_snapshot_age":          s.LiveSnapshotAge.Value(),
+		"live_readonly":              s.LiveReadOnly.Value(),
+		"cache_hits":                 s.CacheHits.Value(),
+		"cache_misses":               s.CacheMisses.Value(),
+		"cache_coalesced":            s.CacheCoalesced.Value(),
+		"cache_evictions":            s.CacheEvictions.Value(),
+		"cache_bytes":                s.CacheBytes.Value(),
+		"cache_entries":              s.CacheEntries.Value(),
+		"cache_carried":              s.CacheCarried.Value(),
+		"repl_frames_sent":           s.ReplFramesSent.Value(),
+		"repl_snapshots_served":      s.ReplSnapshotsServed.Value(),
+		"repl_streams":               s.ReplStreams.Value(),
+		"repl_records_applied":       s.ReplRecordsApplied.Value(),
+		"repl_bootstraps":            s.ReplBootstraps.Value(),
+		"repl_reconnects":            s.ReplReconnects.Value(),
+		"repl_applied_version":       s.ReplAppliedVersion.Value(),
+		"repl_primary_version":       s.ReplPrimaryVersion.Value(),
+		"repl_lag":                   s.ReplLag.Value(),
+		"repl_connected":             s.ReplConnected.Value(),
+		"repl_proxied_writes":        s.ReplProxiedWrites.Value(),
+		"repl_min_version_waits":     s.ReplMinVersionWaits.Value(),
+		"repl_min_version_timeouts":  s.ReplMinVersionTimeouts.Value(),
+		"query_latency_count":        s.QueryLatency.Count(),
+		"query_latency_sum":          s.QueryLatency.Sum(),
 	}
-	bounds, counts := QueryLatency.Buckets()
+	bounds, counts := s.QueryLatency.Buckets()
 	buckets := make(map[string]int64, len(counts))
 	for i, n := range counts {
 		if i < len(bounds) {
@@ -300,22 +330,53 @@ func Snapshot() map[string]any {
 	return out
 }
 
-var publishOnce sync.Once
+// published guards expvar registration: expvar.Publish panics on a
+// duplicate name, and test binaries re-run packages with -count, so every
+// registration in this package is name-idempotent.
+var (
+	publishMu sync.Mutex
+	published = map[string]bool{}
+)
 
-// PublishExpvar registers the "hypo" expvar variable. It is idempotent:
-// repeated calls — and a name already registered by someone else — are
-// no-ops rather than the expvar.Publish panic, so a process hosting two
-// pools or servers (or a test binary re-running packages with -count)
-// cannot crash on duplicate publication. It runs automatically on
-// package init; call it explicitly only when expvar registration order
-// matters.
-func PublishExpvar() {
-	publishOnce.Do(func() {
-		if expvar.Get("hypo") != nil {
-			return
-		}
-		expvar.Publish("hypo", expvar.Func(func() any { return Snapshot() }))
-	})
+// Publish registers the set's expvar variable under its name. It is
+// idempotent per name: repeated calls — and a name already registered by
+// someone else — are no-ops rather than the expvar.Publish panic. A
+// published Set must outlive the process (expvar has no unregister);
+// short-lived sets (tenants created and deleted at runtime) should be
+// surfaced through a dynamic parent snapshot (see PublishFunc) instead.
+func (s *Set) Publish() {
+	PublishFunc(s.name, func() any { return s.Snapshot() })
 }
+
+// PublishFunc registers an expvar Func under name, idempotently. The
+// multi-tenant registry uses it to export one "hypo_programs" variable
+// whose snapshot walks the live tenants — created and deleted tenants
+// appear and disappear without fighting expvar's register-once model.
+func PublishFunc(name string, fn func() any) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] || expvar.Get(name) != nil {
+		published[name] = true
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(fn))
+}
+
+// Default is the process-wide metric set, published under the legacy
+// expvar name "hypo". Every engine, pool, cache and server that is not
+// given an explicit Set reports here — in a single-program process it is
+// the only set, and in a multi-tenant one it is the default tenant's
+// alias, so dashboards built against the legacy names keep working.
+var Default = NewSet("hypo")
+
+// Snapshot returns the Default set's snapshot (legacy package-level
+// form).
+func Snapshot() map[string]any { return Default.Snapshot() }
+
+// PublishExpvar registers the "hypo" expvar variable for the Default
+// set. It is idempotent; it runs automatically on package init — call it
+// explicitly only when expvar registration order matters.
+func PublishExpvar() { Default.Publish() }
 
 func init() { PublishExpvar() }

@@ -95,8 +95,8 @@ func TestExpvarExport(t *testing.T) {
 	if v == nil {
 		t.Fatal(`expvar.Get("hypo") = nil; init() did not publish`)
 	}
-	before := QueriesStarted.Value()
-	QueriesStarted.Inc()
+	before := Default.QueriesStarted.Value()
+	Default.QueriesStarted.Inc()
 	var snap map[string]any
 	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
 		t.Fatalf("expvar JSON: %v\n%s", err, v.String())
@@ -150,6 +150,51 @@ func TestGauge(t *testing.T) {
 	wg.Wait()
 	if g.Value() != 1 {
 		t.Fatalf("gauge after balanced churn = %d, want 1", g.Value())
+	}
+}
+
+// TestNewSetIsolated: instance-scoped sets share nothing — a counter
+// bumped on one set must not move on another, and each set keeps its
+// own name and snapshot.
+func TestNewSetIsolated(t *testing.T) {
+	a := NewSet("hypo_a")
+	b := NewSet("hypo_b")
+	a.QueriesStarted.Add(3)
+	a.HTTPShed.Inc()
+	if b.QueriesStarted.Value() != 0 || b.HTTPShed.Value() != 0 {
+		t.Fatalf("set b saw set a's increments: %d, %d",
+			b.QueriesStarted.Value(), b.HTTPShed.Value())
+	}
+	if Default.QueriesStarted.Value() < 0 {
+		t.Fatal("unreachable; keeps Default referenced")
+	}
+	if a.Name() != "hypo_a" || b.Name() != "hypo_b" {
+		t.Errorf("names = %q, %q", a.Name(), b.Name())
+	}
+	snap := a.Snapshot()
+	if got, ok := snap["queries_started"].(int64); !ok || got != 3 {
+		t.Errorf("snapshot queries_started = %v, want 3", snap["queries_started"])
+	}
+	a.QueryLatency.Observe(0.005)
+	if b.QueryLatency.Count() != 0 {
+		t.Error("histograms shared between sets")
+	}
+}
+
+// TestPublishFuncIdempotent mirrors the Publish guard for dynamic vars.
+func TestPublishFuncIdempotent(t *testing.T) {
+	PublishFunc("hypo_test_dynamic", func() any { return map[string]any{"x": 1} })
+	PublishFunc("hypo_test_dynamic", func() any { return map[string]any{"x": 2} })
+	v := expvar.Get("hypo_test_dynamic")
+	if v == nil {
+		t.Fatal("PublishFunc did not publish")
+	}
+	var snap map[string]int
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("dynamic expvar JSON: %v\n%s", err, v.String())
+	}
+	if snap["x"] != 1 {
+		t.Errorf("second PublishFunc replaced the first: %v", snap)
 	}
 }
 

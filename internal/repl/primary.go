@@ -51,6 +51,9 @@ type PrimaryConfig struct {
 	Heartbeat time.Duration
 	// Logger receives stream lifecycle events; nil discards them.
 	Logger *slog.Logger
+	// Metrics is the metric set replication counters report into; nil
+	// means metrics.Default.
+	Metrics *metrics.Set
 }
 
 // Primary serves the replication endpoints over an existing live store.
@@ -71,6 +74,9 @@ func NewPrimary(cfg PrimaryConfig) *Primary {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Default
 	}
 	return &Primary{cfg: cfg}
 }
@@ -127,7 +133,7 @@ func (p *Primary) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 		p.cfg.Logger.Error("repl: snapshot stream failed", "err", err)
 		return
 	}
-	metrics.ReplSnapshotsServed.Inc()
+	p.cfg.Metrics.ReplSnapshotsServed.Inc()
 	p.cfg.Logger.Info("repl: served bootstrap snapshot", "version", ver, "remote", r.RemoteAddr)
 }
 
@@ -166,8 +172,8 @@ func (p *Primary) ServeStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 
-	metrics.ReplStreams.Inc()
-	defer metrics.ReplStreams.Dec()
+	p.cfg.Metrics.ReplStreams.Inc()
+	defer p.cfg.Metrics.ReplStreams.Dec()
 	p.cfg.Logger.Info("repl: stream opened", "from", from, "remote", r.RemoteAddr)
 	defer p.cfg.Logger.Info("repl: stream closed", "remote", r.RemoteAddr)
 
@@ -177,7 +183,7 @@ func (p *Primary) ServeStream(w http.ResponseWriter, r *http.Request) {
 		if err := writeFrame(w, frameHeartbeat, buf); err != nil {
 			return err
 		}
-		metrics.ReplFramesSent.Inc()
+		p.cfg.Metrics.ReplFramesSent.Inc()
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -202,7 +208,7 @@ func (p *Primary) ServeStream(w http.ResponseWriter, r *http.Request) {
 			// The resume point aged out mid-stream (the follower fell more
 			// than a tail's length behind). Say so explicitly.
 			_ = writeFrame(w, frameGone, nil)
-			metrics.ReplFramesSent.Inc()
+			p.cfg.Metrics.ReplFramesSent.Inc()
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -213,7 +219,7 @@ func (p *Primary) ServeStream(w http.ResponseWriter, r *http.Request) {
 			if err := writeFrame(w, frameRecord, live.EncodeRecordPayload(rec)); err != nil {
 				return
 			}
-			metrics.ReplFramesSent.Inc()
+			p.cfg.Metrics.ReplFramesSent.Inc()
 			cur = rec.Version
 		}
 		if len(recs) > 0 && flusher != nil {

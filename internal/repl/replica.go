@@ -59,6 +59,9 @@ type ReplicaConfig struct {
 	// installed snapshot with the new applied version (tests use it to
 	// wait for convergence without polling).
 	OnApply func(version uint64)
+	// Metrics is the metric set replication counters report into; nil
+	// means metrics.Default.
+	Metrics *metrics.Set
 }
 
 // Status is a point-in-time snapshot of a replica's replication state.
@@ -132,10 +135,13 @@ func Start(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Default
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Replica{cfg: cfg, cancel: cancel, done: make(chan struct{})}
 	r.st.Applied = cfg.Target.Version()
-	metrics.ReplAppliedVersion.Set(int64(r.st.Applied))
+	cfg.Metrics.ReplAppliedVersion.Set(int64(r.st.Applied))
 	go r.run(ctx)
 	return r, nil
 }
@@ -263,7 +269,7 @@ func (r *Replica) streamOnce(ctx context.Context) error {
 				// this stream and will be retried from the reconnect loop.
 				return fmt.Errorf("repl: applying version %d: %w", rec.Version, err)
 			}
-			metrics.ReplRecordsApplied.Inc()
+			r.cfg.Metrics.ReplRecordsApplied.Inc()
 			r.noteApplied(rec.Version)
 			if r.cfg.OnApply != nil {
 				r.cfg.OnApply(rec.Version)
@@ -300,7 +306,7 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if err := r.cfg.Target.InstallSnapshot(resp.Body, ver); err != nil {
 		return err
 	}
-	metrics.ReplBootstraps.Inc()
+	r.cfg.Metrics.ReplBootstraps.Inc()
 	r.mu.Lock()
 	r.st.Bootstraps++
 	r.mu.Unlock()
@@ -317,9 +323,9 @@ func (r *Replica) setConnected(c bool) {
 	r.st.Connected = c
 	r.mu.Unlock()
 	if c {
-		metrics.ReplConnected.Set(1)
+		r.cfg.Metrics.ReplConnected.Set(1)
 	} else {
-		metrics.ReplConnected.Set(0)
+		r.cfg.Metrics.ReplConnected.Set(0)
 	}
 }
 
@@ -329,7 +335,7 @@ func (r *Replica) bumpReconnects() {
 	n := r.st.Reconnects
 	r.mu.Unlock()
 	if n > 1 {
-		metrics.ReplReconnects.Inc()
+		r.cfg.Metrics.ReplReconnects.Inc()
 	}
 }
 
@@ -348,8 +354,8 @@ func (r *Replica) notePrimary(v uint64) {
 	}
 	lag := r.st.Lag()
 	r.mu.Unlock()
-	metrics.ReplPrimaryVersion.Set(int64(v))
-	metrics.ReplLag.Set(int64(lag))
+	r.cfg.Metrics.ReplPrimaryVersion.Set(int64(v))
+	r.cfg.Metrics.ReplLag.Set(int64(lag))
 }
 
 func (r *Replica) noteApplied(v uint64) {
@@ -360,6 +366,6 @@ func (r *Replica) noteApplied(v uint64) {
 	}
 	lag := r.st.Lag()
 	r.mu.Unlock()
-	metrics.ReplAppliedVersion.Set(int64(v))
-	metrics.ReplLag.Set(int64(lag))
+	r.cfg.Metrics.ReplAppliedVersion.Set(int64(v))
+	r.cfg.Metrics.ReplLag.Set(int64(lag))
 }

@@ -10,6 +10,7 @@ import (
 
 	hypo "hypodatalog"
 	"hypodatalog/internal/live"
+	"hypodatalog/internal/tenant"
 )
 
 // errClientWrite marks a failed write to the response stream: the client
@@ -208,15 +209,16 @@ func (s *Server) evalError(w http.ResponseWriter, ri *reqInfo, err error) {
 }
 
 // run is the shared admit-lease-evaluate skeleton of the non-streaming
-// handlers: it reserves an admission slot, leases an engine, runs fn
-// with the engine and records the evaluation-work delta.
-func (s *Server) run(ctx context.Context, ri *reqInfo, fn func(e *hypo.Engine) error) error {
-	release, err := s.admit(ctx)
+// handlers: it reserves a slot on the tenant's admission quota, leases
+// an engine from the tenant's pool, runs fn with the engine and records
+// the evaluation-work delta.
+func (s *Server) run(ctx context.Context, ri *reqInfo, t *tenant.Tenant, fn func(e *hypo.Engine) error) error {
+	release, err := t.Admit(ctx)
 	if err != nil {
 		return err
 	}
 	defer release()
-	return s.cfg.Pool.Do(ctx, func(e *hypo.Engine) error {
+	return t.Pool().Do(ctx, func(e *hypo.Engine) error {
 		ri.dataVersion = e.DataVersion()
 		before := e.Stats()
 		defer func() { ri.stats = statsDelta(before, e.Stats()) }()
@@ -224,7 +226,7 @@ func (s *Server) run(ctx context.Context, ri *reqInfo, fn func(e *hypo.Engine) e
 	})
 }
 
-func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, t *tenant.Tenant) {
 	var req askRequest
 	if !s.decode(w, r, ri, &req) {
 		return
@@ -235,23 +237,23 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo) 
 		writeError(w, http.StatusBadRequest, "bad_request", `"add" is for /v1/askunder`)
 		return
 	}
-	s.answerAsk(w, r, ri, req)
+	s.answerAsk(w, r, ri, t, req)
 }
 
-func (s *Server) handleAskUnder(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+func (s *Server) handleAskUnder(w http.ResponseWriter, r *http.Request, ri *reqInfo, t *tenant.Tenant) {
 	var req askRequest
 	if !s.decode(w, r, ri, &req) {
 		return
 	}
 	ri.query = req.Query
-	s.answerAsk(w, r, ri, req)
+	s.answerAsk(w, r, ri, t, req)
 }
 
 // answerAsk evaluates a ground ask (optionally under hypothetical adds)
 // and answers {"result": bool}. It goes through the pool's Info methods
 // so the answer cache sits above the engine lease: a hit or coalesced
 // read still takes an admission slot (it is HTTP work) but no engine.
-func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, req askRequest) {
+func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, t *tenant.Tenant, req askRequest) {
 	d, err := s.timeoutFor(req.Timeout)
 	if err != nil {
 		ri.outcome = "bad_request"
@@ -260,10 +262,10 @@ func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, 
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	if !s.gateMinVersion(ctx, w, r, ri) {
+	if !s.gateMinVersion(ctx, w, r, ri, t) {
 		return
 	}
-	release, err := s.admit(ctx)
+	release, err := t.Admit(ctx)
 	if err != nil {
 		s.refuse(w, ri, err)
 		return
@@ -272,9 +274,9 @@ func (s *Server) answerAsk(w http.ResponseWriter, r *http.Request, ri *reqInfo, 
 	var result bool
 	var info hypo.ReadInfo
 	if len(req.Add) > 0 {
-		result, info, err = s.cfg.Pool.AskUnderInfoCtx(ctx, req.Query, req.Add...)
+		result, info, err = t.Pool().AskUnderInfoCtx(ctx, req.Query, req.Add...)
 	} else {
-		result, info, err = s.cfg.Pool.AskInfoCtx(ctx, req.Query)
+		result, info, err = t.Pool().AskInfoCtx(ctx, req.Query)
 	}
 	ri.dataVersion = info.DataVersion
 	ri.stats = info.Stats
@@ -300,7 +302,7 @@ func setCacheHeader(w http.ResponseWriter, st hypo.CacheStatus) {
 // line — or an {"error": ...} line if evaluation aborted after the
 // stream began. Errors before the first binding use a proper HTTP
 // status instead.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo, t *tenant.Tenant) {
 	var req queryRequest
 	if !s.decode(w, r, ri, &req) {
 		return
@@ -314,10 +316,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	if !s.gateMinVersion(ctx, w, r, ri) {
+	if !s.gateMinVersion(ctx, w, r, ri, t) {
 		return
 	}
-	release, err := s.admit(ctx)
+	release, err := t.Admit(ctx)
 	if err != nil {
 		s.refuse(w, ri, err)
 		return
@@ -330,7 +332,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	var info hypo.ReadInfo
 	// QueryEachInfoCtx guarantees DataVersion and Cache are set before
 	// the first yield, so the headers can go out ahead of the stream.
-	err = s.cfg.Pool.QueryEachInfoCtx(ctx, req.Query, &info, func(b hypo.Binding) error {
+	err = t.Pool().QueryEachInfoCtx(ctx, req.Query, &info, func(b hypo.Binding) error {
 		if n == 0 {
 			setCacheHeader(w, info.Cache)
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -377,7 +379,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 // results once evaluation starts; an abort (deadline, cancellation)
 // stops the batch, reports itself on the item it hit, and marks the
 // rest "skipped".
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo, t *tenant.Tenant) {
 	var req batchRequest
 	if !s.decode(w, r, ri, &req) {
 		return
@@ -402,12 +404,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	if !s.gateMinVersion(ctx, w, r, ri) {
+	if !s.gateMinVersion(ctx, w, r, ri, t) {
 		return
 	}
 
 	results := make([]batchResult, len(req.Queries))
-	err = s.run(ctx, ri, func(e *hypo.Engine) error {
+	err = s.run(ctx, ri, t, func(e *hypo.Engine) error {
 		for i, item := range req.Queries {
 			res, abort := evalBatchItem(ctx, e, item)
 			results[i] = res
@@ -479,8 +481,8 @@ func evalBatchItem(ctx context.Context, e *hypo.Engine, item batchItem) (batchRe
 // not take an evaluation slot — commits serialise inside Live.Apply and
 // never lease an engine — but a draining server refuses new writes like
 // it refuses new queries.
-func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
-	if s.cfg.Role == "replica" && s.cfg.PrimaryURL != "" {
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo, t *tenant.Tenant) {
+	if s.cfg.Role == "replica" && s.cfg.PrimaryURL != "" && t == s.def {
 		// Replicas never commit locally — their store is written only by
 		// the replication stream. Forward the write so clients can talk to
 		// any node.
@@ -491,13 +493,13 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo
 		s.proxyFacts(w, r, ri)
 		return
 	}
-	if s.cfg.Live == nil {
+	if t.Live() == nil {
 		ri.outcome = "not_enabled"
 		writeError(w, http.StatusNotImplemented, "not_enabled",
 			"runtime fact mutation is disabled: start the server with a WAL (hdld -wal)")
 		return
 	}
-	if s.draining.Load() {
+	if s.draining.Load() || t.Draining() {
 		s.refuse(w, ri, errDraining)
 		return
 	}
@@ -522,7 +524,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	info, err := s.cfg.Live.Apply(ms)
+	info, err := t.Live().Apply(ms)
 	if err != nil {
 		if errors.Is(err, live.ErrClosed) {
 			ri.outcome = "draining"
@@ -549,19 +551,36 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo
 // handleHealthz reports liveness. A server whose store degraded to
 // read-only is still alive — it answers queries at the last committed
 // version — so the response stays 200, with status "degraded" and a
-// machine-readable reason for operators and write-path routers.
+// machine-readable reason for operators and write-path routers. The
+// top-level status/dataVersion describe the default program (the legacy
+// single-program shape); the "programs" map adds the same per tenant.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"ok": true, "status": "ok", "dataVersion": s.cfg.Pool.Version()}
+	resp := map[string]any{"ok": true, "status": "ok", "dataVersion": s.def.Version()}
 	if s.cfg.Role != "" {
 		resp["role"] = s.cfg.Role
 	}
-	if s.cfg.Live != nil {
-		if degraded, cause := s.cfg.Live.Degraded(); degraded {
-			resp["status"] = "degraded"
-			resp["reason"] = "read_only"
-			resp["detail"] = cause
-		}
+	if degraded, cause := s.def.Degraded(); degraded {
+		resp["status"] = "degraded"
+		resp["reason"] = "read_only"
+		resp["detail"] = cause
 	}
+	programs := make(map[string]any)
+	for _, t := range s.reg.List() {
+		st := "ok"
+		var detail string
+		if degraded, cause := t.Degraded(); degraded {
+			st, detail = "degraded", cause
+		}
+		if t.Draining() {
+			st = "draining"
+		}
+		p := map[string]any{"status": st, "dataVersion": t.Version()}
+		if detail != "" {
+			p["detail"] = detail
+		}
+		programs[t.Name()] = p
+	}
+	resp["programs"] = programs
 	if s.cfg.ReplicaStatus != nil {
 		st := s.cfg.ReplicaStatus()
 		repl := map[string]any{

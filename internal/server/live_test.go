@@ -336,7 +336,7 @@ func TestDegradedReadOnlyServing(t *testing.T) {
 	if !strings.Contains(hb, `"dataVersion":1`) {
 		t.Fatalf("degraded healthz lost the served version: %s", hb)
 	}
-	if got := metrics.LiveReadOnly.Value(); got != 1 {
+	if got := metrics.Default.LiveReadOnly.Value(); got != 1 {
 		t.Fatalf("live_readonly gauge = %d, want 1", got)
 	}
 	if degraded, cause := lv.Degraded(); !degraded || cause == "" {

@@ -10,7 +10,7 @@ import (
 	"strings"
 	"time"
 
-	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/tenant"
 )
 
 // gateMinVersion enforces the X-Hdl-Min-Version read-your-writes
@@ -23,7 +23,7 @@ import (
 //
 // The gate runs before admission: a request parked on replication lag
 // must not hold an evaluation slot while it waits.
-func (s *Server) gateMinVersion(ctx context.Context, w http.ResponseWriter, r *http.Request, ri *reqInfo) bool {
+func (s *Server) gateMinVersion(ctx context.Context, w http.ResponseWriter, r *http.Request, ri *reqInfo, t *tenant.Tenant) bool {
 	h := r.Header.Get("X-Hdl-Min-Version")
 	if h == "" {
 		return true
@@ -35,20 +35,20 @@ func (s *Server) gateMinVersion(ctx context.Context, w http.ResponseWriter, r *h
 		return false
 	}
 	ri.minVersion = min
-	if s.cfg.Pool.Version() >= min {
+	if t.Version() >= min {
 		return true
 	}
-	if s.cfg.Live == nil {
+	if t.Live() == nil {
 		// A static server can never reach the demanded version.
-		s.refuseStale(w, ri, min)
+		s.refuseStale(w, ri, t, min)
 		return false
 	}
-	metrics.ReplMinVersionWaits.Inc()
+	t.Metrics().ReplMinVersionWaits.Inc()
 	wctx, cancel := context.WithTimeout(ctx, s.cfg.MinVersionWait)
 	defer cancel()
-	if err := s.cfg.Live.WaitVersion(wctx, min); err != nil {
-		metrics.ReplMinVersionTimeouts.Inc()
-		s.refuseStale(w, ri, min)
+	if err := t.Live().WaitVersion(wctx, min); err != nil {
+		t.Metrics().ReplMinVersionTimeouts.Inc()
+		s.refuseStale(w, ri, t, min)
 		return false
 	}
 	return true
@@ -58,13 +58,13 @@ func (s *Server) gateMinVersion(ctx context.Context, w http.ResponseWriter, r *h
 // reach in time: 503 kind "stale" with Retry-After and the version the
 // node IS at, so the client can retry here later or fall back to the
 // primary.
-func (s *Server) refuseStale(w http.ResponseWriter, ri *reqInfo, min uint64) {
+func (s *Server) refuseStale(w http.ResponseWriter, ri *reqInfo, t *tenant.Tenant, min uint64) {
 	ri.outcome = "stale"
 	retry := strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
 	w.Header().Set("Retry-After", retry)
-	w.Header().Set("X-Hdl-Version", strconv.FormatUint(s.cfg.Pool.Version(), 10))
+	w.Header().Set("X-Hdl-Version", strconv.FormatUint(t.Version(), 10))
 	writeError(w, http.StatusServiceUnavailable, "stale",
-		fmt.Sprintf("data version %d not yet replicated here (at %d); retry or read the primary", min, s.cfg.Pool.Version()))
+		fmt.Sprintf("data version %d not yet replicated here (at %d); retry or read the primary", min, t.Version()))
 }
 
 // proxyFacts forwards a write landing on a replica to the primary, so
@@ -95,7 +95,7 @@ func (s *Server) proxyFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo)
 		return
 	}
 	defer resp.Body.Close()
-	metrics.ReplProxiedWrites.Inc()
+	s.mets.ReplProxiedWrites.Inc()
 	ri.outcome = "proxied"
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)

@@ -1,6 +1,8 @@
 // Package server serves hypothetical-Datalog queries over HTTP/JSON,
-// backed by a hypo.Pool. It is the network surface of the engine: the
-// one-shot hdl CLI wraps an Engine, cmd/hdld wraps this package.
+// backed by a registry of named programs (tenants), each with its own
+// engine pool, live store, answer cache and admission quota. It is the
+// network surface of the engine: the one-shot hdl CLI wraps an Engine,
+// cmd/hdld wraps this package.
 //
 // # Endpoints
 //
@@ -8,27 +10,40 @@
 //   - POST /v1/query     {"query": "edge(X, Y)"}                → NDJSON binding stream
 //   - POST /v1/askunder  {"query": "...", "add": ["fact(a)"]}   → {"result": bool}
 //   - POST /v1/batch     {"queries": [{...}, ...]}              → per-item results, one engine lease
-//   - POST /v1/facts     {"assert": [...], "retract": [...]}    → {"version": n} (needs Config.Live)
+//   - POST /v1/explain   {"query": "grad(tony)"}                → {"provable": bool, "proof": "..."}
+//   - POST /v1/facts     {"assert": [...], "retract": [...]}    → {"version": n} (needs a live store)
 //   - GET  /healthz      liveness (always 200 while the process runs)
 //   - GET  /readyz       readiness (503 once draining)
-//   - GET  /debug/vars   expvar, including the "hypo" metrics set
+//   - GET  /debug/vars   expvar: "hypo" (default program) and "hypo_programs" (all)
+//
+// Every query endpoint also exists tenant-qualified as
+// POST /v1/programs/{name}/ask (query, askunder, batch, explain,
+// facts); the un-prefixed routes are aliases for the registry's
+// default program, so single-program deployments keep working
+// unchanged. The admin surface manages the registry itself:
+//
+//   - PUT    /v1/programs/{name}  {"program": "rules..."}  → create (201) or no-op (200)
+//   - GET    /v1/programs/{name}                           → source + version
+//   - DELETE /v1/programs/{name}                           → drain, close, remove state dir
+//   - GET    /v1/programs                                  → list all programs
 //
 // # Admission control
 //
-// At most MaxConcurrent requests evaluate at once; up to MaxQueue more
-// wait for a slot. Anything beyond that is shed immediately with
-// 429 + Retry-After instead of piling up goroutines, so a traffic spike
-// degrades into fast, explicit rejections rather than unbounded memory
-// growth and collapse.
+// Admission is per tenant: at most MaxConcurrent requests evaluate at
+// once per program, with up to MaxQueue more waiting for a slot.
+// Anything beyond that is shed immediately with 429 + Retry-After. One
+// tenant saturating its queue cannot shed or slow another — each
+// tenant's slots, queue, cache budget and metric set are private.
 //
 // # Error mapping
 //
 // Every failure surface has a distinct status: malformed JSON, bad
 // queries and domain violations are 400; an over-long body is 413; an
 // expired per-request deadline is 504; a goal-budget abort is 422; shed
-// load is 429; a draining or closed server is 503; a handler panic is
-// 500. A client that disconnects mid-evaluation gets nothing (the
-// nginx-style 499 appears only in the access log).
+// load is 429; an unknown program is 404; a conflicting PUT is 409; a
+// draining or closed server is 503; a handler panic is 500. A client
+// that disconnects mid-evaluation gets nothing (the nginx-style 499
+// appears only in the access log).
 package server
 
 import (
@@ -45,6 +60,7 @@ import (
 	hypo "hypodatalog"
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/repl"
+	"hypodatalog/internal/tenant"
 )
 
 // statusClientClosed is the nginx convention for "client closed the
@@ -52,25 +68,33 @@ import (
 // logged.
 const statusClientClosed = 499
 
-// Config parameterises a Server. The zero value of every field except
-// Pool is usable; see the field comments for the defaults.
+// Config parameterises a Server. Provide either Registry (multi-tenant)
+// or Pool/Live (legacy single program, wrapped into a static registry).
 type Config struct {
-	// Pool evaluates the queries. Required. Size it to the number of
-	// truly concurrent evaluations the host should run (engines are
-	// memory-heavy: each holds its own interner and memo tables).
+	// Registry holds the programs this server serves. When set it must
+	// already contain its default tenant; Pool and Live are ignored.
+	Registry *tenant.Registry
+
+	// Pool evaluates the queries of a single-program server (ignored
+	// when Registry is set). Size it to the number of truly concurrent
+	// evaluations the host should run (engines are memory-heavy: each
+	// holds its own interner and memo tables).
 	Pool *hypo.Pool
 
 	// Live, when set, enables POST /v1/facts: runtime mutation of the
 	// base EDB with WAL durability. It must be the Live whose Pool is the
-	// Pool above. When nil the endpoint answers 501.
+	// Pool above. When nil the endpoint answers 501. Ignored when
+	// Registry is set.
 	Live *hypo.Live
 
-	// MaxConcurrent bounds simultaneous evaluations. Default: Pool.Size()
-	// — more would just block on the pool's free list.
+	// MaxConcurrent bounds simultaneous evaluations per tenant (static
+	// registry only; a dynamic registry carries its own quota config).
+	// Default: Pool.Size().
 	MaxConcurrent int
 
-	// MaxQueue bounds requests waiting for an evaluation slot; beyond it
-	// requests are shed with 429. Default: 4 × MaxConcurrent.
+	// MaxQueue bounds requests waiting for an evaluation slot per
+	// tenant; beyond it requests are shed with 429. Default:
+	// 4 × MaxConcurrent.
 	MaxQueue int
 
 	// DefaultTimeout is the per-request evaluation deadline when the
@@ -96,7 +120,8 @@ type Config struct {
 	Logger *slog.Logger
 
 	// Role names this node's replication role in logs and healthz:
-	// "primary", "replica", or "" for a standalone server.
+	// "primary", "replica", or "" for a standalone server. Replication
+	// always concerns the default program only.
 	Role string
 
 	// ReplPrimary, when set, mounts the replication endpoints
@@ -125,31 +150,29 @@ type Config struct {
 	// ProxyClient issues proxied write requests; nil means a default
 	// client.
 	ProxyClient *http.Client
+
+	// Metrics is the metric set server-level counters (and the static
+	// default tenant) report into; nil means metrics.Default.
+	Metrics *metrics.Set
 }
 
 // Server is the HTTP query server. Create it with New, mount Handler on
 // an http.Server, and call BeginDrain when shutting down.
 type Server struct {
-	cfg Config
-	log *slog.Logger
-	mux *http.ServeMux
+	cfg  Config
+	log  *slog.Logger
+	mux  *http.ServeMux
+	mets *metrics.Set
+	reg  *tenant.Registry
+	def  *tenant.Tenant // the default program (never deletable)
 
-	sem      chan struct{} // evaluation slots
-	queued   atomic.Int64  // requests waiting for a slot
 	draining atomic.Bool
-	drainCh  chan struct{} // closed by BeginDrain; wakes queued waiters
 }
 
 // New validates the config, fills in defaults, and builds the server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Pool == nil {
-		return nil, errors.New("server: Config.Pool is required")
-	}
-	if cfg.MaxConcurrent <= 0 {
-		cfg.MaxConcurrent = cfg.Pool.Size()
-	}
-	if cfg.MaxQueue <= 0 {
-		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	if cfg.Registry == nil && cfg.Pool == nil {
+		return nil, errors.New("server: one of Config.Registry and Config.Pool is required")
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 10 * time.Second
@@ -175,19 +198,47 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ProxyClient == nil {
 		cfg.ProxyClient = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Default
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		// Legacy single-program config: wrap the pool/live as a static
+		// registry whose only tenant is the default.
+		reg = tenant.NewStatic("default", cfg.Pool, cfg.Live, cfg.Metrics, cfg.MaxConcurrent, cfg.MaxQueue)
+	}
+	def := reg.Default()
+	if def == nil {
+		return nil, errors.New("server: registry has no default program (create it before serving)")
+	}
 	metrics.PublishExpvar()
 	s := &Server{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		drainCh: make(chan struct{}),
+		cfg:  cfg,
+		log:  cfg.Logger,
+		mux:  http.NewServeMux(),
+		mets: cfg.Metrics,
+		reg:  reg,
+		def:  def,
 	}
-	s.mux.HandleFunc("POST /v1/ask", s.wrap("ask", s.handleAsk))
-	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
-	s.mux.HandleFunc("POST /v1/askunder", s.wrap("askunder", s.handleAskUnder))
-	s.mux.HandleFunc("POST /v1/batch", s.wrap("batch", s.handleBatch))
-	s.mux.HandleFunc("POST /v1/facts", s.wrap("facts", s.handleFacts))
+	// Un-prefixed routes alias the default program.
+	s.mux.HandleFunc("POST /v1/ask", s.wrap("ask", false, s.handleAsk))
+	s.mux.HandleFunc("POST /v1/query", s.wrap("query", false, s.handleQuery))
+	s.mux.HandleFunc("POST /v1/askunder", s.wrap("askunder", false, s.handleAskUnder))
+	s.mux.HandleFunc("POST /v1/batch", s.wrap("batch", false, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/explain", s.wrap("explain", false, s.handleExplain))
+	s.mux.HandleFunc("POST /v1/facts", s.wrap("facts", false, s.handleFacts))
+	// Tenant-qualified routes.
+	s.mux.HandleFunc("POST /v1/programs/{name}/ask", s.wrap("ask", true, s.handleAsk))
+	s.mux.HandleFunc("POST /v1/programs/{name}/query", s.wrap("query", true, s.handleQuery))
+	s.mux.HandleFunc("POST /v1/programs/{name}/askunder", s.wrap("askunder", true, s.handleAskUnder))
+	s.mux.HandleFunc("POST /v1/programs/{name}/batch", s.wrap("batch", true, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/programs/{name}/explain", s.wrap("explain", true, s.handleExplain))
+	s.mux.HandleFunc("POST /v1/programs/{name}/facts", s.wrap("facts", true, s.handleFacts))
+	// Admin surface: the registry itself.
+	s.mux.HandleFunc("GET /v1/programs", s.wrapAdmin("programs_list", s.handleProgramsList))
+	s.mux.HandleFunc("PUT /v1/programs/{name}", s.wrapAdmin("program_put", s.handleProgramPut))
+	s.mux.HandleFunc("GET /v1/programs/{name}", s.wrapAdmin("program_get", s.handleProgramGet))
+	s.mux.HandleFunc("DELETE /v1/programs/{name}", s.wrapAdmin("program_delete", s.handleProgramDelete))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -203,72 +254,35 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the root handler with all routes mounted.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Registry returns the registry the server serves from.
+func (s *Server) Registry() *tenant.Registry { return s.reg }
+
 // BeginDrain flips the server into draining mode: /readyz starts
 // failing (so load balancers stop routing here), new API requests are
 // refused with 503, and requests queued for an evaluation slot are woken
-// and refused likewise. In-flight evaluations are NOT interrupted —
-// cancel their base context after a grace period to force them out (see
-// cmd/hdld). BeginDrain is idempotent.
+// and refused likewise — on every tenant. In-flight evaluations are NOT
+// interrupted — cancel their base context after a grace period to force
+// them out (see cmd/hdld). BeginDrain is idempotent.
 func (s *Server) BeginDrain() {
-	if s.draining.CompareAndSwap(false, true) {
-		close(s.drainCh)
-	}
+	s.draining.Store(true)
+	s.reg.BeginDrain()
 }
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Admission errors (mapped to statuses in refuse).
+// Admission errors (mapped to statuses in refuse). Aliases of the
+// tenant package's errors — admission is per tenant now.
 var (
-	errShed     = errors.New("server: admission queue full")
-	errDraining = errors.New("server: draining")
+	errShed     = tenant.ErrShed
+	errDraining = tenant.ErrDraining
 )
-
-// admit reserves an evaluation slot, waiting in the bounded admission
-// queue if none is free. It fails fast with errShed when the queue is
-// full and errDraining when the server is (or starts) draining; a done
-// ctx while queued surfaces as the ctx error. On success the returned
-// release func must be called exactly once.
-func (s *Server) admit(ctx context.Context) (release func(), err error) {
-	if s.draining.Load() {
-		return nil, errDraining
-	}
-	acquired := false
-	select {
-	case s.sem <- struct{}{}:
-		acquired = true
-	default:
-	}
-	if !acquired {
-		if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
-			s.queued.Add(-1)
-			metrics.HTTPShed.Inc()
-			return nil, errShed
-		}
-		metrics.HTTPQueued.Inc()
-		defer func() {
-			s.queued.Add(-1)
-			metrics.HTTPQueued.Dec()
-		}()
-		select {
-		case s.sem <- struct{}{}:
-		case <-s.drainCh:
-			return nil, errDraining
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-	metrics.HTTPInFlight.Inc()
-	return func() {
-		metrics.HTTPInFlight.Dec()
-		<-s.sem
-	}, nil
-}
 
 // reqInfo accumulates access-log fields as one request progresses
 // through decode, admission and evaluation.
 type reqInfo struct {
 	endpoint    string
+	program     string           // tenant the request resolved to (or asked for)
 	query       string           // surface query text (first of a batch)
 	outcome     string           // ok | bad_request | deadline | canceled | shed | draining | budget | panic | ...
 	status      int              // overrides the written status in logs (e.g. 499)
@@ -279,15 +293,32 @@ type reqInfo struct {
 	minVersion  uint64           // X-Hdl-Min-Version the client demanded (0 if absent)
 }
 
-// wrap is the middleware around every API handler: request counting, a
+// wrap is the middleware around every query handler: tenant resolution
+// (the {name} path segment, or the default program for un-prefixed
+// routes), request counting on the resolved tenant's metric set, a
 // status-recording writer, panic-to-500 recovery, and one structured
-// access-log line per request with the query, outcome, latency and the
-// evaluation-work stats delta.
-func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+// access-log line per request with the program, query, outcome, latency
+// and the evaluation-work stats delta.
+func (s *Server) wrap(endpoint string, named bool, h func(http.ResponseWriter, *http.Request, *reqInfo, *tenant.Tenant)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		metrics.HTTPRequests.Inc()
+		var t *tenant.Tenant
+		if named {
+			t, _ = s.reg.Get(r.PathValue("name"))
+		} else {
+			t = s.def
+		}
+		if t != nil {
+			t.Metrics().HTTPRequests.Inc()
+		} else {
+			s.mets.HTTPRequests.Inc()
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		ri := &reqInfo{endpoint: endpoint}
+		if t != nil {
+			ri.program = t.Name()
+		} else {
+			ri.program = r.PathValue("name")
+		}
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
@@ -296,7 +327,8 @@ func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request
 				// return it in a defer that runs before this one.
 				ri.outcome = "panic"
 				s.log.Error("handler panic",
-					"endpoint", endpoint, "panic", p, "stack", string(debug.Stack()))
+					"endpoint", endpoint, "program", ri.program,
+					"panic", p, "stack", string(debug.Stack()))
 				if !sw.wrote {
 					writeError(sw, http.StatusInternalServerError, "internal", "internal server error")
 				}
@@ -313,6 +345,7 @@ func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request
 			}
 			s.log.Info("request",
 				"endpoint", endpoint,
+				"program", ri.program,
 				"status", status,
 				"outcome", ri.outcome,
 				"query", ri.query,
@@ -328,6 +361,53 @@ func (s *Server) wrap(endpoint string, h func(http.ResponseWriter, *http.Request
 				"min_version", ri.minVersion,
 			)
 		}()
+		if t == nil {
+			ri.outcome = "unknown_program"
+			writeError(sw, http.StatusNotFound, "unknown_program",
+				"no program named "+strconv.Quote(r.PathValue("name"))+" (PUT /v1/programs/{name} creates one)")
+			return
+		}
+		h(sw, r, ri, t)
+	}
+}
+
+// wrapAdmin is the wrap variant for registry-admin handlers: same
+// logging and panic recovery, no tenant resolution (the handler manages
+// tenants itself), counters on the server's own metric set.
+func (s *Server) wrapAdmin(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mets.HTTPRequests.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		ri := &reqInfo{endpoint: endpoint, program: r.PathValue("name")}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				ri.outcome = "panic"
+				s.log.Error("handler panic",
+					"endpoint", endpoint, "program", ri.program,
+					"panic", p, "stack", string(debug.Stack()))
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+			status := ri.status
+			if status == 0 {
+				status = sw.status
+			}
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if ri.outcome == "" {
+				ri.outcome = "ok"
+			}
+			s.log.Info("request",
+				"endpoint", endpoint,
+				"program", ri.program,
+				"status", status,
+				"outcome", ri.outcome,
+				"elapsed_ms", float64(time.Since(start).Microseconds())/1000,
+			)
+		}()
 		h(sw, r, ri)
 	}
 }
@@ -340,7 +420,7 @@ func (s *Server) refuse(w http.ResponseWriter, ri *reqInfo, err error) {
 		ri.outcome = "shed"
 		w.Header().Set("Retry-After", retry)
 		writeError(w, http.StatusTooManyRequests, "shed",
-			"server at capacity: evaluation slots and admission queue are full")
+			"program at capacity: evaluation slots and admission queue are full")
 	case errors.Is(err, errDraining), errors.Is(err, hypo.ErrPoolClosed):
 		ri.outcome = "draining"
 		w.Header().Set("Retry-After", retry)

@@ -18,6 +18,7 @@ import (
 
 	hypo "hypodatalog"
 	"hypodatalog/internal/metrics"
+	"hypodatalog/internal/tenant"
 	"hypodatalog/internal/workload"
 )
 
@@ -321,7 +322,7 @@ func TestLoadShed(t *testing.T) {
 	_, ts := newTestServer(t, hardSrc, hypo.Options{Mode: hypo.ModeUniform, NoTabling: true, PoolSize: 1},
 		Config{MaxConcurrent: 1, MaxQueue: 1})
 	cl := ts.Client()
-	shedBefore := metrics.HTTPShed.Value()
+	shedBefore := metrics.Default.HTTPShed.Value()
 	before := runtime.NumGoroutine()
 
 	const burst = 16
@@ -368,7 +369,7 @@ func TestLoadShed(t *testing.T) {
 	if !retryAfterSeen.Load() {
 		t.Error("429 responses carried no Retry-After header")
 	}
-	if d := metrics.HTTPShed.Value() - shedBefore; d < int64(burst-3) {
+	if d := metrics.Default.HTTPShed.Value() - shedBefore; d < int64(burst-3) {
 		t.Errorf("http_shed grew by %d, want >= %d", d, burst-3)
 	}
 	ts.Client().Transport.(*http.Transport).CloseIdleConnections()
@@ -512,7 +513,7 @@ func TestGracefulDrain(t *testing.T) {
 // middleware and checks the response is a clean 500.
 func TestPanicRecovery(t *testing.T) {
 	s, _ := newTestServer(t, uniSrc, hypo.Options{}, Config{})
-	ts := httptest.NewServer(s.wrap("boom", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	ts := httptest.NewServer(s.wrap("boom", false, func(w http.ResponseWriter, r *http.Request, ri *reqInfo, _ *tenant.Tenant) {
 		panic("kaboom")
 	}))
 	defer ts.Close()

@@ -52,6 +52,7 @@ type Live struct {
 	pinDom []symbols.Const
 	domSet map[symbols.Const]bool
 	rec    live.Recovery
+	mets   *metrics.Set // metric set for commit traffic (never nil)
 
 	// changed is closed and replaced after each pool swap (under mu).
 	// WaitVersion waits on it rather than on the store's own broadcast,
@@ -113,10 +114,11 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 	}
 	pl.SetProgram(cur, rec.Version)
 
-	metrics.LiveVersion.Set(int64(rec.Version))
-	metrics.LiveReplayed.Add(int64(rec.Replayed))
-	metrics.LiveSnapshotAge.Set(int64(st.SinceSnapshot()))
-	metrics.LiveReadOnly.Set(0)
+	mets := opts.metricSet()
+	mets.LiveVersion.Set(int64(rec.Version))
+	mets.LiveReplayed.Add(int64(rec.Replayed))
+	mets.LiveSnapshotAge.Set(int64(st.SinceSnapshot()))
+	mets.LiveReadOnly.Set(0)
 
 	return &Live{
 		store:   st,
@@ -125,6 +127,7 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 		pinDom:  pinDom,
 		domSet:  domSet,
 		rec:     rec,
+		mets:    mets,
 		changed: make(chan struct{}),
 	}, nil
 }
@@ -202,7 +205,7 @@ func (l *Live) Apply(ms []live.Mutation) (live.CommitInfo, error) {
 func (l *Live) applyLocked(ms []live.Mutation) (live.CommitInfo, error) {
 	for _, m := range ms {
 		if err := l.validate(m); err != nil {
-			metrics.LiveRejected.Inc()
+			l.mets.LiveRejected.Inc()
 			return live.CommitInfo{}, err
 		}
 	}
@@ -216,9 +219,9 @@ func (l *Live) applyLocked(ms []live.Mutation) (live.CommitInfo, error) {
 		// fine, the disk was not. Flip the gauge operators alert on and
 		// surface live.ErrReadOnly so callers can tell the two apart.
 		if errors.Is(err, live.ErrReadOnly) {
-			metrics.LiveReadOnly.Set(1)
+			l.mets.LiveReadOnly.Set(1)
 		} else {
-			metrics.LiveRejected.Inc()
+			l.mets.LiveRejected.Inc()
 		}
 		return live.CommitInfo{}, err
 	}
@@ -233,17 +236,17 @@ func (l *Live) applyLocked(ms []live.Mutation) (live.CommitInfo, error) {
 	l.pool.SetProgramDelta(next, info.Version, added, removed)
 	l.broadcastLocked()
 
-	metrics.LiveCommits.Inc()
-	metrics.LiveMutations.Add(int64(len(ms)))
-	metrics.LiveVersion.Set(int64(info.Version))
-	metrics.LiveSnapshotAge.Set(int64(l.store.SinceSnapshot()))
+	l.mets.LiveCommits.Inc()
+	l.mets.LiveMutations.Add(int64(len(ms)))
+	l.mets.LiveVersion.Set(int64(info.Version))
+	l.mets.LiveSnapshotAge.Set(int64(l.store.SinceSnapshot()))
 	if info.Compacted {
-		metrics.LiveCompactions.Inc()
+		l.mets.LiveCompactions.Inc()
 	}
 	// A commit can succeed and still degrade the store (the WAL rotation
 	// inside its compaction failed after the record was durable).
 	if ro, _ := l.store.ReadOnly(); ro {
-		metrics.LiveReadOnly.Set(1)
+		l.mets.LiveReadOnly.Set(1)
 	}
 	return info, nil
 }
@@ -298,13 +301,13 @@ func (l *Live) InstallSnapshot(rd io.Reader, version uint64) error {
 	defer l.mu.Unlock()
 	for _, f := range snap.Facts {
 		if err := l.validate(live.Mutation{Op: live.OpAssert, Atom: f}); err != nil {
-			metrics.LiveRejected.Inc()
+			l.mets.LiveRejected.Inc()
 			return fmt.Errorf("hypo: bootstrap snapshot: %w", err)
 		}
 	}
 	if err := l.store.ResetToFacts(snap.Facts, version); err != nil {
 		if errors.Is(err, live.ErrReadOnly) {
-			metrics.LiveReadOnly.Set(1)
+			l.mets.LiveReadOnly.Set(1)
 		}
 		return err
 	}
@@ -315,9 +318,9 @@ func (l *Live) InstallSnapshot(rd io.Reader, version uint64) error {
 	l.cur = next
 	l.pool.SetProgram(next, version)
 	l.broadcastLocked()
-	metrics.LiveCommits.Inc()
-	metrics.LiveVersion.Set(int64(version))
-	metrics.LiveSnapshotAge.Set(int64(l.store.SinceSnapshot()))
+	l.mets.LiveCommits.Inc()
+	l.mets.LiveVersion.Set(int64(version))
+	l.mets.LiveSnapshotAge.Set(int64(l.store.SinceSnapshot()))
 	return nil
 }
 

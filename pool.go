@@ -56,6 +56,7 @@ var ErrPoolClosed = errors.New("hypo: pool is closed")
 type verProgram struct {
 	prog    *Program
 	version uint64
+	mets    *metrics.Set // the owning pool's set (never nil)
 
 	subOnce sync.Once
 	sub     *substrate
@@ -73,7 +74,7 @@ type substrate struct {
 // callers block on the one build.
 func (v *verProgram) substrate() (*substrate, error) {
 	v.subOnce.Do(func() {
-		metrics.LiveSubstrateBuilds.Inc()
+		v.mets.LiveSubstrateBuilds.Inc()
 		in := facts.NewInterner(v.prog.syms)
 		db := facts.NewDB(in)
 		for _, f := range v.prog.comp.Facts {
@@ -110,6 +111,7 @@ type Pool struct {
 	prog   *Program // the seed program; syms and domSet are version-stable
 	opts   Options
 	domSet map[symbols.Const]bool
+	mets   *metrics.Set // metric set for pool traffic (never nil)
 
 	// cache is the pool-wide versioned answer cache (nil when
 	// Options.CacheBytes is zero). It sits ABOVE the engine lease:
@@ -145,9 +147,10 @@ type Pool struct {
 // stratification) surface immediately. The pool holds at most
 // Options.PoolSize engines (GOMAXPROCS when zero).
 func NewPool(p *Program, opts Options) (*Pool, error) {
+	mets := opts.metricSet()
 	var ac *cache.Cache
 	if opts.CacheBytes > 0 {
-		ac = cache.New(opts.CacheBytes)
+		ac = cache.New(opts.CacheBytes, mets)
 		// The pool owns the one shared cache; strip the budget so the
 		// engines it builds do not each grow a private one.
 		opts.CacheBytes = 0
@@ -164,14 +167,15 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 		prog:    p,
 		opts:    opts,
 		domSet:  first.domSet,
+		mets:    mets,
 		cache:   ac,
 		free:    make(chan *Engine, size),
 		closing: make(chan struct{}),
 		created: 1,
 	}
-	pl.cur.Store(&verProgram{prog: p})
+	pl.cur.Store(&verProgram{prog: p, mets: mets})
 	pl.free <- first
-	metrics.PoolNews.Inc()
+	mets.PoolNews.Inc()
 	return pl, nil
 }
 
@@ -188,7 +192,7 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 // roll the served data version back. Used by Live; a static pool never
 // calls it.
 func (pl *Pool) SetProgram(p *Program, version uint64) {
-	next := &verProgram{prog: p, version: version}
+	next := &verProgram{prog: p, version: version, mets: pl.mets}
 	for {
 		cur := pl.cur.Load()
 		if cur != nil && version < cur.version {
@@ -337,7 +341,7 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	}
 	select {
 	case e := <-pl.free:
-		metrics.PoolGets.Inc()
+		pl.mets.PoolGets.Inc()
 		return pl.fresh(e)
 	default:
 	}
@@ -358,7 +362,7 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 			pl.mu.Unlock()
 			return nil, fmt.Errorf("hypo: Pool engine construction failed: %w", err)
 		}
-		metrics.PoolNews.Inc()
+		pl.mets.PoolNews.Inc()
 		return e, nil
 	}
 	pl.mu.Unlock()
@@ -367,7 +371,7 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	}
 	select {
 	case e := <-pl.free:
-		metrics.PoolGets.Inc()
+		pl.mets.PoolGets.Inc()
 		return pl.fresh(e)
 	case <-pl.closing:
 		return nil, ErrPoolClosed
@@ -422,12 +426,12 @@ func (pl *Pool) fresh(e *Engine) (*Engine, error) {
 		if applied {
 			e.prog = cur.prog
 			e.version = cur.version
-			metrics.LiveIncrementalApplies.Inc()
-			metrics.LiveIncrementalAtoms.Add(int64(atoms))
+			pl.mets.LiveIncrementalApplies.Inc()
+			pl.mets.LiveIncrementalAtoms.Add(int64(atoms))
 			return e, nil
 		}
 	}
-	metrics.LiveIncrementalFallbacks.Inc()
+	pl.mets.LiveIncrementalFallbacks.Inc()
 	ne, err := pl.build()
 	if err != nil {
 		pl.mu.Lock()
@@ -435,7 +439,7 @@ func (pl *Pool) fresh(e *Engine) (*Engine, error) {
 		pl.mu.Unlock()
 		return nil, fmt.Errorf("hypo: Pool engine rebuild failed: %w", err)
 	}
-	metrics.LiveRebuilds.Inc()
+	pl.mets.LiveRebuilds.Inc()
 	return ne, nil
 }
 
@@ -448,7 +452,7 @@ func (pl *Pool) put(e *Engine) {
 		pl.created--
 		return
 	}
-	metrics.PoolPuts.Inc()
+	pl.mets.PoolPuts.Inc()
 	pl.free <- e
 }
 
@@ -469,7 +473,7 @@ func (pl *Pool) AskCtx(ctx context.Context, query string) (bool, error) {
 // hit, missed, coalesced onto another caller's identical in-flight
 // evaluation, or bypassed, and the evaluation work this call performed.
 func (pl *Pool) AskInfoCtx(ctx context.Context, query string) (bool, ReadInfo, error) {
-	fin := poolTrack()
+	fin := poolTrack(pl.mets)
 	ok, info, err := pl.askInfoCtx(ctx, query)
 	fin(err)
 	return ok, info, err
@@ -601,7 +605,7 @@ func (pl *Pool) QueryCtx(ctx context.Context, query string) ([]Binding, error) {
 // QueryInfoCtx is QueryCtx additionally reporting how the read was
 // served; see AskInfoCtx.
 func (pl *Pool) QueryInfoCtx(ctx context.Context, query string) ([]Binding, ReadInfo, error) {
-	fin := poolTrack()
+	fin := poolTrack(pl.mets)
 	var out []Binding
 	var info ReadInfo
 	err := pl.queryEachInfoCtx(ctx, query, &info, func(b Binding) error {
@@ -632,7 +636,7 @@ func (pl *Pool) QueryEachCtx(ctx context.Context, query string, yield func(Bindi
 // set before the first yield call (so a streaming caller can surface
 // them in response headers), Stats when QueryEachInfoCtx returns.
 func (pl *Pool) QueryEachInfoCtx(ctx context.Context, query string, info *ReadInfo, yield func(Binding) error) error {
-	fin := poolTrack()
+	fin := poolTrack(pl.mets)
 	err := pl.queryEachInfoCtx(ctx, query, info, yield)
 	fin(err)
 	return err
@@ -709,6 +713,61 @@ func (pl *Pool) queryEachInfoCtx(ctx context.Context, query string, info *ReadIn
 	return nil
 }
 
+// ExplainCtx returns a rendered derivation tree for a provable ground
+// query ("" when it does not hold) plus the data version it was computed
+// at; see Engine.Explain. Explanations always run on a uniform engine:
+// when the pool's engines are uniform the leased engine's warm memo
+// tables answer directly; when they run the cascade, a one-off uniform
+// engine is built from the current version's fact substrate (an
+// explanation is a diagnostic read — one extra engine build is the price
+// of a proof tree, not a hot-path cost). Answers bypass the cache: the
+// proof tree, not the boolean, is the product. ctx bounds the wait for a
+// free engine; the proof search itself is bounded by Options.MaxGoals.
+func (pl *Pool) ExplainCtx(ctx context.Context, query string) (string, ReadInfo, error) {
+	fin := poolTrack(pl.mets)
+	out, info, err := pl.explainCtx(ctx, query)
+	fin(err)
+	return out, info, err
+}
+
+func (pl *Pool) explainCtx(ctx context.Context, query string) (string, ReadInfo, error) {
+	e, err := pl.get(ctx)
+	if err != nil {
+		return "", ReadInfo{}, err
+	}
+	defer pl.put(e)
+	info := ReadInfo{DataVersion: e.version, Cache: CacheBypass}
+	if e.uni != nil {
+		before := e.Stats()
+		out, err := e.Explain(query)
+		e.noteWork(before)
+		info.Stats = statsDelta(before, e.Stats())
+		return out, info, e.enrich(err)
+	}
+	// Cascade-mode pool: build a throwaway uniform engine at the leased
+	// engine's version. The lease is kept for its admission effect — at
+	// most PoolSize explain evaluations run at once — and to pin `cur`
+	// from racing far ahead, though the substrate is looked up afresh.
+	cur := pl.cur.Load()
+	sub, serr := cur.substrate()
+	if serr != nil {
+		return "", info, serr
+	}
+	opts := pl.opts
+	opts.Mode = ModeUniform
+	opts.CacheBytes = 0
+	ue, uerr := newFromSubstrate(cur.prog, opts, sub.in, sub.db)
+	if uerr != nil {
+		return "", info, fmt.Errorf("hypo: building uniform engine for Explain: %w", uerr)
+	}
+	ue.version = cur.version
+	info.DataVersion = cur.version
+	out, err := ue.Explain(query)
+	ue.noteWork(Stats{})
+	info.Stats = ue.Stats()
+	return out, info, ue.enrich(err)
+}
+
 // AskUnder evaluates a ground query in a hypothetically extended
 // database; see Engine.AskUnder.
 func (pl *Pool) AskUnder(query string, added ...string) (bool, error) {
@@ -726,7 +785,7 @@ func (pl *Pool) AskUnderCtx(ctx context.Context, query string, added ...string) 
 // same hypothetical state reached in a different add order shares one
 // entry.
 func (pl *Pool) AskUnderInfoCtx(ctx context.Context, query string, added ...string) (bool, ReadInfo, error) {
-	fin := poolTrack()
+	fin := poolTrack(pl.mets)
 	ok, info, err := pl.askUnderInfoCtx(ctx, query, added)
 	fin(err)
 	return ok, info, err

@@ -98,7 +98,7 @@ func TestPoolConcurrent(t *testing.T) {
 // configured size, however many callers hammer it.
 func TestPoolBounded(t *testing.T) {
 	p := mustParse(t, uniSrc)
-	newsBefore := metrics.PoolNews.Value()
+	newsBefore := metrics.Default.PoolNews.Value()
 	pool, err := NewPool(p, Options{PoolSize: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +120,7 @@ func TestPoolBounded(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if news := metrics.PoolNews.Value() - newsBefore; news > 2 {
+	if news := metrics.Default.PoolNews.Value() - newsBefore; news > 2 {
 		t.Errorf("pool created %d engines, want at most 2", news)
 	}
 }
@@ -178,10 +178,10 @@ func TestPoolMetricsConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	started := metrics.QueriesStarted.Value()
-	done := metrics.QueriesSucceeded.Value() + metrics.QueriesFailed.Value() + metrics.QueriesCanceled.Value()
-	gets := metrics.PoolGets.Value()
-	puts := metrics.PoolPuts.Value()
+	started := metrics.Default.QueriesStarted.Value()
+	done := metrics.Default.QueriesSucceeded.Value() + metrics.Default.QueriesFailed.Value() + metrics.Default.QueriesCanceled.Value()
+	gets := metrics.Default.PoolGets.Value()
+	puts := metrics.Default.PoolPuts.Value()
 
 	pool.Ask("node(v0)") // succeeds
 	pool.Ask("node(")    // parse error: fails without consuming an engine
@@ -190,13 +190,13 @@ func TestPoolMetricsConsistent(t *testing.T) {
 	pool.AskCtx(ctx, "yes") // canceled
 	cancel()
 
-	if ds, dd := metrics.QueriesStarted.Value()-started,
-		metrics.QueriesSucceeded.Value()+metrics.QueriesFailed.Value()+metrics.QueriesCanceled.Value()-done; ds != 4 || dd != 4 {
+	if ds, dd := metrics.Default.QueriesStarted.Value()-started,
+		metrics.Default.QueriesSucceeded.Value()+metrics.Default.QueriesFailed.Value()+metrics.Default.QueriesCanceled.Value()-done; ds != 4 || dd != 4 {
 		t.Errorf("started delta = %d, outcome delta = %d; want 4 and 4", ds, dd)
 	}
 	// Three queries reached an engine (the parse error did not); every
 	// lease was returned.
-	if dg, dp := metrics.PoolGets.Value()-gets, metrics.PoolPuts.Value()-puts; dp != 3 || dg > dp {
+	if dg, dp := metrics.Default.PoolGets.Value()-gets, metrics.Default.PoolPuts.Value()-puts; dp != 3 || dg > dp {
 		t.Errorf("pool gets delta = %d, puts delta = %d; want puts = 3, gets <= puts", dg, dp)
 	}
 }
