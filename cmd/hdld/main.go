@@ -13,6 +13,15 @@
 //	-pool n         engine pool size = max concurrent evaluations (0 = GOMAXPROCS)
 //	-queue n        admission queue beyond the pool (0 = 4 × pool)
 //	-max n          per-query goal budget (0 = unlimited)
+//	-max-memory n   per-query memory budget in bytes: a query whose memo
+//	                tables, interner and hypothesis growth exceed it
+//	                aborts with 422 kind "memory" (0 = unlimited)
+//	-tenant-memory-quota n  per-program memory ceiling in bytes: past it,
+//	                idle engines are trimmed, then requests shed with
+//	                503 "over_memory" (0 = unlimited)
+//	-tenant-disk-quota n  per-program WAL+snapshot ceiling in bytes:
+//	                past it, writes answer 503 "over_disk" while reads
+//	                keep serving (0 = unlimited)
 //	-cache-bytes n  versioned answer cache budget in bytes (0 = disabled);
 //	                repeated identical queries at one data version are
 //	                served from memory and concurrent identical misses
@@ -69,8 +78,11 @@
 // the daemon degrades instead of dying: queries keep serving the last
 // committed version, POST /v1/facts answers 503 with error kind
 // "read_only", /healthz stays 200 but reports status "degraded" (reason
-// "read_only"), and the live_readonly expvar gauge goes to 1. The state
-// is sticky — restart the daemon once the disk is healthy and it
+// "read_only"), and the live_readonly expvar gauge goes to 1. A
+// transient cause (ENOSPC/EDQUOT with a clean rollback) starts a
+// background recovery prober that re-enables writes once a probe write
+// fsyncs cleanly — healthz shows "recovering": true meanwhile. Any other
+// cause is sticky: restart the daemon once the disk is healthy and it
 // recovers from the snapshot + WAL tail. See README, "What happens when
 // the disk fails".
 //
@@ -106,6 +118,9 @@ func run() int {
 	pool := flag.Int("pool", 0, "engine pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue length (0 = 4 × pool)")
 	maxGoals := flag.Int64("max", 0, "goal budget per query (0 = unlimited)")
+	maxMemory := flag.Int64("max-memory", 0, "memory budget per query in bytes (0 = unlimited)")
+	tenantMemQuota := flag.Int64("tenant-memory-quota", 0, "per-program memory ceiling in bytes (0 = unlimited)")
+	tenantDiskQuota := flag.Int64("tenant-disk-quota", 0, "per-program WAL+snapshot ceiling in bytes (0 = unlimited)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "answer cache byte budget (0 = disabled)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request evaluation deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "clamp on request-supplied timeouts")
@@ -159,7 +174,7 @@ func run() int {
 			return 1
 		}
 	}
-	opts := hypo.Options{MaxGoals: *maxGoals, PoolSize: *pool, CacheBytes: *cacheBytes}
+	opts := hypo.Options{MaxGoals: *maxGoals, MaxMemoryBytes: *maxMemory, PoolSize: *pool, CacheBytes: *cacheBytes}
 	switch *mode {
 	case "auto":
 		opts.Mode = hypo.ModeAuto
@@ -195,6 +210,8 @@ func run() int {
 			drain:          *drain,
 			snapshotEvery:  *snapshotEvery,
 			minVersionWait: *minVersionWait,
+			memQuota:       *tenantMemQuota,
+			diskQuota:      *tenantDiskQuota,
 		})
 	}
 	if *role == "replica" && (*wal == "" || *primaryURL == "") {
@@ -292,6 +309,8 @@ func run() int {
 		ReplicaStatus:  replicaStatus,
 		PrimaryURL:     *primaryURL,
 		MinVersionWait: *minVersionWait,
+		MemoryQuota:    *tenantMemQuota,
+		DiskQuota:      *tenantDiskQuota,
 	})
 	if err != nil {
 		logger.Error("build server", "err", err)

@@ -21,6 +21,8 @@ type registryServeConfig struct {
 	drain          time.Duration
 	snapshotEvery  int
 	minVersionWait time.Duration
+	memQuota       int64
+	diskQuota      int64
 }
 
 // runRegistry is -programs-dir mode: recover every program under dir,
@@ -35,6 +37,8 @@ func runRegistry(logger *slog.Logger, dir, defaultName string, prog *hypo.Progra
 		Options:     opts,
 		LiveConfig:  hypo.LiveConfig{SnapshotEvery: sc.snapshotEvery},
 		MaxQueue:    sc.queue,
+		MemoryQuota: sc.memQuota,
+		DiskQuota:   sc.diskQuota,
 		Logger:      logger,
 	})
 	if err != nil {

@@ -81,6 +81,9 @@ var (
 	// ErrDeadline means the query's context deadline expired
 	// mid-evaluation.
 	ErrDeadline = topdown.ErrDeadline
+	// ErrMemory means the query grew the engine's tracked memory
+	// footprint past Options.MaxMemoryBytes.
+	ErrMemory = topdown.ErrMemory
 )
 
 // AbortError wraps ErrBudget, ErrCanceled or ErrDeadline with the
@@ -291,6 +294,14 @@ type Options struct {
 	// MaxGoals aborts runaway queries after this many goal expansions in
 	// the uniform engine (0 = unlimited). Ignored by the cascade.
 	MaxGoals int64
+	// MaxMemoryBytes aborts a query once it has grown the engine's
+	// tracked memory footprint (interner, base database, memo tables,
+	// cached Δ materialisations) by more than this many bytes, surfaced
+	// as an *AbortError wrapping ErrMemory. The budget is per query: a
+	// warm engine's existing footprint never counts against it. Zero
+	// means unlimited (accounting stays on, so Pool.MemBytes and tenant
+	// quotas still see the footprint). Enforced in both modes.
+	MaxMemoryBytes int64
 	// NoTabling and NoPlanner disable engine features (for ablations).
 	NoTabling bool
 	NoPlanner bool
@@ -347,6 +358,34 @@ type Engine struct {
 	// mets is the metric set this engine reports into (never nil; defaults
 	// to metrics.Default).
 	mets *metrics.Set
+
+	// mem tracks the engine's approximate heap footprint and enforces
+	// Options.MaxMemoryBytes per query. Always non-nil for engines built
+	// by New/newFromSubstrate; shared by every component of a cascade.
+	mem *topdown.MemTracker
+}
+
+// MemBytes returns the engine's tracked heap footprint: interner, base
+// database, memo tables and cached Δ materialisations. It is an
+// estimator (linear in the real footprint), the quantity per-tenant
+// memory quotas account idle pooled engines at.
+func (e *Engine) MemBytes() int64 { return e.mem.Current() }
+
+// beginMem snapshots the footprint as the next query's budget baseline.
+// Engine methods do this via track; the Pool calls it before evaluating
+// on a leased engine.
+func (e *Engine) beginMem() { e.mem.Begin() }
+
+// newMemTracker assembles the per-engine footprint tracker: explicit
+// charges land in it directly, and the substrate counters are polled as
+// sources. One tracker serves a whole cascade — its components share a
+// single interner and database, so the sources are registered here once.
+func newMemTracker(max int64, in *facts.Interner, base *facts.DB) *topdown.MemTracker {
+	t := topdown.NewMemTracker(max)
+	t.AddSource(in.MemBytes)
+	t.AddSource(base.MemBytes)
+	t.Begin()
+	return t
 }
 
 // DataVersion reports the data version of the base database this engine
@@ -499,7 +538,9 @@ func New(p *Program, opts Options) (*Engine, error) {
 			NoTabling: opts.NoTabling,
 			NoPlanner: opts.NoPlanner,
 		})
-		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets}, nil
+		mem := newMemTracker(opts.MaxMemoryBytes, uni.Interner(), uni.Base())
+		uni.SetMem(mem)
+		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
 	case ModeCascade:
 		if p.strt == nil {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
@@ -508,7 +549,9 @@ func New(p *Program, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets}, nil
+		mem := newMemTracker(opts.MaxMemoryBytes, cas.Interner(), cas.Base())
+		cas.SetMemTracker(mem)
+		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
 	default:
 		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
 	}
@@ -544,7 +587,9 @@ func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *fa
 			NoTabling: opts.NoTabling,
 			NoPlanner: opts.NoPlanner,
 		})
-		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets}, nil
+		mem := newMemTracker(opts.MaxMemoryBytes, in, base)
+		uni.SetMem(mem)
+		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
 	case ModeCascade:
 		if p.strt == nil {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
@@ -553,7 +598,9 @@ func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *fa
 		if err != nil {
 			return nil, err
 		}
-		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets}, nil
+		mem := newMemTracker(opts.MaxMemoryBytes, in, base)
+		cas.SetMemTracker(mem)
+		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
 	default:
 		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
 	}
@@ -874,6 +921,9 @@ func (e *Engine) Stats() topdown.Stats {
 			sum.MaxDepth = s.MaxDepth
 		}
 	}
+	// Every cascade component shares one tracker, so the growth is read
+	// once, not summed per stratum.
+	sum.MemBytes = e.mem.Grown()
 	return sum
 }
 
@@ -959,6 +1009,7 @@ func checkAtomDomain(a ast.Atom, syms *symbols.Table, domSet map[symbols.Const]b
 // accounting happens here, once per query.
 func (e *Engine) track() func(error) {
 	fin := poolTrack(e.mets)
+	e.beginMem()
 	before := e.Stats()
 	return func(err error) {
 		e.noteWork(before)
@@ -992,17 +1043,30 @@ func recordOutcome(m *metrics.Set, start time.Time, err error) {
 	case errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline):
 		m.QueriesCanceled.Inc()
 	default:
+		if errors.Is(err, ErrMemory) {
+			m.MemQueryAborts.Inc()
+		}
 		m.QueriesFailed.Inc()
 	}
 }
 
 // enrich fills an AbortError's empty stats snapshot with the engine's
 // summed counters: aborts raised inside a Δ prover or the solution
-// enumerator carry no top-down stats of their own.
+// enumerator carry no top-down stats of their own. A memory abort from a
+// Δ prover carries only its MemBytes reading; the goal counters are
+// filled in the same way.
 func (e *Engine) enrich(err error) error {
 	var ae *AbortError
-	if errors.As(err, &ae) && ae.Stats == (topdown.Stats{}) {
-		ae.Stats = e.Stats()
+	if errors.As(err, &ae) {
+		rest := ae.Stats
+		rest.MemBytes = 0
+		if rest == (topdown.Stats{}) {
+			mem := ae.Stats.MemBytes
+			ae.Stats = e.Stats()
+			if mem != 0 {
+				ae.Stats.MemBytes = mem
+			}
+		}
 	}
 	return err
 }

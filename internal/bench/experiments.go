@@ -42,6 +42,7 @@ type Sizes struct {
 	CacheN  []int // E17: answer-cache graph sizes
 	ReplN   []int // E18: replica counts
 	TenantK []int // E19: co-resident tenant counts
+	MemN    []int // E20: memory-budget graph sizes
 	Seed    int64
 }
 
@@ -60,6 +61,7 @@ func DefaultSizes() Sizes {
 		CacheN:  []int{32, 48, 64},
 		ReplN:   []int{1, 2, 3},
 		TenantK: []int{1, 2, 4},
+		MemN:    []int{24, 48, 64},
 		Seed:    1,
 	}
 }
@@ -79,6 +81,7 @@ func SmokeSizes() Sizes {
 		CacheN:  []int{6, 10},
 		ReplN:   []int{1, 2},
 		TenantK: []int{1, 2},
+		MemN:    []int{16},
 		Seed:    1,
 	}
 }
@@ -1067,5 +1070,6 @@ func All() []Experiment {
 		{"E17", "answer cache: repeated reads on vs off", E17CacheReads},
 		{"E18", "replication: read scaling across replicas, min-version wait", E18Replication},
 		{"E19", "multi-tenant: per-tenant tail latency as co-resident programs grow", E19MultiTenant},
+		{"E20", "memory governance: per-query byte budget, refusing vs paying", E20MemGovern},
 	}
 }

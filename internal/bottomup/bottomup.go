@@ -47,10 +47,27 @@ type Prover struct {
 	// ctxCheckInterval steps and the fixpoint loop once per pass.
 	ctx   context.Context
 	steps int64
+
+	// mem is the shared footprint tracker of the enclosing cascade (via
+	// SetMem); nil disables accounting and the budget. Derived atoms and
+	// cached materialisations are charged into it as they grow, and the
+	// join loop polls it at the same points as the context.
+	mem *topdown.MemTracker
 }
 
 // ctxCheckInterval is how many join steps pass between context polls.
 const ctxCheckInterval = 1024
+
+// matAtomBytes approximates the heap cost of one derived atom in a
+// materialised model; matEntryOverhead the fixed cost of one cache entry
+// beyond its atoms (key string, map slot, matEntry struct).
+const (
+	matAtomBytes     = 16
+	matEntryOverhead = 96
+)
+
+// SetMem installs the cascade's shared footprint tracker.
+func (p *Prover) SetMem(t *topdown.MemTracker) { p.mem = t }
 
 type atomSet map[facts.AtomID]struct{}
 
@@ -211,6 +228,18 @@ func (p *Prover) checkCtx() error {
 	return nil
 }
 
+// checkMem polls the shared memory budget.
+func (p *Prover) checkMem() error {
+	if p.mem.Over() {
+		return &topdown.AbortError{
+			Reason: topdown.ErrMemory,
+			Limit:  p.mem.Max(),
+			Stats:  topdown.Stats{MemBytes: p.mem.Grown()},
+		}
+	}
+	return nil
+}
+
 // Materialise computes (or returns the cached) perfect model of the Δ part
 // over the state, per the paper's PROVE_Δi main loop.
 func (p *Prover) Materialise(st facts.State) (atomSet, error) {
@@ -222,11 +251,17 @@ func (p *Prover) Materialise(st facts.State) (atomSet, error) {
 	derived := atomSet{}
 	for _, lvlRules := range p.levels {
 		if err := p.lfp(lvlRules, st, derived); err != nil {
+			// The partial model is discarded; release its charges.
+			p.mem.Add(-matAtomBytes * int64(len(derived)))
 			return nil, err
 		}
 	}
 	if len(p.cache) < p.maxCache {
 		p.cache[key] = &matEntry{delta: st.Delta, atoms: derived}
+		p.mem.Add(matEntryOverhead + int64(len(key)))
+	} else {
+		// Not cached: the model is garbage once the caller is done.
+		p.mem.Add(-matAtomBytes * int64(len(derived)))
 	}
 	return derived, nil
 }
@@ -236,6 +271,9 @@ func (p *Prover) Materialise(st facts.State) (atomSet, error) {
 func (p *Prover) lfp(rules []int, st facts.State, derived atomSet) error {
 	for {
 		if err := p.checkCtx(); err != nil {
+			return err
+		}
+		if err := p.checkMem(); err != nil {
 			return err
 		}
 		changed := false
@@ -275,6 +313,7 @@ func (p *Prover) applyRule(ri int, st facts.State, derived atomSet) (bool, error
 			h := p.ground(r.Head, binding)
 			if !derived.has(h) && !st.Has(h) {
 				derived[h] = struct{}{}
+				p.mem.Add(matAtomBytes)
 				changed = true
 			}
 			return nil
@@ -320,8 +359,11 @@ func (p *Prover) oracleOwned(pred symbols.Pred) bool {
 
 func (p *Prover) joinAt(r *ast.CRule, order []int, binding []symbols.Const, pi int, st facts.State, derived atomSet, yield func() error) error {
 	p.steps++
-	if p.ctx != nil && p.steps%ctxCheckInterval == 0 {
+	if p.steps%ctxCheckInterval == 0 {
 		if err := p.checkCtx(); err != nil {
+			return err
+		}
+		if err := p.checkMem(); err != nil {
 			return err
 		}
 	}

@@ -99,11 +99,20 @@ func (p *Prover) incrementalOK(cone map[symbols.Pred]bool) bool {
 	return true
 }
 
+// releaseEntry returns a cache entry's memory charges (the entry itself
+// is deleted by the caller).
+func (p *Prover) releaseEntry(key string, me *matEntry) {
+	p.mem.Add(-(matEntryOverhead + int64(len(key)) + matAtomBytes*int64(len(me.atoms))))
+}
+
 // DropCache discards every cached materialisation; queries recompute
 // lazily against whatever the base database holds then.
 func (p *Prover) DropCache() {
 	if n := len(p.cache); n > 0 {
 		metrics.Default.LiveIncrementalDropped.Add(int64(n))
+	}
+	for key, me := range p.cache {
+		p.releaseEntry(key, me)
 	}
 	p.cache = make(map[string]*matEntry)
 }
@@ -129,6 +138,7 @@ func (p *Prover) PlanDelta(added, removed []facts.AtomID, cone map[symbols.Pred]
 		// unreachable garbage, so drop it instead of maintaining it.
 		if deltaTouches(me.delta, added) || deltaTouches(me.delta, removed) {
 			delete(p.cache, key)
+			p.releaseEntry(key, me)
 			metrics.Default.LiveIncrementalDropped.Inc()
 			continue
 		}
@@ -138,6 +148,7 @@ func (p *Prover) PlanDelta(added, removed []facts.AtomID, cone map[symbols.Pred]
 			// sound — the next query rematerialises and surfaces the error
 			// in its own context.
 			delete(p.cache, key)
+			p.releaseEntry(key, me)
 			metrics.Default.LiveIncrementalDropped.Inc()
 			continue
 		}
@@ -159,6 +170,7 @@ func (p *Prover) ApplyPlan(plan *Plan, added []facts.AtomID) {
 	for _, u := range plan.updates {
 		if err := p.applyUpdate(u, added); err != nil {
 			delete(p.cache, u.key)
+			p.releaseEntry(u.key, u.entry)
 			metrics.Default.LiveIncrementalDropped.Inc()
 			continue
 		}
@@ -170,6 +182,7 @@ func (p *Prover) applyUpdate(u *pendingUpdate, added []facts.AtomID) error {
 	me := u.entry
 	for id := range u.over {
 		delete(me.atoms, id)
+		p.mem.Add(-matAtomBytes)
 	}
 	st := facts.State{Base: p.base, Delta: me.delta} // base holds post-commit facts now
 	var frontier []facts.AtomID
@@ -180,6 +193,7 @@ func (p *Prover) applyUpdate(u *pendingUpdate, added []facts.AtomID) error {
 		}
 		if ok {
 			me.atoms[id] = struct{}{}
+			p.mem.Add(matAtomBytes)
 			frontier = append(frontier, id)
 		}
 	}
@@ -227,6 +241,7 @@ func (p *Prover) propagate(me *matEntry, st facts.State, frontier []facts.AtomID
 		err := p.pinnedJoin(st, me.atoms, frontier, func(h facts.AtomID) error {
 			if !me.atoms.has(h) && !st.Has(h) {
 				me.atoms[h] = struct{}{}
+				p.mem.Add(matAtomBytes)
 				next = append(next, h)
 			}
 			return nil

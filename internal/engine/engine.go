@@ -140,6 +140,20 @@ func NewCascadeWithBase(cp *ast.CProgram, s *strat.Stratification, dom []symbols
 	return c, nil
 }
 
+// SetMemTracker installs one shared footprint tracker into every Σ
+// engine and Δ prover of the cascade. The components share a single
+// interner and base database, so the tracker's sources are registered
+// once by the caller, not per component; the components only charge
+// their private memo/materialisation state into it.
+func (c *Cascade) SetMemTracker(t *topdown.MemTracker) {
+	for _, se := range c.sigma {
+		se.SetMem(t)
+	}
+	for _, dp := range c.delta {
+		dp.SetMem(t)
+	}
+}
+
 // Interner returns the cascade's ground-atom interner.
 func (c *Cascade) Interner() *facts.Interner { return c.in }
 

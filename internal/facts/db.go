@@ -22,7 +22,14 @@ type DB struct {
 	set    map[AtomID]struct{}
 	byPred map[symbols.Pred][]AtomID
 	index  map[indexKey][]AtomID
+	bytes  int64 // approximate heap footprint of the indexes
 }
+
+// dbAtomBytes approximates the indexing cost of one atom: the set entry,
+// the byPred slot, and one index entry (key + slot) per argument
+// position. Like the interner's accounting it is an estimator for budget
+// enforcement, linear in the real footprint.
+func dbAtomBytes(nargs int) int64 { return 48 + 32*int64(nargs) }
 
 // NewDB returns an empty database over the interner.
 func NewDB(in *Interner) *DB {
@@ -64,8 +71,13 @@ func (db *DB) insert(id AtomID) bool {
 		k := indexKey{pred, pos, val}
 		db.index[k] = append(db.index[k], id)
 	}
+	db.bytes += dbAtomBytes(len(db.in.Args(id)))
 	return true
 }
+
+// MemBytes returns the database's approximate heap footprint (excluding
+// the interner's, reported separately by Interner.MemBytes).
+func (db *DB) MemBytes() int64 { return db.bytes }
 
 // Remove deletes an atom from the database, unindexing it. It reports
 // whether the atom was present. The filtered index slices are freshly
@@ -89,6 +101,7 @@ func (db *DB) Remove(id AtomID) bool {
 			delete(db.index, k)
 		}
 	}
+	db.bytes -= dbAtomBytes(len(db.in.Args(id)))
 	return true
 }
 
@@ -153,6 +166,7 @@ func (db *DB) CloneFor(in *Interner) *DB {
 		set:    make(map[AtomID]struct{}, len(db.set)),
 		byPred: make(map[symbols.Pred][]AtomID, len(db.byPred)),
 		index:  make(map[indexKey][]AtomID, len(db.index)),
+		bytes:  db.bytes,
 	}
 	for id := range db.set {
 		out.set[id] = struct{}{}

@@ -30,7 +30,15 @@ type Interner struct {
 	atoms []groundAtom
 	index map[string]AtomID
 	buf   []byte // scratch for key encoding
+	bytes int64  // approximate heap footprint of atoms + index
 }
+
+// internEntryOverhead approximates the fixed heap cost of one interned
+// atom beyond its key and argument bytes: the groundAtom struct, the
+// index map entry, and allocator slack. The accounting is a budget
+// estimator, not a profiler — it only needs to grow linearly with real
+// memory so a byte ceiling translates to a bounded RSS.
+const internEntryOverhead = 64
 
 // NewInterner returns an empty interner over the given symbol table.
 func NewInterner(syms *symbols.Table) *Interner {
@@ -72,8 +80,14 @@ func (in *Interner) ID(pred symbols.Pred, args []symbols.Const) AtomID {
 	}
 	in.atoms = append(in.atoms, stored)
 	in.index[string(key)] = id
+	in.bytes += int64(len(key)) + 8*int64(len(args)) + internEntryOverhead
 	return id
 }
+
+// MemBytes returns the interner's approximate heap footprint. Atoms are
+// never un-interned, so the value is monotone within one interner (but
+// resets to the substrate's footprint on Clone).
+func (in *Interner) MemBytes() int64 { return in.bytes }
 
 // Lookup returns the id of pred(args...) if it has been interned.
 func (in *Interner) Lookup(pred symbols.Pred, args []symbols.Const) (AtomID, bool) {
@@ -101,6 +115,7 @@ func (in *Interner) Clone() *Interner {
 		syms:  in.syms,
 		atoms: append([]groundAtom(nil), in.atoms...),
 		index: make(map[string]AtomID, len(in.index)),
+		bytes: in.bytes,
 	}
 	for k, v := range in.index {
 		out.index[k] = v

@@ -45,6 +45,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/storage"
@@ -89,11 +90,14 @@ func Retract(a ast.Atom) Mutation { return Mutation{Op: OpRetract, Atom: a} }
 var ErrClosed = errors.New("live: store is closed")
 
 // ErrReadOnly is returned by Commit (and Compact) once an I/O error has
-// degraded the store to read-only. The state is sticky: reads keep
-// serving the last committed version, every subsequent mutation fails
-// with an error satisfying errors.Is(err, ErrReadOnly), and only a
-// restart — which re-runs recovery against the surviving durable state —
-// clears it. Test with errors.Is; the original I/O error is joined in
+// degraded the store to read-only: reads keep serving the last
+// committed version and every subsequent mutation fails with an error
+// satisfying errors.Is(err, ErrReadOnly). For corruption-class errors
+// (EIO, a failed rollback) the state is sticky — only a restart, which
+// re-runs recovery against the surviving durable state, clears it. For
+// transient space pressure (ENOSPC with a clean rollback) the write
+// path can be re-enabled in place once TryRecover's probe write fsyncs
+// cleanly. Test with errors.Is; the original I/O error is joined in
 // (and available via ReadOnly).
 var ErrReadOnly = errors.New("live: store is read-only (degraded after an I/O error; restart to recover)")
 
@@ -180,7 +184,13 @@ type Store struct {
 
 	cache  []ast.Atom // sorted fact slice for the current version
 	closed bool
-	roErr  error // first unrecoverable I/O error; non-nil = read-only
+	roErr  error // first degrading I/O error; non-nil = read-only
+	// roTransient marks the degradation as transient I/O pressure (e.g.
+	// ENOSPC with a clean WAL rollback) rather than corruption: the
+	// on-disk prefix is known-good, so TryRecover may re-enable writes
+	// once a probe write fsyncs cleanly. Sticky degradations (EIO,
+	// failed rollback) keep it false and only a restart recovers.
+	roTransient bool
 
 	// tail is the in-memory ring of recent commit records — the stream
 	// source for replication followers. It is seeded from the WAL tail at
@@ -363,13 +373,32 @@ func (s *Store) syncDir(path string) error {
 	return nil
 }
 
-// degradeLocked records the first unrecoverable I/O error and flips the
-// store into its sticky read-only state. It returns the error to hand
-// the caller: ErrReadOnly joined with the cause.
-func (s *Store) degradeLocked(cause error) error {
+// isTransientIO reports whether an I/O error is space pressure rather
+// than disk damage. ENOSPC (and the quota twin EDQUOT) is transient:
+// the kernel rejected the data outright, so unlike a post-EIO fsync
+// there are no untrustworthy dirty pages — once the rollback truncate
+// has restored the known-good WAL prefix, resuming appends after space
+// returns is sound.
+func isTransientIO(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// degradeLocked records the first degrading I/O error and flips the
+// store read-only. rollbackOK reports whether the on-disk state is
+// still a known-good prefix (nothing was written, or the rollback
+// truncate succeeded); only then, and only for transient space-pressure
+// errors, is the degradation recoverable by TryRecover — anything else
+// is sticky until restart. It returns the error to hand the caller:
+// ErrReadOnly joined with the cause.
+func (s *Store) degradeLocked(cause error, rollbackOK bool) error {
 	if s.roErr == nil {
 		s.roErr = cause
-		s.log.Error("live: unrecoverable I/O error; store is now read-only", "err", cause)
+		s.roTransient = rollbackOK && isTransientIO(cause)
+		if s.roTransient {
+			s.log.Error("live: transient I/O pressure; store is read-only until a recovery probe succeeds", "err", cause)
+		} else {
+			s.log.Error("live: unrecoverable I/O error; store is now read-only", "err", cause)
+		}
 	}
 	return errors.Join(ErrReadOnly, cause)
 }
@@ -380,6 +409,94 @@ func (s *Store) ReadOnly() (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.roErr != nil, s.roErr
+}
+
+// Degraded reports the store's degradation state: whether it is
+// read-only, whether that degradation is transient (eligible for
+// TryRecover), and the causing error.
+func (s *Store) Degraded() (ro, transient bool, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.roErr != nil, s.roTransient, s.roErr
+}
+
+// TryRecover attempts to re-enable the write path of a transiently
+// degraded store (see Degraded). It probes the disk — a throwaway file
+// in the WAL's directory must create, write and fsync cleanly — then
+// re-fsyncs the WAL handle and its directory so any durability step the
+// degradation interrupted (e.g. a rotation's directory entry) lands.
+// Only when every step succeeds does the store become writable again.
+// On a healthy store it is a no-op; on a sticky degradation it fails
+// with ErrReadOnly without touching the disk.
+func (s *Store) TryRecover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.roErr == nil {
+		return nil
+	}
+	if !s.roTransient {
+		return errors.Join(ErrReadOnly, s.roErr)
+	}
+	probe := s.cfg.WALPath + ".probe"
+	f, err := s.fs.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("live: recovery probe create: %w", err)
+	}
+	_, err = f.Write([]byte("hdl-recovery-probe"))
+	if err == nil {
+		err = s.syncFile(f)
+	}
+	cerr := f.Close()
+	s.fs.Remove(probe)
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("live: recovery probe: %w", err)
+	}
+	// The probe proves the disk accepts new data; now make the store's
+	// own files durable again (a rotation degrade left its directory
+	// fsync pending, an append degrade left a truncated-back WAL whose
+	// metadata should settle before new records land on it).
+	if err := s.syncFile(s.wal); err != nil {
+		return fmt.Errorf("live: recovery WAL fsync: %w", err)
+	}
+	if err := s.syncDir(s.cfg.WALPath); err != nil {
+		return fmt.Errorf("live: recovery dir fsync: %w", err)
+	}
+	s.log.Info("live: write path recovered", "cause", s.roErr, "version", s.version)
+	s.roErr = nil
+	s.roTransient = false
+	return nil
+}
+
+// DiskBytes reports the store's current on-disk footprint: the WAL plus
+// the snapshot (when configured). It is an instantaneous figure read
+// through the store's filesystem, used for disk-quota accounting.
+func (s *Store) DiskBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	var n int64
+	if s.wal != nil {
+		if off, err := s.wal.Seek(0, io.SeekEnd); err == nil {
+			n += off
+		}
+	}
+	if s.cfg.SnapshotPath != "" {
+		if f, err := s.fs.Open(s.cfg.SnapshotPath); err == nil {
+			if off, err := f.Seek(0, io.SeekEnd); err == nil {
+				n += off
+			}
+			f.Close()
+		}
+	}
+	return n
 }
 
 // apply performs one mutation on the fact map, reporting whether it
@@ -444,17 +561,18 @@ func (s *Store) Commit(ms []Mutation) (CommitInfo, error) {
 	record := encodeRecord(s.version+1, ms)
 	off, err := s.wal.Seek(0, io.SeekEnd)
 	if err != nil {
-		return CommitInfo{}, s.degradeLocked(fmt.Errorf("live: WAL seek: %w", err))
+		return CommitInfo{}, s.degradeLocked(fmt.Errorf("live: WAL seek: %w", err), true)
 	}
 	if _, err := s.wal.Write(record); err != nil {
-		// Best effort: cut the possibly partial record back off so the
-		// surviving prefix stays parseable for recovery.
-		_ = s.wal.Truncate(off)
-		return CommitInfo{}, s.degradeLocked(fmt.Errorf("live: WAL append: %w", err))
+		// Cut the possibly partial record back off so the surviving prefix
+		// stays parseable for recovery; a clean cut also keeps a transient
+		// failure (ENOSPC) recoverable in place.
+		terr := s.wal.Truncate(off)
+		return CommitInfo{}, s.degradeLocked(fmt.Errorf("live: WAL append: %w", err), terr == nil)
 	}
 	if err := s.syncFile(s.wal); err != nil {
-		_ = s.wal.Truncate(off)
-		return CommitInfo{}, s.degradeLocked(err)
+		terr := s.wal.Truncate(off)
+		return CommitInfo{}, s.degradeLocked(err, terr == nil)
 	}
 
 	info := CommitInfo{Version: s.version + 1}
@@ -635,7 +753,10 @@ func (s *Store) compactLocked() error {
 	s.walBase = s.version
 	s.sinceSnap = 0
 	if err := s.syncDir(s.cfg.WALPath); err != nil {
-		return s.degradeLocked(fmt.Errorf("live: WAL rotation: %w", err))
+		// Recoverable when transient: the rotated file is already the
+		// directory's target and the handle is swapped; a later successful
+		// directory fsync (TryRecover) makes the rotation durable.
+		return s.degradeLocked(fmt.Errorf("live: WAL rotation: %w", err), true)
 	}
 	s.log.Info("live: compacted",
 		"snapshot", s.cfg.SnapshotPath, "version", s.version, "facts", len(s.facts))
@@ -740,15 +861,15 @@ func (s *Store) ResetToFacts(facts []ast.Atom, version uint64) error {
 	record := encodeResetRecord(version, facts)
 	off, err := s.wal.Seek(0, io.SeekEnd)
 	if err != nil {
-		return s.degradeLocked(fmt.Errorf("live: WAL seek: %w", err))
+		return s.degradeLocked(fmt.Errorf("live: WAL seek: %w", err), true)
 	}
 	if _, err := s.wal.Write(record); err != nil {
-		_ = s.wal.Truncate(off)
-		return s.degradeLocked(fmt.Errorf("live: WAL reset append: %w", err))
+		terr := s.wal.Truncate(off)
+		return s.degradeLocked(fmt.Errorf("live: WAL reset append: %w", err), terr == nil)
 	}
 	if err := s.syncFile(s.wal); err != nil {
-		_ = s.wal.Truncate(off)
-		return s.degradeLocked(err)
+		terr := s.wal.Truncate(off)
+		return s.degradeLocked(err, terr == nil)
 	}
 	s.facts = make(map[string]ast.Atom, len(facts))
 	for _, a := range facts {

@@ -243,6 +243,45 @@ type Set struct {
 	ReplMinVersionWaits    Counter
 	ReplMinVersionTimeouts Counter
 
+	// Memory governance. MemQueryAborts counts queries aborted because
+	// their per-query growth exceeded Options.MaxMemoryBytes (surfaced to
+	// callers as ErrMemory / HTTP 422). MemTenantShed counts requests a
+	// tenant refused with 503 over_memory because the tenant's tracked
+	// footprint (idle engines + answer cache) exceeded its memory quota.
+	// MemPoolBytes and MemCacheBytes are the instantaneous tracked
+	// footprints of the instance's idle engines and its answer cache;
+	// MemEngineTrims counts idle engines dropped by quota-pressure trims.
+	MemQueryAborts Counter
+	MemTenantShed  Counter
+	MemPoolBytes   Gauge
+	MemCacheBytes  Gauge
+	MemEngineTrims Counter
+
+	// Disk governance. DiskQuotaShed counts mutation batches refused with
+	// 503 over_disk because the tenant's on-disk footprint (WAL + snapshot)
+	// exceeded its disk quota. DiskDegradedTransient counts degradations
+	// classified as transient I/O pressure (ENOSPC and friends) — eligible
+	// for automatic recovery — versus sticky corruption.
+	// DiskRecoveryProbes counts background probe attempts while degraded;
+	// DiskRecoveries counts successful re-enables of the write path.
+	// DiskBytes is the instantaneous on-disk footprint (WAL + snapshots).
+	DiskQuotaShed         Counter
+	DiskDegradedTransient Counter
+	DiskRecoveryProbes    Counter
+	DiskRecoveries        Counter
+	DiskBytes             Gauge
+
+	// Replica→primary write-proxy circuit breaker. ProxyBreakerState is
+	// the current state (0 closed, 1 half-open, 2 open); ProxyBreakerOpens
+	// counts closed→open transitions. ProxyRetries counts per-request
+	// retry attempts after a retryable failure, ProxyFastFails requests
+	// answered 503 primary_unreachable without touching the network
+	// because the breaker was open.
+	ProxyBreakerState Gauge
+	ProxyBreakerOpens Counter
+	ProxyRetries      Counter
+	ProxyFastFails    Counter
+
 	// QueryLatency buckets wall-clock seconds per query, 100µs to 10s.
 	QueryLatency *Histogram
 }
@@ -314,6 +353,20 @@ func (s *Set) Snapshot() map[string]any {
 		"repl_proxied_writes":        s.ReplProxiedWrites.Value(),
 		"repl_min_version_waits":     s.ReplMinVersionWaits.Value(),
 		"repl_min_version_timeouts":  s.ReplMinVersionTimeouts.Value(),
+		"mem_query_aborts":           s.MemQueryAborts.Value(),
+		"mem_tenant_shed":            s.MemTenantShed.Value(),
+		"mem_pool_bytes":             s.MemPoolBytes.Value(),
+		"mem_cache_bytes":            s.MemCacheBytes.Value(),
+		"mem_engine_trims":           s.MemEngineTrims.Value(),
+		"disk_quota_shed":            s.DiskQuotaShed.Value(),
+		"disk_degraded_transient":    s.DiskDegradedTransient.Value(),
+		"disk_recovery_probes":       s.DiskRecoveryProbes.Value(),
+		"disk_recoveries":            s.DiskRecoveries.Value(),
+		"disk_bytes":                 s.DiskBytes.Value(),
+		"proxy_breaker_state":        s.ProxyBreakerState.Value(),
+		"proxy_breaker_opens":        s.ProxyBreakerOpens.Value(),
+		"proxy_retries":              s.ProxyRetries.Value(),
+		"proxy_fast_fails":           s.ProxyFastFails.Value(),
 		"query_latency_count":        s.QueryLatency.Count(),
 		"query_latency_sum":          s.QueryLatency.Sum(),
 	}

@@ -1,0 +1,159 @@
+package server
+
+// Unit and concurrency tests for the write-proxy circuit breaker. The
+// clock is injected, so state transitions are exercised without
+// sleeping; the concurrency test below is what `go test -race` chews
+// on in CI.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hypodatalog/internal/metrics"
+)
+
+// testBreaker builds a breaker on a manual clock.
+func testBreaker(t *testing.T, threshold int, cooldown time.Duration) (*breaker, *time.Time, *metrics.Set) {
+	t.Helper()
+	mets := metrics.NewSet("test_breaker_" + t.Name())
+	b := newBreaker(threshold, cooldown, mets)
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+	return b, &clock, mets
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _, mets := testBreaker(t, 3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure(false)
+	}
+	if got := mets.ProxyBreakerState.Value(); got != breakerClosed {
+		t.Fatalf("state after %d failures = %d, want closed", 2, got)
+	}
+	// Third consecutive failure trips it.
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker opened early")
+	}
+	b.failure(false)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker let a request through before cooldown")
+	}
+	if got := mets.ProxyBreakerState.Value(); got != breakerOpen {
+		t.Fatalf("state = %d, want open", got)
+	}
+	if got := mets.ProxyBreakerOpens.Value(); got != 1 {
+		t.Fatalf("proxy_breaker_opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _, _ := testBreaker(t, 3, time.Minute)
+	b.failure(false)
+	b.failure(false)
+	b.success(false) // streak broken: the count starts over
+	b.failure(false)
+	b.failure(false)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker opened although failures were not consecutive")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock, mets := testBreaker(t, 1, time.Minute)
+	b.failure(false) // threshold 1: open immediately
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker allowed during cooldown")
+	}
+
+	// Cooldown elapses: exactly one caller becomes the half-open probe,
+	// everyone else keeps failing fast until it reports.
+	*clock = clock.Add(time.Minute)
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("post-cooldown allow = %v, %v; want the probe slot", ok, probe)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+
+	// Probe fails: re-open for another full cooldown.
+	b.failure(true)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker admitted right after a failed probe")
+	}
+	*clock = clock.Add(time.Minute)
+	ok, probe = b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow after second cooldown = %v, %v; want a new probe", ok, probe)
+	}
+
+	// Probe succeeds: closed, traffic flows, gauge says so.
+	b.success(true)
+	if got := mets.ProxyBreakerState.Value(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %d, want closed", got)
+	}
+	for i := 0; i < 5; i++ {
+		if ok, probe := b.allow(); !ok || probe {
+			t.Fatalf("closed breaker allow = %v, %v", ok, probe)
+		}
+	}
+}
+
+// TestBreakerConcurrent hammers the breaker from many goroutines while
+// the clock jumps, to give the race detector something to find. The
+// invariant checked at the end is the only sequential one available:
+// the breaker is in a legal state and its probe slot is not leaked.
+func TestBreakerConcurrent(t *testing.T) {
+	b, _, _ := testBreaker(t, 3, time.Microsecond)
+	var clockMu sync.Mutex
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		clock = clock.Add(time.Microsecond)
+		return clock
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ok, probe := b.allow()
+				if !ok {
+					continue
+				}
+				if (g+i)%3 == 0 {
+					b.failure(probe)
+				} else {
+					b.success(probe)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Settle: either the breaker is closed, or a cooldown later a probe
+	// slot is available again — no state leaves it wedged.
+	b.mu.Lock()
+	state, probing := b.state, b.probing
+	b.mu.Unlock()
+	if probing {
+		t.Fatal("probe slot leaked: probing=true with no probe in flight")
+	}
+	if state != breakerClosed && state != breakerOpen && state != breakerHalfOpen {
+		t.Fatalf("illegal breaker state %d", state)
+	}
+	if state != breakerClosed {
+		if ok, probe := b.allow(); !ok || !probe {
+			t.Fatalf("settled non-closed breaker refused a probe after cooldown: %v, %v", ok, probe)
+		}
+		b.success(true)
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker wedged after the storm")
+	}
+}

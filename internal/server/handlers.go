@@ -170,6 +170,7 @@ func statsDelta(before, after hypo.Stats) hypo.Stats {
 		NegCalls:   after.NegCalls - before.NegCalls,
 		MaxDepth:   after.MaxDepth,
 		TableSize:  after.TableSize,
+		MemBytes:   after.MemBytes - before.MemBytes,
 	}
 }
 
@@ -183,6 +184,8 @@ func classify(err error) (status int, kind string, write bool) {
 		return statusClientClosed, "canceled", false
 	case errors.Is(err, hypo.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline", true
+	case errors.Is(err, hypo.ErrMemory):
+		return http.StatusUnprocessableEntity, "memory", true
 	case errors.Is(err, hypo.ErrBudget):
 		return http.StatusUnprocessableEntity, "budget", true
 	case errors.Is(err, hypo.ErrPoolClosed):
@@ -503,6 +506,15 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo
 		s.refuse(w, ri, errDraining)
 		return
 	}
+	if err := t.CheckDiskQuota(); err != nil {
+		// Disk quota gates only the write path: reads (and retractions'
+		// eventual compaction) keep working, so the right client move is
+		// to retract or wait for compaction, then retry.
+		ri.outcome = "over_disk"
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		writeError(w, http.StatusServiceUnavailable, "over_disk", err.Error())
+		return
+	}
 	var req factsRequest
 	if !s.decode(w, r, ri, &req) {
 		return
@@ -563,9 +575,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["status"] = "degraded"
 		resp["reason"] = "read_only"
 		resp["detail"] = cause
+		if s.def.Recovering() {
+			// A background prober is retrying the write path (transient
+			// cause, e.g. a full disk); writes may come back without a
+			// restart. Sticky corruption shows no recovering flag.
+			resp["recovering"] = true
+		}
 	}
 	programs := make(map[string]any)
 	for _, t := range s.reg.List() {
+		// Each program reports its own degraded/read-only state, not just
+		// the default's: a write-path router watching healthz must see
+		// which tenants refuse writes.
 		st := "ok"
 		var detail string
 		if degraded, cause := t.Degraded(); degraded {
@@ -576,7 +597,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		p := map[string]any{"status": st, "dataVersion": t.Version()}
 		if detail != "" {
+			p["reason"] = "read_only"
 			p["detail"] = detail
+			if t.Recovering() {
+				p["recovering"] = true
+			}
 		}
 		programs[t.Name()] = p
 	}

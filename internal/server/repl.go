@@ -3,11 +3,15 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hypodatalog/internal/tenant"
@@ -71,6 +75,15 @@ func (s *Server) refuseStale(w http.ResponseWriter, ri *reqInfo, t *tenant.Tenan
 // clients can POST /v1/facts to any node. The response — including the
 // committed version the client will use as its next X-Hdl-Min-Version —
 // is relayed verbatim, plus an X-Hdl-Proxied marker.
+//
+// The forward is governed by the proxy circuit breaker: while the
+// primary is deemed dead, writes fail fast with 503 primary_unreachable
+// + Retry-After instead of each burning a dial timeout. Every attempt
+// runs under its own deadline (ProxyAttemptTimeout, clamped by the
+// inbound request's context, which still bounds the whole exchange),
+// and dial-level failures — where the request provably never reached
+// the primary, so a retry cannot double-commit — are retried with
+// jittered exponential backoff up to ProxyRetries times.
 func (s *Server) proxyFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -79,22 +92,44 @@ func (s *Server) proxyFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo)
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
 		return
 	}
-	url := strings.TrimRight(s.cfg.PrimaryURL, "/") + "/v1/facts"
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		ri.outcome = "proxy_error"
-		writeError(w, http.StatusInternalServerError, "internal", "building proxy request: "+err.Error())
+	proceed, probe := s.proxyBr.allow()
+	if !proceed {
+		s.mets.ProxyFastFails.Inc()
+		ri.outcome = "primary_unreachable"
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		writeError(w, http.StatusServiceUnavailable, "primary_unreachable",
+			"primary is unreachable (circuit open); retry later or write to the primary directly")
 		return
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := s.cfg.ProxyClient.Do(req)
+	url := strings.TrimRight(s.cfg.PrimaryURL, "/") + "/v1/facts"
+	var resp *http.Response
+	var cancel context.CancelFunc
+	for attempt := 0; ; attempt++ {
+		resp, cancel, err = s.proxyAttempt(r, url, body)
+		if err == nil || attempt >= s.cfg.ProxyRetries ||
+			!requestNotSent(err) || r.Context().Err() != nil {
+			break
+		}
+		s.mets.ProxyRetries.Inc()
+		d := s.cfg.ProxyBackoff << attempt
+		d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1)) // jitter in [d/2, d]
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
 	if err != nil {
+		s.proxyBr.failure(probe)
 		ri.outcome = "primary_unreachable"
 		writeError(w, http.StatusBadGateway, "primary_unreachable",
 			"write could not be forwarded to the primary: "+err.Error())
 		return
 	}
+	defer cancel()
 	defer resp.Body.Close()
+	// Any response — even a 5xx status — proves the primary reachable;
+	// its status is the primary's answer to relay, not a transport fault.
+	s.proxyBr.success(probe)
 	s.mets.ReplProxiedWrites.Inc()
 	ri.outcome = "proxied"
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
@@ -106,4 +141,42 @@ func (s *Server) proxyFacts(w http.ResponseWriter, r *http.Request, ri *reqInfo)
 	w.Header().Set("X-Hdl-Proxied", "primary")
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// proxyAttempt issues one forwarded write under its own clamped
+// deadline. On success the caller must run cancel only after it has
+// drained the response body (cancelling the context aborts the read).
+func (s *Server) proxyAttempt(r *http.Request, url string, body []byte) (*http.Response, context.CancelFunc, error) {
+	actx, cancel := context.WithTimeout(r.Context(), s.cfg.ProxyAttemptTimeout)
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cfg.ProxyClient.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
+}
+
+// requestNotSent reports whether a transport error proves the request
+// never reached the primary — a failed dial or a refused connection.
+// Only those are safe to retry: /v1/facts is not idempotent (every
+// commit mints a version), so an error after the request may have been
+// delivered must surface to the client instead of re-posting.
+func requestNotSent(err error) bool {
+	var oe *net.OpError
+	if errors.As(err, &oe) && oe.Op == "dial" {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// retryAfterSecs renders Config.RetryAfter as a whole-seconds header
+// value (rounded up).
+func (s *Server) retryAfterSecs() string {
+	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
 }

@@ -151,6 +151,40 @@ type Config struct {
 	// client.
 	ProxyClient *http.Client
 
+	// ProxyAttemptTimeout bounds each individual forwarded-write attempt
+	// to the primary (the inbound request's own deadline still bounds the
+	// whole exchange). Default: 5s.
+	ProxyAttemptTimeout time.Duration
+
+	// ProxyRetries is how many extra attempts a proxied write gets after
+	// a dial-level failure (where the request provably never reached the
+	// primary, so retrying cannot double-commit). Default: 2; set
+	// negative to disable retries.
+	ProxyRetries int
+
+	// ProxyBackoff is the base delay between proxy retries; attempt n
+	// waits a jittered ProxyBackoff<<n. Default: 100ms.
+	ProxyBackoff time.Duration
+
+	// ProxyBreakerThreshold is how many consecutive proxied-write
+	// transport failures open the circuit breaker. Default: 5.
+	ProxyBreakerThreshold int
+
+	// ProxyBreakerCooldown is how long an open breaker fast-fails writes
+	// before letting a half-open probe through. Default: 5s.
+	ProxyBreakerCooldown time.Duration
+
+	// MemoryQuota caps the static default tenant's tracked memory
+	// footprint (idle engines + answer cache); past it, requests are shed
+	// with 503 over_memory after idle-engine trimming. 0 = unlimited.
+	// Ignored when Registry is set (use tenant.Config.MemoryQuota).
+	MemoryQuota int64
+
+	// DiskQuota caps the static default tenant's WAL + snapshot bytes;
+	// past it, writes are refused with 503 over_disk (reads keep
+	// serving). 0 = unlimited. Ignored when Registry is set.
+	DiskQuota int64
+
 	// Metrics is the metric set server-level counters (and the static
 	// default tenant) report into; nil means metrics.Default.
 	Metrics *metrics.Set
@@ -165,6 +199,10 @@ type Server struct {
 	mets *metrics.Set
 	reg  *tenant.Registry
 	def  *tenant.Tenant // the default program (never deletable)
+
+	// proxyBr circuit-breaks the replica→primary write proxy; always
+	// built (it is inert on nodes that never proxy).
+	proxyBr *breaker
 
 	draining atomic.Bool
 }
@@ -198,6 +236,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ProxyClient == nil {
 		cfg.ProxyClient = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.ProxyAttemptTimeout <= 0 {
+		cfg.ProxyAttemptTimeout = 5 * time.Second
+	}
+	if cfg.ProxyRetries < 0 {
+		cfg.ProxyRetries = 0
+	} else if cfg.ProxyRetries == 0 {
+		cfg.ProxyRetries = 2
+	}
+	if cfg.ProxyBackoff <= 0 {
+		cfg.ProxyBackoff = 100 * time.Millisecond
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.Default
 	}
@@ -206,6 +255,9 @@ func New(cfg Config) (*Server, error) {
 		// Legacy single-program config: wrap the pool/live as a static
 		// registry whose only tenant is the default.
 		reg = tenant.NewStatic("default", cfg.Pool, cfg.Live, cfg.Metrics, cfg.MaxConcurrent, cfg.MaxQueue)
+		if cfg.MemoryQuota > 0 || cfg.DiskQuota > 0 {
+			reg.Default().SetQuotas(cfg.MemoryQuota, cfg.DiskQuota)
+		}
 	}
 	def := reg.Default()
 	if def == nil {
@@ -213,12 +265,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	metrics.PublishExpvar()
 	s := &Server{
-		cfg:  cfg,
-		log:  cfg.Logger,
-		mux:  http.NewServeMux(),
-		mets: cfg.Metrics,
-		reg:  reg,
-		def:  def,
+		cfg:     cfg,
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+		mets:    cfg.Metrics,
+		reg:     reg,
+		def:     def,
+		proxyBr: newBreaker(cfg.ProxyBreakerThreshold, cfg.ProxyBreakerCooldown, cfg.Metrics),
 	}
 	// Un-prefixed routes alias the default program.
 	s.mux.HandleFunc("POST /v1/ask", s.wrap("ask", false, s.handleAsk))
@@ -421,6 +474,11 @@ func (s *Server) refuse(w http.ResponseWriter, ri *reqInfo, err error) {
 		w.Header().Set("Retry-After", retry)
 		writeError(w, http.StatusTooManyRequests, "shed",
 			"program at capacity: evaluation slots and admission queue are full")
+	case errors.Is(err, tenant.ErrOverMemory):
+		ri.outcome = "over_memory"
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusServiceUnavailable, "over_memory",
+			"program over its memory quota: "+err.Error())
 	case errors.Is(err, errDraining), errors.Is(err, hypo.ErrPoolClosed):
 		ri.outcome = "draining"
 		w.Header().Set("Retry-After", retry)

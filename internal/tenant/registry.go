@@ -59,6 +59,17 @@ type Config struct {
 	// requests are shed. Default: 4 × MaxConcurrent.
 	MaxQueue int
 
+	// MemoryQuota bounds each tenant's tracked memory footprint (idle
+	// engines + answer cache) in bytes. Over it, idle engines are
+	// trimmed; if still over, requests are shed with ErrOverMemory.
+	// 0 = unlimited.
+	MemoryQuota int64
+
+	// DiskQuota bounds each tenant's on-disk footprint (WAL + snapshot)
+	// in bytes. Over it, mutations are refused with ErrOverDisk; reads
+	// keep serving. 0 = unlimited.
+	DiskQuota int64
+
 	// Logger receives registry lifecycle logs. Default: slog.Default().
 	Logger *slog.Logger
 }
@@ -271,8 +282,10 @@ func (r *Registry) openTenant(name, source string) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTenant(name, dir, source, prog.RulesHash(), lv.Pool(), lv,
-		mets, r.cfg.MaxConcurrent, r.cfg.MaxQueue), nil
+	t := newTenant(name, dir, source, prog.RulesHash(), lv.Pool(), lv,
+		mets, r.cfg.MaxConcurrent, r.cfg.MaxQueue)
+	t.SetQuotas(r.cfg.MemoryQuota, r.cfg.DiskQuota)
+	return t, nil
 }
 
 // metricsFor picks the tenant's metric set: the default tenant aliases

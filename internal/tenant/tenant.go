@@ -19,6 +19,7 @@ package tenant
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	hypo "hypodatalog"
@@ -49,6 +50,15 @@ var (
 	ErrProtected = errors.New("tenant: the default program cannot be deleted")
 	// ErrClosed reports an operation on a closed registry.
 	ErrClosed = errors.New("tenant: registry is closed")
+	// ErrOverMemory reports a request refused because the tenant's
+	// tracked memory footprint (idle engines + answer cache) exceeds its
+	// quota even after trimming idle engines. The server maps it to 503
+	// over_memory.
+	ErrOverMemory = errors.New("tenant: memory quota exceeded")
+	// ErrOverDisk reports a mutation refused because the tenant's
+	// on-disk footprint (WAL + snapshot) exceeds its quota. Reads keep
+	// serving; the server maps it to 503 over_disk.
+	ErrOverDisk = errors.New("tenant: disk quota exceeded")
 )
 
 // Tenant is one named program plus everything it needs to serve
@@ -69,6 +79,14 @@ type Tenant struct {
 	maxQueue int64
 	draining atomic.Bool
 	drainCh  chan struct{} // closed by BeginDrain; wakes queued waiters
+
+	// memQuota and diskQuota are the tenant's resource ceilings (0 =
+	// unlimited): memQuota bounds the tracked footprint of idle engines
+	// plus answer cache (Admit trims idle engines, then sheds with
+	// ErrOverMemory); diskQuota bounds WAL + snapshot bytes (the write
+	// path sheds with ErrOverDisk).
+	memQuota  atomic.Int64
+	diskQuota atomic.Int64
 }
 
 func newTenant(name, dir, source string, rulesHash uint64, pool *hypo.Pool, live *hypo.Live, mets *metrics.Set, maxConcurrent, maxQueue int) *Tenant {
@@ -130,6 +148,60 @@ func (t *Tenant) Degraded() (bool, string) {
 	return false, ""
 }
 
+// Recovering reports whether a background recovery prober is retrying
+// the tenant's write path after a transient degradation.
+func (t *Tenant) Recovering() bool {
+	return t.live != nil && t.live.Recovering()
+}
+
+// SetQuotas sets the tenant's memory and disk ceilings in bytes (0 =
+// unlimited). Safe to call at any time; quotas apply to subsequent
+// admissions and writes.
+func (t *Tenant) SetQuotas(memBytes, diskBytes int64) {
+	t.memQuota.Store(memBytes)
+	t.diskQuota.Store(diskBytes)
+}
+
+// overMemory enforces the memory quota: when the tenant's tracked
+// footprint exceeds it, idle engines are trimmed first (dropping warm
+// memo tables, which rebuild lazily); only if the footprint is still
+// over — the answer cache plus remaining floor — is the request shed.
+func (t *Tenant) overMemory() bool {
+	quota := t.memQuota.Load()
+	if quota <= 0 {
+		return false
+	}
+	n := t.pool.MemBytes()
+	t.mets.MemPoolBytes.Set(n)
+	t.mets.MemCacheBytes.Set(t.pool.CacheMemBytes())
+	if n <= quota {
+		return false
+	}
+	if dropped := t.pool.TrimMemory(quota); dropped > 0 {
+		t.mets.MemEngineTrims.Add(int64(dropped))
+	}
+	n = t.pool.MemBytes()
+	t.mets.MemPoolBytes.Set(n)
+	return n > quota
+}
+
+// CheckDiskQuota enforces the disk quota on the write path: it fails
+// with ErrOverDisk while the tenant's WAL + snapshot footprint exceeds
+// the quota. Reads are never disk-gated.
+func (t *Tenant) CheckDiskQuota() error {
+	quota := t.diskQuota.Load()
+	if quota <= 0 || t.live == nil {
+		return nil
+	}
+	n := t.live.Store().DiskBytes()
+	t.mets.DiskBytes.Set(n)
+	if n > quota {
+		t.mets.DiskQuotaShed.Inc()
+		return fmt.Errorf("%w: %d bytes on disk over quota %d", ErrOverDisk, n, quota)
+	}
+	return nil
+}
+
 // Admit reserves an evaluation slot on this tenant's quota, waiting in
 // its bounded admission queue if none is free. It fails fast with
 // ErrShed when the queue is full and ErrDraining when the tenant is (or
@@ -140,6 +212,12 @@ func (t *Tenant) Degraded() (bool, string) {
 func (t *Tenant) Admit(ctx context.Context) (release func(), err error) {
 	if t.draining.Load() {
 		return nil, ErrDraining
+	}
+	// Memory quota gates before the slot: a tenant over its ceiling must
+	// not consume evaluation capacity it would only grow further.
+	if t.overMemory() {
+		t.mets.MemTenantShed.Inc()
+		return nil, ErrOverMemory
 	}
 	acquired := false
 	select {

@@ -1,0 +1,89 @@
+package topdown
+
+// MemTracker accumulates an approximate heap footprint for one evaluator
+// — a uniform engine or a whole cascade sharing one fact substrate — and
+// enforces an optional per-query growth ceiling.
+//
+// The footprint has two parts: explicit charges (memo-table entries,
+// cached Δ materialisations) added and removed with Add, and polled
+// sources (the interner and base database report their own running
+// totals). Begin snapshots the footprint at query start; Over reports
+// whether the query has since grown it past the configured maximum, so a
+// warm pooled engine carrying megabytes of useful memo state is never
+// penalised for work done by earlier queries.
+//
+// All methods are nil-safe: a nil tracker never charges and never trips,
+// so call sites need no branching. A MemTracker is confined to one
+// evaluator and, like the engines themselves, is not safe for concurrent
+// use.
+type MemTracker struct {
+	max  int64
+	used int64
+	base int64
+	srcs []func() int64
+}
+
+// NewMemTracker builds a tracker with the given growth ceiling in bytes;
+// max <= 0 means account but never trip.
+func NewMemTracker(max int64) *MemTracker {
+	return &MemTracker{max: max}
+}
+
+// AddSource registers a footprint source polled by Current (e.g. the
+// interner's and base database's byte counters).
+func (t *MemTracker) AddSource(f func() int64) {
+	if t == nil {
+		return
+	}
+	t.srcs = append(t.srcs, f)
+}
+
+// Add charges (or, negative, releases) n bytes of explicit footprint.
+func (t *MemTracker) Add(n int64) {
+	if t == nil {
+		return
+	}
+	t.used += n
+}
+
+// Current returns the total tracked footprint: explicit charges plus
+// every registered source.
+func (t *MemTracker) Current() int64 {
+	if t == nil {
+		return 0
+	}
+	n := t.used
+	for _, f := range t.srcs {
+		n += f()
+	}
+	return n
+}
+
+// Begin snapshots the current footprint as the new query's baseline.
+func (t *MemTracker) Begin() {
+	if t == nil {
+		return
+	}
+	t.base = t.Current()
+}
+
+// Grown returns the footprint growth since the last Begin.
+func (t *MemTracker) Grown() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.Current() - t.base
+}
+
+// Max returns the configured ceiling (0 = unlimited).
+func (t *MemTracker) Max() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.max
+}
+
+// Over reports whether the query's growth has exceeded the ceiling.
+func (t *MemTracker) Over() bool {
+	return t != nil && t.max > 0 && t.Grown() > t.max
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// with an *AbortError wrapping ErrBudget (the error reports the limit
 	// and a Stats snapshot). Zero means no limit.
 	MaxGoals int64
+	// MaxMemoryBytes aborts evaluation once the query has grown the
+	// engine's tracked footprint (memo table, interner, base database) by
+	// more than this many bytes, with an *AbortError wrapping ErrMemory.
+	// Zero means no limit. Engines embedded in a cascade share one
+	// tracker installed with SetMem instead.
+	MaxMemoryBytes int64
 }
 
 // Sentinel causes for aborted evaluations. The error returned by the
@@ -74,16 +80,19 @@ var (
 	// ErrDeadline is returned when the caller's context deadline expires
 	// mid-evaluation.
 	ErrDeadline = errors.New("topdown: evaluation deadline exceeded")
+	// ErrMemory is returned when Options.MaxMemoryBytes (or the memory
+	// tracker installed with SetMem) is exhausted.
+	ErrMemory = errors.New("topdown: memory budget exhausted")
 )
 
 // AbortError reports an evaluation cut short — by the goal budget, by
 // caller cancellation, or by a deadline — together with a snapshot of the
 // work done up to the abort.
 type AbortError struct {
-	// Reason is ErrBudget, ErrCanceled, or ErrDeadline.
+	// Reason is ErrBudget, ErrCanceled, ErrDeadline, or ErrMemory.
 	Reason error
-	// Limit is the configured Options.MaxGoals for budget aborts, 0
-	// otherwise.
+	// Limit is the configured Options.MaxGoals for budget aborts, or the
+	// configured byte ceiling for memory aborts; 0 otherwise.
 	Limit int64
 	// Stats is the engine's counters at the moment of the abort.
 	Stats Stats
@@ -92,6 +101,9 @@ type AbortError struct {
 func (e *AbortError) Error() string {
 	if e.Reason == ErrBudget && e.Limit > 0 {
 		return fmt.Sprintf("%v (limit %d)", e.Reason, e.Limit)
+	}
+	if e.Reason == ErrMemory {
+		return fmt.Sprintf("%v (limit %d bytes, grew %d)", e.Reason, e.Limit, e.Stats.MemBytes)
 	}
 	return fmt.Sprintf("%v after %d goal expansions", e.Reason, e.Stats.Goals)
 }
@@ -123,6 +135,7 @@ type Stats struct {
 	TableSize  int   // entries currently in the table
 	Enumerated int64 // domain bindings tried by the planner
 	NegCalls   int64 // nested negation regions started
+	MemBytes   int64 // tracked footprint growth since the query began
 }
 
 // Engine proves ground goals against hypothetical states.
@@ -142,8 +155,15 @@ type Engine struct {
 	// ctxCheckInterval goal expansions.
 	ctx context.Context
 
+	// mem is the footprint tracker enforcing MaxMemoryBytes; nil disables
+	// both accounting and the ceiling.
+	mem *MemTracker
+
 	stats Stats
 }
+
+// tableEntryBytes approximates the heap cost of one memo-table entry.
+func tableEntryBytes(k tableKey) int64 { return 64 + int64(len(k.state)) }
 
 type tableKey struct {
 	goal  facts.AtomID
@@ -166,7 +186,7 @@ func New(cp *ast.CProgram, dom []symbols.Const, opts Options) *Engine {
 			panic(err)
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		prog:    cp,
 		in:      in,
 		base:    base,
@@ -175,12 +195,14 @@ func New(cp *ast.CProgram, dom []symbols.Const, opts Options) *Engine {
 		table:   make(map[tableKey]bool),
 		onStack: make(map[tableKey]int),
 	}
+	e.initMem()
+	return e
 }
 
 // NewWithBase builds an engine sharing an existing base database (and its
 // interner). The program's facts are NOT re-inserted.
 func NewWithBase(cp *ast.CProgram, base *facts.DB, dom []symbols.Const, opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		prog:    cp,
 		in:      base.Interner(),
 		base:    base,
@@ -189,7 +211,32 @@ func NewWithBase(cp *ast.CProgram, base *facts.DB, dom []symbols.Const, opts Opt
 		table:   make(map[tableKey]bool),
 		onStack: make(map[tableKey]int),
 	}
+	e.initMem()
+	return e
 }
+
+// initMem builds the standalone tracker Options.MaxMemoryBytes asks for.
+// Engines assembled into a cascade get a shared tracker via SetMem
+// instead (the cascade's components share one interner and database, so
+// per-engine sources would double-count them).
+func (e *Engine) initMem() {
+	if e.opts.MaxMemoryBytes <= 0 {
+		return
+	}
+	t := NewMemTracker(e.opts.MaxMemoryBytes)
+	t.AddSource(e.in.MemBytes)
+	t.AddSource(e.base.MemBytes)
+	t.Begin()
+	e.mem = t
+}
+
+// SetMem installs a footprint tracker (replacing any standalone one).
+// The engine charges its memo table into it and polls it at the same
+// points as the goal budget. Passing nil disables accounting.
+func (e *Engine) SetMem(t *MemTracker) { e.mem = t }
+
+// Mem returns the engine's footprint tracker, or nil.
+func (e *Engine) Mem() *MemTracker { return e.mem }
 
 // Base returns the engine's base database.
 func (e *Engine) Base() *facts.DB { return e.base }
@@ -207,6 +254,7 @@ func (e *Engine) Dom() []symbols.Const { return e.dom }
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.TableSize = len(e.table)
+	s.MemBytes = e.mem.Grown()
 	return s
 }
 
@@ -214,7 +262,12 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) ResetStats() { e.stats = Stats{} }
 
 // ResetTable clears the memo table.
-func (e *Engine) ResetTable() { e.table = make(map[tableKey]bool) }
+func (e *Engine) ResetTable() {
+	for k := range e.table {
+		e.mem.Add(-tableEntryBytes(k))
+	}
+	e.table = make(map[tableKey]bool)
+}
 
 // PruneTable drops every memo entry whose goal predicate lies in the
 // affected cone of a base-fact commit and returns how many were dropped.
@@ -230,6 +283,7 @@ func (e *Engine) PruneTable(cone map[symbols.Pred]bool) int {
 	for k := range e.table {
 		if cone[e.in.Pred(k.goal)] {
 			delete(e.table, k)
+			e.mem.Add(-tableEntryBytes(k))
 			n++
 		}
 	}
@@ -348,6 +402,9 @@ func (e *Engine) prove(goal facts.AtomID, st facts.State, depth int) (bool, int,
 		// Checked before counting, so exactly MaxGoals expansions run.
 		return false, maxFrame, &AbortError{Reason: ErrBudget, Limit: e.opts.MaxGoals, Stats: e.Stats()}
 	}
+	if e.mem.Over() {
+		return false, maxFrame, &AbortError{Reason: ErrMemory, Limit: e.mem.Max(), Stats: e.Stats()}
+	}
 	e.stats.Goals++
 	if e.ctx != nil && e.stats.Goals%ctxCheckInterval == 0 {
 		if err := e.ctx.Err(); err != nil {
@@ -400,6 +457,7 @@ func (e *Engine) prove(goal facts.AtomID, st facts.State, depth int) (bool, int,
 		if ok {
 			if !e.opts.NoTabling {
 				e.table[key] = true
+				e.mem.Add(tableEntryBytes(key))
 			}
 			return true, maxFrame, nil
 		}
@@ -407,6 +465,7 @@ func (e *Engine) prove(goal facts.AtomID, st facts.State, depth int) (bool, int,
 	if !e.opts.NoTabling && minTouched >= depth {
 		// Clean failure: nothing above this frame was consulted.
 		e.table[key] = false
+		e.mem.Add(tableEntryBytes(key))
 	}
 	return false, minTouched, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -133,6 +134,72 @@ func Latency(kind OpKind, d time.Duration) Script {
 		}
 		return Decision{}
 	})
+}
+
+// ENOSPC models a filesystem running out of space: while full, every
+// operation that needs new blocks (OpWrite, OpCreate) fails with an
+// error satisfying both errors.Is(err, ErrInjected) and
+// errors.Is(err, syscall.ENOSPC). Operations that free or reshuffle
+// space — Truncate, Remove, Rename, Sync, SyncDir, reads — pass
+// through, exactly as on a real full disk, so rollback and recovery
+// probes can still run. The first failing write after each Fill may be
+// torn (its leading shortWrite bytes land before the error), modeling
+// an append that hit the wall mid-extent. Release frees the space;
+// Fill/Release may be toggled repeatedly on one script.
+type ENOSPC struct {
+	mu         sync.Mutex
+	full       bool
+	shortWrite int
+	torn       bool // the post-Fill torn write already happened
+}
+
+// NewENOSPC returns an ENOSPC script with space still available.
+// shortWrite > 0 makes the first failing write after each Fill a torn
+// one (that many leading bytes land); 0 fails writes cleanly.
+func NewENOSPC(shortWrite int) *ENOSPC {
+	return &ENOSPC{shortWrite: shortWrite}
+}
+
+// Fill marks the disk full: subsequent space-needing ops fail.
+func (e *ENOSPC) Fill() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.full = true
+	e.torn = false
+}
+
+// Release frees the space: subsequent ops succeed again.
+func (e *ENOSPC) Release() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.full = false
+}
+
+// Full reports whether the modeled disk is currently full.
+func (e *ENOSPC) Full() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.full
+}
+
+// Decide implements Script.
+func (e *ENOSPC) Decide(op Op) Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.full {
+		return Decision{}
+	}
+	switch op.Kind {
+	case OpWrite, OpCreate:
+	default:
+		return Decision{}
+	}
+	d := Decision{Err: fmt.Errorf("%w: %w: %s %s", ErrInjected, syscall.ENOSPC, op.Kind, op.Path)}
+	if op.Kind == OpWrite && e.shortWrite > 0 && !e.torn {
+		e.torn = true
+		d.ShortWrite = e.shortWrite
+	}
+	return d
 }
 
 // FailPath fails every mutating operation of the given kind on the given

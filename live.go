@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"sync"
+	"time"
 
 	"hypodatalog/internal/ast"
 	"hypodatalog/internal/live"
@@ -33,6 +34,12 @@ type LiveConfig struct {
 	// follower further behind than the tail reaches must
 	// snapshot-bootstrap instead of streaming.
 	StreamTailLen int
+	// RecoveryProbeInterval is the initial delay between background
+	// write-path recovery probes after a transient degradation (ENOSPC);
+	// probes back off exponentially from it. 0 means one second.
+	// Corruption-class degradations are never probed — they stay sticky
+	// until restart.
+	RecoveryProbeInterval time.Duration
 }
 
 // Live couples a Pool with a durable, versioned fact store
@@ -59,6 +66,14 @@ type Live struct {
 	// which fires between the durable commit and the swap — waking there
 	// could admit a read that still leases an engine at the old version.
 	changed chan struct{}
+
+	// probing (under mu) is true while a background recovery goroutine is
+	// retrying TryRecover after a transient degradation; stop ends it at
+	// Close. probeIv is the initial probe interval.
+	probing  bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeIv  time.Duration
 }
 
 // OpenLive builds a live engine: it recovers the durable state at lc's
@@ -120,7 +135,11 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 	mets.LiveSnapshotAge.Set(int64(st.SinceSnapshot()))
 	mets.LiveReadOnly.Set(0)
 
-	return &Live{
+	probeIv := lc.RecoveryProbeInterval
+	if probeIv <= 0 {
+		probeIv = time.Second
+	}
+	l := &Live{
 		store:   st,
 		pool:    pl,
 		cur:     cur,
@@ -129,7 +148,11 @@ func OpenLive(initial *Program, lc LiveConfig, opts Options) (*Live, error) {
 		rec:     rec,
 		mets:    mets,
 		changed: make(chan struct{}),
-	}, nil
+		stop:    make(chan struct{}),
+		probeIv: probeIv,
+	}
+	mets.DiskBytes.Set(st.DiskBytes())
+	return l, nil
 }
 
 // Pool returns the query pool. Queries admitted after an Apply returns
@@ -142,12 +165,13 @@ func (l *Live) Version() uint64 { return l.store.Version() }
 // Recovery reports what OpenLive reconstructed from disk.
 func (l *Live) Recovery() live.Recovery { return l.rec }
 
-// Degraded reports whether the store has gone read-only after an
-// unrecoverable I/O error, with the cause (empty when healthy). A
-// degraded Live is still a serving Live: the pool keeps answering
-// queries at the last committed version — only mutation traffic is
-// refused, with live.ErrReadOnly. The state is sticky; recovering the
-// disk requires a restart, which replays the WAL.
+// Degraded reports whether the store has gone read-only after an I/O
+// error, with the cause (empty when healthy). A degraded Live is still
+// a serving Live: the pool keeps answering queries at the last
+// committed version — only mutation traffic is refused, with
+// live.ErrReadOnly. Corruption-class degradations are sticky until
+// restart; transient ones (ENOSPC) are retried by a background recovery
+// prober (see Recovering) and clear in place once a probe write fsyncs.
 func (l *Live) Degraded() (bool, string) {
 	ro, err := l.store.ReadOnly()
 	if !ro {
@@ -158,6 +182,72 @@ func (l *Live) Degraded() (bool, string) {
 		reason = err.Error()
 	}
 	return true, reason
+}
+
+// Recovering reports whether a background recovery prober is currently
+// retrying the write path after a transient degradation.
+func (l *Live) Recovering() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.probing
+}
+
+// noteDegradedLocked flips the alerting gauge and, for a transient
+// degradation, starts the background recovery prober (at most one runs
+// at a time). Called with mu held wherever a degrade is observed.
+func (l *Live) noteDegradedLocked() {
+	l.mets.LiveReadOnly.Set(1)
+	if l.probing {
+		return
+	}
+	ro, transient, _ := l.store.Degraded()
+	if !ro || !transient {
+		return
+	}
+	l.mets.DiskDegradedTransient.Inc()
+	l.probing = true
+	go l.probeLoop()
+}
+
+// probeLoop retries TryRecover with exponential backoff until the store
+// is writable again, the degradation turns out sticky, or the Live
+// closes. It re-enables the write path in place — no restart — which is
+// the right response to space pressure: the WAL prefix is known-good
+// and acked commits are already durable in it.
+func (l *Live) probeLoop() {
+	iv := l.probeIv
+	maxIv := 32 * l.probeIv
+	done := func() {
+		l.mu.Lock()
+		l.probing = false
+		l.mu.Unlock()
+	}
+	for {
+		select {
+		case <-l.stop:
+			done()
+			return
+		case <-time.After(iv):
+		}
+		l.mets.DiskRecoveryProbes.Inc()
+		if err := l.store.TryRecover(); err == nil {
+			done()
+			l.mets.DiskRecoveries.Inc()
+			l.mets.LiveReadOnly.Set(0)
+			return
+		}
+		if ro, transient, _ := l.store.Degraded(); !ro || !transient {
+			// Cleared some other way, or reclassified sticky: stop probing.
+			done()
+			if !ro {
+				l.mets.LiveReadOnly.Set(0)
+			}
+			return
+		}
+		if iv *= 2; iv > maxIv {
+			iv = maxIv
+		}
+	}
 }
 
 // ParseMutations parses assert/retract surface atoms ("edge(a, b)") into
@@ -219,7 +309,7 @@ func (l *Live) applyLocked(ms []live.Mutation) (live.CommitInfo, error) {
 		// fine, the disk was not. Flip the gauge operators alert on and
 		// surface live.ErrReadOnly so callers can tell the two apart.
 		if errors.Is(err, live.ErrReadOnly) {
-			l.mets.LiveReadOnly.Set(1)
+			l.noteDegradedLocked()
 		} else {
 			l.mets.LiveRejected.Inc()
 		}
@@ -243,10 +333,11 @@ func (l *Live) applyLocked(ms []live.Mutation) (live.CommitInfo, error) {
 	if info.Compacted {
 		l.mets.LiveCompactions.Inc()
 	}
+	l.mets.DiskBytes.Set(l.store.DiskBytes())
 	// A commit can succeed and still degrade the store (the WAL rotation
 	// inside its compaction failed after the record was durable).
 	if ro, _ := l.store.ReadOnly(); ro {
-		l.mets.LiveReadOnly.Set(1)
+		l.noteDegradedLocked()
 	}
 	return info, nil
 }
@@ -307,7 +398,7 @@ func (l *Live) InstallSnapshot(rd io.Reader, version uint64) error {
 	}
 	if err := l.store.ResetToFacts(snap.Facts, version); err != nil {
 		if errors.Is(err, live.ErrReadOnly) {
-			l.mets.LiveReadOnly.Set(1)
+			l.noteDegradedLocked()
 		}
 		return err
 	}
@@ -428,10 +519,11 @@ func effectiveDelta(ms []live.Mutation, has func(ast.Atom) bool) (added, removed
 	return added, removed
 }
 
-// Close shuts the pool down (in-flight queries finish on their leased
-// engines) and then closes the store, compacting once more when a
-// snapshot path is configured.
+// Close stops the recovery prober, shuts the pool down (in-flight
+// queries finish on their leased engines) and then closes the store,
+// compacting once more when a snapshot path is configured.
 func (l *Live) Close() error {
+	l.stopOnce.Do(func() { close(l.stop) })
 	l.pool.Close()
 	return l.store.Close()
 }

@@ -135,6 +135,12 @@ type Pool struct {
 	created int
 	closed  bool
 
+	// idleBytes is the summed tracked footprint of the engines currently
+	// on the free list: put adds an engine's footprint, get subtracts it.
+	// An idle engine's footprint cannot change (nothing touches it), so
+	// the two reads agree and the sum never drifts.
+	idleBytes atomic.Int64
+
 	// hmu guards the commit-delta history and the lazily-built dependency
 	// graph used to compute affected cones.
 	hmu     sync.Mutex
@@ -174,6 +180,7 @@ func NewPool(p *Program, opts Options) (*Pool, error) {
 		created: 1,
 	}
 	pl.cur.Store(&verProgram{prog: p, mets: mets})
+	pl.idleBytes.Add(first.MemBytes())
 	pl.free <- first
 	mets.PoolNews.Inc()
 	return pl, nil
@@ -324,6 +331,7 @@ func (pl *Pool) Close() error {
 		case <-pl.free:
 			pl.created--
 		default:
+			pl.idleBytes.Store(0)
 			return nil
 		}
 	}
@@ -341,6 +349,7 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	}
 	select {
 	case e := <-pl.free:
+		pl.idleBytes.Add(-e.MemBytes())
 		pl.mets.PoolGets.Inc()
 		return pl.fresh(e)
 	default:
@@ -371,6 +380,7 @@ func (pl *Pool) get(ctx context.Context) (*Engine, error) {
 	}
 	select {
 	case e := <-pl.free:
+		pl.idleBytes.Add(-e.MemBytes())
 		pl.mets.PoolGets.Inc()
 		return pl.fresh(e)
 	case <-pl.closing:
@@ -453,7 +463,53 @@ func (pl *Pool) put(e *Engine) {
 		return
 	}
 	pl.mets.PoolPuts.Inc()
+	pl.idleBytes.Add(e.MemBytes())
 	pl.free <- e
+}
+
+// MemBytes reports the pool's tracked resident footprint: the summed
+// accounted bytes (interned symbols, base facts, memo tables,
+// materialisations) of its idle engines plus the answer cache's stored
+// bytes. Engines currently leased to in-flight queries are not counted —
+// their footprint is attributed to the query holding them. The figure is
+// an accounting estimate, not an RSS measurement.
+func (pl *Pool) MemBytes() int64 {
+	n := pl.idleBytes.Load()
+	if pl.cache != nil {
+		n += pl.cache.Stats().Bytes
+	}
+	return n
+}
+
+// CacheMemBytes reports the answer cache's share of MemBytes — the
+// part TrimMemory cannot reclaim (0 when the pool has no cache).
+func (pl *Pool) CacheMemBytes() int64 {
+	if pl.cache == nil {
+		return 0
+	}
+	return pl.cache.Stats().Bytes
+}
+
+// TrimMemory drops idle engines until the pool's tracked footprint is at
+// or below target (or no idle engines remain), returning the number of
+// engines released. Dropped slots are recreated lazily on demand, so a
+// trim trades warm memo tables for memory — it never shrinks the pool's
+// capacity. In-flight leases are untouched.
+func (pl *Pool) TrimMemory(target int64) int {
+	dropped := 0
+	for pl.MemBytes() > target {
+		select {
+		case e := <-pl.free:
+			pl.idleBytes.Add(-e.MemBytes())
+			pl.mu.Lock()
+			pl.created--
+			pl.mu.Unlock()
+			dropped++
+		default:
+			return dropped
+		}
+	}
+	return dropped
 }
 
 // Ask evaluates a ground query premise; see Engine.Ask.
@@ -510,6 +566,7 @@ func statsDelta(before, after Stats) Stats {
 		NegCalls:   after.NegCalls - before.NegCalls,
 		MaxDepth:   after.MaxDepth,
 		TableSize:  after.TableSize,
+		MemBytes:   after.MemBytes - before.MemBytes,
 	}
 }
 
@@ -537,6 +594,7 @@ func (pl *Pool) cachedBool(ctx context.Context, key string, preds []symbols.Pred
 			return false, ReadInfo{}, err
 		}
 		defer pl.put(e)
+		e.beginMem()
 		before := e.Stats()
 		ok, err := eval(ctx, e)
 		e.noteWork(before)
@@ -552,6 +610,7 @@ func (pl *Pool) cachedBool(ctx context.Context, key string, preds []symbols.Pred
 		}
 		defer pl.put(e)
 		info.DataVersion = e.version
+		e.beginMem()
 		before := e.Stats()
 		ok, err := eval(ctx, e)
 		e.noteWork(before)
@@ -662,6 +721,7 @@ func (pl *Pool) queryEachInfoCtx(ctx context.Context, query string, info *ReadIn
 		defer pl.put(e)
 		info.DataVersion = e.version
 		info.Cache = CacheBypass
+		e.beginMem()
 		before := e.Stats()
 		err = e.queryEachCompiledCtx(ctx, cpr, names, yield)
 		e.noteWork(before)
@@ -678,6 +738,7 @@ func (pl *Pool) queryEachInfoCtx(ctx context.Context, query string, info *ReadIn
 		info.DataVersion = e.version
 		info.Cache = CacheMiss
 		acc := []Binding{}
+		e.beginMem()
 		before := e.Stats()
 		err = e.queryEachCompiledCtx(ctx, cpr, names, func(b Binding) error {
 			acc = append(acc, b)
@@ -738,6 +799,7 @@ func (pl *Pool) explainCtx(ctx context.Context, query string) (string, ReadInfo,
 	defer pl.put(e)
 	info := ReadInfo{DataVersion: e.version, Cache: CacheBypass}
 	if e.uni != nil {
+		e.beginMem()
 		before := e.Stats()
 		out, err := e.Explain(query)
 		e.noteWork(before)
