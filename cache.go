@@ -105,6 +105,29 @@ func premisePreds(cpr ast.CPremise, extra []ast.CAtom) []symbols.Pred {
 // equivalent; the cache trades a little duplication for keys that are
 // trivially correct.
 
+// demandKeyPrefix namespaces answer-cache keys produced under
+// demand-driven evaluation. Demand answers equal full answers by
+// construction, but the modes memoise through different machinery, so
+// keeping their cache entries disjoint means a defect in one mode can
+// never serve a wrong answer through the other's key.
+const demandKeyPrefix = "d\x1f"
+
+// ckey namespaces an answer-cache key by the engine's evaluation mode.
+func (e *Engine) ckey(k string) string {
+	if e.dem != nil {
+		return demandKeyPrefix + k
+	}
+	return k
+}
+
+// ckey namespaces an answer-cache key by the pool's evaluation mode.
+func (pl *Pool) ckey(k string) string {
+	if pl.opts.DemandDriven {
+		return demandKeyPrefix + k
+	}
+	return k
+}
+
 func askCacheKey(pr ast.Premise) string { return "a\x1f" + pr.String() }
 
 func queryCacheKey(pr ast.Premise) string { return "q\x1f" + pr.String() }

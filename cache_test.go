@@ -336,6 +336,15 @@ func bindingSet(bs []Binding) string {
 // version. Any stale-version answer that escaped the cache fails the
 // replay. Run with -race: the hot-swap path is exactly what it races.
 func TestCacheMetamorphicUnderMutation(t *testing.T) {
+	metamorphicStorm(t, Options{PoolSize: 4, CacheBytes: 1 << 20})
+}
+
+// metamorphicStorm is the storm body, parameterised by pool options so
+// the same harness exercises demand-driven pools (see demand_test.go):
+// the cold replay engine is always a plain full-evaluation engine, so
+// for a DemandDriven pool the replay doubles as a mode-equivalence
+// check at every committed version.
+func metamorphicStorm(t *testing.T, opts Options) {
 	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
 	var rules strings.Builder
 	for _, n := range nodes {
@@ -350,8 +359,7 @@ func TestCacheMetamorphicUnderMutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lv, err := OpenLive(prog, LiveConfig{WALPath: filepath.Join(t.TempDir(), "wal")},
-		Options{PoolSize: 4, CacheBytes: 1 << 20})
+	lv, err := OpenLive(prog, LiveConfig{WALPath: filepath.Join(t.TempDir(), "wal")}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

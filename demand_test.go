@@ -1,0 +1,176 @@
+package hypo
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDemandMetamorphicUnderMutation re-runs the metamorphic storm
+// (cache_test.go) on a demand-driven pool: readers race live commits,
+// every answer echoes its data version, and each recorded answer is
+// replayed on a cold full-evaluation engine at that version's exact
+// fact set. The replay engine never uses the magic rewrite, so any
+// divergence between demand and full evaluation — including one caused
+// by a stale demand memo surviving an incremental catch-up — fails
+// here.
+func TestDemandMetamorphicUnderMutation(t *testing.T) {
+	metamorphicStorm(t, Options{PoolSize: 4, CacheBytes: 1 << 20, DemandDriven: true})
+}
+
+// TestDemandCacheCarriesAcrossUnrelatedCommit: the cone-based
+// carry-forward of the versioned answer cache must behave identically
+// under demand-driven evaluation — a commit outside a cached answer's
+// cone carries it to the new version, a commit inside the cone drops
+// it. The demand engine's own memo invalidation (Demand.Invalidate)
+// runs on the same commits underneath; a stale demand memo would
+// surface as a wrong re-evaluated answer on the in-cone miss.
+func TestDemandCacheCarriesAcrossUnrelatedCommit(t *testing.T) {
+	l := openLive(t, Options{CacheBytes: 1 << 20, Mode: ModeUniform, DemandDriven: true})
+	pl := l.Pool()
+	ctx := context.Background()
+
+	// Warm both cones at v0.
+	for _, q := range []string{"light(off)", "reach(a, b)"} {
+		ok, info, err := pl.AskInfoCtx(ctx, q)
+		if err != nil || !ok {
+			t.Fatalf("warm %q: ok=%v err=%v", q, ok, err)
+		}
+		if info.Cache != CacheMiss {
+			t.Fatalf("warm %q served %v, want miss", q, info.Cache)
+		}
+	}
+
+	// Commit inside the edge/reach cone only: the demand memos for reach
+	// are dropped, light's carry outside the cone.
+	if _, err := l.Apply(mutations(t, []string{"edge(b, c)"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	ok, info, err := pl.AskInfoCtx(ctx, "light(off)")
+	if err != nil || !ok {
+		t.Fatalf("light(off) after commit: ok=%v err=%v", ok, err)
+	}
+	if info.Cache != CacheHit {
+		t.Fatalf("light(off) after unrelated commit served %v, want carried hit", info.Cache)
+	}
+
+	// In-cone read re-evaluates through the freshly invalidated demand
+	// path and must see the new edge.
+	ok, info, err = pl.AskInfoCtx(ctx, "reach(a, c)")
+	if err != nil || !ok {
+		t.Fatalf("reach(a, c) after commit: ok=%v err=%v", ok, err)
+	}
+	if info.Cache != CacheMiss {
+		t.Fatalf("reach(a, c) after in-cone commit served %v, want miss", info.Cache)
+	}
+
+	// A second commit overlapping the same cone: retract the new edge
+	// again. A demand memo carried over from the previous version would
+	// keep answering true.
+	if _, err := l.Apply(mutations(t, nil, []string{"edge(b, c)"})); err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err = pl.AskInfoCtx(ctx, "reach(a, c)")
+	if err != nil {
+		t.Fatalf("reach(a, c) after retract: %v", err)
+	}
+	if ok {
+		t.Fatal("reach(a, c) still true after retracting edge(b, c): stale demand memo survived the commit")
+	}
+}
+
+// TestDemandIncrementalConeOverlap drives Engine.ApplyDelta directly
+// across commits whose cones overlap the installed magic programs:
+// after each batch the demand-driven engine must agree with a plain
+// engine rebuilt cold at the same fact set, on hits, misses and
+// hypothetical contexts.
+func TestDemandIncrementalConeOverlap(t *testing.T) {
+	const rules = `
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+		blocked(X, Y) :- node(X), node(Y), not reach(X, Y).
+	`
+	base := rules + "node(a). node(b). node(c). node(d).\nedge(a, b).\n"
+	prog, err := Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := New(prog, Options{Mode: ModeUniform, DemandDriven: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"reach(a, d)", "reach(a, c)", "reach(d, a)", "blocked(a, d)", "blocked(b, a)"}
+	check := func(step string, facts []string) {
+		t.Helper()
+		src := rules
+		for _, f := range facts {
+			src += f + ".\n"
+		}
+		cp, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		cold, err := New(cp, Options{Mode: ModeUniform, ExtraDomain: []string{"a", "b", "c", "d"}})
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		for _, q := range queries {
+			want, err := cold.Ask(q)
+			if err != nil {
+				t.Fatalf("%s: cold Ask(%s): %v", step, q, err)
+			}
+			got, err := dd.Ask(q)
+			if err != nil {
+				t.Fatalf("%s: demand Ask(%s): %v", step, q, err)
+			}
+			if got != want {
+				t.Errorf("%s: Ask(%s): demand=%v cold=%v", step, q, got, want)
+			}
+		}
+		wantU, err := cold.AskUnder("reach(a, d)", "edge(c, d)")
+		if err != nil {
+			t.Fatalf("%s: cold AskUnder: %v", step, err)
+		}
+		gotU, err := dd.AskUnder("reach(a, d)", "edge(c, d)")
+		if err != nil {
+			t.Fatalf("%s: demand AskUnder: %v", step, err)
+		}
+		if gotU != wantU {
+			t.Errorf("%s: AskUnder(reach(a, d), add edge(c, d)): demand=%v cold=%v", step, gotU, wantU)
+		}
+	}
+
+	facts := []string{"node(a)", "node(b)", "node(c)", "node(d)", "edge(a, b)"}
+	check("initial", facts)
+
+	// Each batch touches the edge/reach cone the installed magic
+	// programs mention, so Demand.Invalidate takes the drop-everything
+	// path; the node-only batch overlaps just the blocked cone.
+	steps := []struct {
+		name     string
+		asserts  []string
+		retracts []string
+	}{
+		{"extend chain", []string{"edge(b, c)", "edge(c, d)"}, nil},
+		{"cut middle", nil, []string{"edge(b, c)"}},
+		{"reroute", []string{"edge(b, d)", "edge(d, c)"}, nil},
+		{"shrink domain pred", nil, []string{"node(d)"}},
+	}
+	for _, st := range steps {
+		if err := dd.ApplyDelta(st.asserts, st.retracts); err != nil {
+			t.Fatalf("%s: ApplyDelta: %v", st.name, err)
+		}
+		next := facts[:0:0]
+		drop := map[string]bool{}
+		for _, r := range st.retracts {
+			drop[r] = true
+		}
+		for _, f := range facts {
+			if !drop[f] {
+				next = append(next, f)
+			}
+		}
+		facts = append(next, st.asserts...)
+		check(st.name, facts)
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"hash/fnv"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"hypodatalog/internal/ast"
@@ -60,6 +61,7 @@ import (
 	"hypodatalog/internal/depgraph"
 	"hypodatalog/internal/engine"
 	"hypodatalog/internal/facts"
+	"hypodatalog/internal/magic"
 	"hypodatalog/internal/metrics"
 	"hypodatalog/internal/parser"
 	"hypodatalog/internal/ref"
@@ -111,6 +113,19 @@ type Program struct {
 	// per version would let a retraction silently shrink the range of
 	// negation-as-failure between two queries.
 	pinDom []symbols.Const
+
+	// magicSet lazily holds the program's shared demand-pattern cache
+	// (the magic-sets transform, compiled once per queried predicate).
+	// Every demand-driven engine built from this Program shares it.
+	magicOnce sync.Once
+	magicSet  *magic.Set
+}
+
+// demand returns the program's shared magic-sets pattern cache, building
+// it on first use.
+func (p *Program) demand() *magic.Set {
+	p.magicOnce.Do(func() { p.magicSet = magic.NewSet(p.src, p.syms) })
+	return p.magicSet
 }
 
 // Parse parses, validates and compiles a program from source text.
@@ -319,6 +334,18 @@ type Options struct {
 	// is part of the key); they expire lazily under LRU pressure. Zero
 	// disables caching.
 	CacheBytes int64
+	// DemandDriven enables magic-sets demand-driven evaluation: ground
+	// goals on intensional predicates are answered by evaluating a
+	// demand-restricted rewrite of the program (adorned by the goal's
+	// bound arguments, seeded through the query state's hypothetical
+	// delta) instead of materialising whole strata. Goals the rewrite
+	// cannot restrict — free-argument patterns, predicates consulted
+	// under negation by their own cone — transparently fall back to full
+	// evaluation; answers are identical either way (the difftest fifth
+	// engine holds both modes to agreement). Answer-cache keys are
+	// namespaced per mode, so demand and full answers never share
+	// entries. Progress is visible in the magic_* expvars.
+	DemandDriven bool
 	// Metrics selects the metric set this engine (and any Pool, Live or
 	// cache built from these options) reports into. Nil means
 	// metrics.Default — the process-wide set published under the legacy
@@ -341,6 +368,7 @@ type Engine struct {
 	asker  engine.Asker
 	uni    *topdown.Engine // non-nil in uniform mode (for stats)
 	cas    *engine.Cascade // non-nil in cascade mode
+	dem    *engine.Demand  // non-nil when Options.DemandDriven
 	domSet map[symbols.Const]bool
 
 	// cache memoises answers for a standalone engine (Options.CacheBytes
@@ -440,7 +468,14 @@ func (e *Engine) ApplyDelta(asserts, retracts []string) error {
 	if len(cadd)+len(crem) == 0 {
 		return nil
 	}
-	cone := coneFromGraph(depgraph.Build(e.prog.src), e.prog.syms, seeds)
+	// Demand-driven engines have magic rules installed beside the program;
+	// the cone must see their edges so commits that can move a demanded
+	// answer invalidate the demand caches (and prune the right tables).
+	g := depgraph.Build(e.prog.src)
+	if e.dem != nil {
+		g.Extend(e.dem.InstalledRules())
+	}
+	cone := coneFromGraph(g, e.prog.syms, seeds)
 	if err := e.applyDeltaCompiled(cadd, crem, cone); err != nil {
 		return err
 	}
@@ -464,10 +499,19 @@ func (e *Engine) applyDeltaCompiled(added, removed []ast.CAtom, cone map[symbols
 	for i, ca := range removed {
 		remIDs[i] = in.InternGround(ca)
 	}
+	var err error
 	if e.cas != nil {
-		return e.cas.ApplyDelta(addIDs, remIDs, cone)
+		err = e.cas.ApplyDelta(addIDs, remIDs, cone)
+	} else {
+		err = e.uni.ApplyDelta(addIDs, remIDs, cone)
 	}
-	return e.uni.ApplyDelta(addIDs, remIDs, cone)
+	if err != nil {
+		return err
+	}
+	if e.dem != nil {
+		e.dem.Invalidate(cone, addIDs, remIDs)
+	}
+	return nil
 }
 
 // compileDelta compiles effective surface-level delta atoms and collects
@@ -540,7 +584,7 @@ func New(p *Program, opts Options) (*Engine, error) {
 		})
 		mem := newMemTracker(opts.MaxMemoryBytes, uni.Interner(), uni.Base())
 		uni.SetMem(mem)
-		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
+		return wrapDemand(&Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets, mem: mem}, p, opts), nil
 	case ModeCascade:
 		if p.strt == nil {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
@@ -551,7 +595,7 @@ func New(p *Program, opts Options) (*Engine, error) {
 		}
 		mem := newMemTracker(opts.MaxMemoryBytes, cas.Interner(), cas.Base())
 		cas.SetMemTracker(mem)
-		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
+		return wrapDemand(&Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets, mem: mem}, p, opts), nil
 	default:
 		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
 	}
@@ -589,7 +633,7 @@ func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *fa
 		})
 		mem := newMemTracker(opts.MaxMemoryBytes, in, base)
 		uni.SetMem(mem)
-		return &Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
+		return wrapDemand(&Engine{prog: p, asker: uni, uni: uni, domSet: domSet, cache: ac, mets: mets, mem: mem}, p, opts), nil
 	case ModeCascade:
 		if p.strt == nil {
 			return nil, fmt.Errorf("hypo: cascade mode needs a linear stratification: %w", p.serr)
@@ -600,10 +644,25 @@ func newFromSubstrate(p *Program, opts Options, subIn *facts.Interner, subDB *fa
 		}
 		mem := newMemTracker(opts.MaxMemoryBytes, in, base)
 		cas.SetMemTracker(mem)
-		return &Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets, mem: mem}, nil
+		return wrapDemand(&Engine{prog: p, asker: cas, cas: cas, domSet: domSet, cache: ac, mets: mets, mem: mem}, p, opts), nil
 	default:
 		return nil, fmt.Errorf("hypo: unknown mode %d", mode)
 	}
+}
+
+// wrapDemand turns on demand-driven evaluation for a freshly built
+// engine when requested: the asker is wrapped in an engine.Demand that
+// answers ground goals through the program's magic-transformed rewrite
+// and falls back to the wrapped engine everywhere else.
+func wrapDemand(e *Engine, p *Program, opts Options) *Engine {
+	if !opts.DemandDriven {
+		return e
+	}
+	d := engine.NewDemand(e.asker, p.demand(), p.comp, e.mets)
+	d.SetMem(e.mem)
+	e.asker = d
+	e.dem = d
+	return e
 }
 
 // domainInfo computes dom(R, DB) plus Options.ExtraDomain, as both the
@@ -662,7 +721,7 @@ func (e *Engine) askCtx(ctx context.Context, query string) (bool, error) {
 		ok, err := e.asker.AskPremiseCtx(ctx, cpr, e.asker.EmptyState())
 		return ok, e.enrich(err)
 	}
-	return e.cachedBool(ctx, askCacheKey(pr), func() (bool, error) {
+	return e.cachedBool(ctx, e.ckey(askCacheKey(pr)), func() (bool, error) {
 		return e.asker.AskPremiseCtx(ctx, cpr, e.asker.EmptyState())
 	})
 }
@@ -744,7 +803,7 @@ func (e *Engine) queryEachCtx(ctx context.Context, query string, yield func(Bind
 	if e.cache == nil {
 		return e.enrich(e.queryEachCompiledCtx(ctx, cpr, names, yield))
 	}
-	v, st, err := e.cache.Do(ctx, cache.Key{Version: e.version, Query: queryCacheKey(pr)}, func() (cache.Computed, error) {
+	v, st, err := e.cache.Do(ctx, cache.Key{Version: e.version, Query: e.ckey(queryCacheKey(pr))}, func() (cache.Computed, error) {
 		// Leader: stream each binding to yield as it is proved while
 		// also materialising the answer set for the cache. A yield abort
 		// surfaces verbatim and caches nothing — the set is partial.
@@ -810,7 +869,7 @@ func (e *Engine) askUnderCtx(ctx context.Context, query string, added []string) 
 		ok, err := e.askUnderCompiled(ctx, pr, adds)
 		return ok, e.enrich(err)
 	}
-	return e.cachedBool(ctx, key, func() (bool, error) {
+	return e.cachedBool(ctx, e.ckey(key), func() (bool, error) {
 		return e.askUnderCompiled(ctx, pr, adds)
 	})
 }

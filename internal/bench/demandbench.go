@@ -1,0 +1,97 @@
+package bench
+
+// E21: demand-driven magic sets — what Options.DemandDriven buys on
+// bound point queries. Full-stratum evaluation of reach(n0, n_last) on
+// a linear chain materialises the whole O(n²) transitive closure before
+// answering; the magic-set rewrite propagates demand down the chain and
+// derives only the O(n) tuples the bound arguments can reach. Both the
+// hit (the chain's endpoints, answer true) and the miss (the reversed
+// endpoints, answer false) are timed cold — a fresh engine per
+// repetition, so no memo or cache state survives between asks and the
+// number measured is the first-query latency an operator flipping
+// -demand actually sees.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	hypo "hypodatalog"
+)
+
+// e21Ask times one cold Ask on a fresh engine built with opts and
+// checks the answer. It returns the evaluation latency only — engine
+// construction (shared by both modes, and amortised across queries in
+// any real deployment) is excluded.
+func e21Ask(prog *hypo.Program, opts hypo.Options, q string, want bool) (time.Duration, error) {
+	e, err := hypo.New(prog, opts)
+	if err != nil {
+		return 0, fmt.Errorf("E21: engine: %w", err)
+	}
+	start := time.Now()
+	got, err := e.Ask(q)
+	d := time.Since(start)
+	if err != nil {
+		return 0, fmt.Errorf("E21: Ask(%s): %w", q, err)
+	}
+	if got != want {
+		return 0, fmt.Errorf("E21: Ask(%s) = %v, want %v", q, got, want)
+	}
+	return d, nil
+}
+
+// E21DemandPoint sweeps chain sizes and reports the cold point-query
+// p50 of full-stratum ModeCascade against the same mode with
+// DemandDriven, for both a true and a false point query. The answers
+// are verified every repetition, so the table doubles as an
+// equivalence check at sizes the differential fuzzer never reaches.
+func E21DemandPoint(s Sizes) (*Table, error) {
+	t := NewTable("E21 (demand-driven magic sets): cold bound point queries, full-stratum vs demand",
+		"n", "full hit p50", "demand hit p50", "hit speedup", "full miss p50", "demand miss p50")
+	t.Note = "chain edge(n0..n); hit = reach(n0, n_last) cold on a fresh engine, miss = reach(n_last, n0); full = ModeCascade, demand = ModeCascade + DemandDriven"
+
+	const reps = 5
+	full := hypo.Options{Mode: hypo.ModeCascade}
+	demand := hypo.Options{Mode: hypo.ModeCascade, DemandDriven: true}
+	for _, n := range s.DemandN {
+		prog, err := hypo.Parse(memChainSrc(n))
+		if err != nil {
+			return nil, err
+		}
+		hit := fmt.Sprintf("reach(n0, n%d)", n)
+		miss := fmt.Sprintf("reach(n%d, n0)", n)
+
+		p50 := func(opts hypo.Options, q string, want bool) (time.Duration, error) {
+			ds := make([]time.Duration, 0, reps)
+			for rep := 0; rep < reps; rep++ {
+				d, err := e21Ask(prog, opts, q, want)
+				if err != nil {
+					return 0, fmt.Errorf("n=%d: %w", n, err)
+				}
+				ds = append(ds, d)
+			}
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			return ds[len(ds)/2], nil
+		}
+
+		fullHit, err := p50(full, hit, true)
+		if err != nil {
+			return nil, err
+		}
+		demandHit, err := p50(demand, hit, true)
+		if err != nil {
+			return nil, err
+		}
+		fullMiss, err := p50(full, miss, false)
+		if err != nil {
+			return nil, err
+		}
+		demandMiss, err := p50(demand, miss, false)
+		if err != nil {
+			return nil, err
+		}
+		speedup := float64(fullHit) / float64(demandHit)
+		t.Add(n, fullHit, demandHit, speedup, fullMiss, demandMiss)
+	}
+	return t, nil
+}

@@ -43,6 +43,7 @@ type Sizes struct {
 	ReplN   []int // E18: replica counts
 	TenantK []int // E19: co-resident tenant counts
 	MemN    []int // E20: memory-budget graph sizes
+	DemandN []int // E21: demand-driven point-query graph sizes
 	Seed    int64
 }
 
@@ -62,6 +63,7 @@ func DefaultSizes() Sizes {
 		ReplN:   []int{1, 2, 3},
 		TenantK: []int{1, 2, 4},
 		MemN:    []int{24, 48, 64},
+		DemandN: []int{32, 64, 128},
 		Seed:    1,
 	}
 }
@@ -82,6 +84,7 @@ func SmokeSizes() Sizes {
 		ReplN:   []int{1, 2},
 		TenantK: []int{1, 2},
 		MemN:    []int{16},
+		DemandN: []int{8, 16},
 		Seed:    1,
 	}
 }
@@ -1071,5 +1074,6 @@ func All() []Experiment {
 		{"E18", "replication: read scaling across replicas, min-version wait", E18Replication},
 		{"E19", "multi-tenant: per-tenant tail latency as co-resident programs grow", E19MultiTenant},
 		{"E20", "memory governance: per-query byte budget, refusing vs paying", E20MemGovern},
+		{"E21", "demand-driven magic sets: bound point queries vs full-stratum evaluation", E21DemandPoint},
 	}
 }

@@ -384,3 +384,27 @@ func deltaTouches(d facts.Delta, ids []facts.AtomID) bool {
 	}
 	return false
 }
+
+// DropTouching discards cached materialisations whose hypothetical delta
+// mentions any of the given atoms. After a commit, a state key built
+// over the old base may no longer be canonical for deltas that overlap
+// the committed atoms (an added atom is now in the base, a removed one
+// is gone), so such entries can never be looked up again — dropping them
+// releases their memory instead of leaking it. Entries whose delta is
+// disjoint from the commit are kept; callers use this only when the
+// commit's predicate cone provably cannot change the prover's derived
+// atoms (the demand-driven mode's out-of-cone case).
+func (p *Prover) DropTouching(added, removed []facts.AtomID) {
+	var n int64
+	for key, me := range p.cache {
+		if !deltaTouches(me.delta, added) && !deltaTouches(me.delta, removed) {
+			continue
+		}
+		delete(p.cache, key)
+		p.releaseEntry(key, me)
+		n++
+	}
+	if n > 0 {
+		metrics.Default.LiveIncrementalDropped.Add(n)
+	}
+}

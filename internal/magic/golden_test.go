@@ -1,0 +1,195 @@
+package magic
+
+import (
+	"strings"
+	"testing"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/parser"
+)
+
+// The golden corpus pins the transformation's exact output rule sets so
+// a regression diffs readably here instead of failing deep inside the
+// differential fuzzer. Rules are compared in rendered surface syntax and
+// in order (guarded answer rule first, then the magic/supplementary
+// rules its body generates, rule by rule, worklist pattern by pattern).
+func TestTransformGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		query   ast.PredSig
+		adorn   string
+		seed    string
+		degener bool
+		want    []string
+	}{
+		{
+			// The paper's flavor of linear recursion: transitive closure
+			// over an edge relation, fully bound point query. Demand
+			// propagates along the chain via one magic rule.
+			name: "reach-chain-bb",
+			src: `
+				edge(a, b). edge(b, c).
+				reach(X, Y) :- edge(X, Y).
+				reach(X, Y) :- edge(X, Z), reach(Z, Y).
+			`,
+			query: ast.PredSig{Name: "reach", Arity: 2},
+			adorn: "bb",
+			seed:  "magic$reach$bb",
+			want: []string{
+				"reach(X, Y) :- 'magic$reach$bb'(X, Y), edge(X, Y).",
+				"reach(X, Y) :- 'magic$reach$bb'(X, Y), edge(X, Z), reach(Z, Y).",
+				"'magic$reach$bb'(Z, Y) :- 'magic$reach$bb'(X, Y), edge(X, Z).",
+			},
+		},
+		{
+			// Bound-free point query: only the first argument drives
+			// demand, so the magic predicate is unary.
+			name: "reach-chain-bf",
+			src: `
+				edge(a, b).
+				reach(X, Y) :- edge(X, Y).
+				reach(X, Y) :- edge(X, Z), reach(Z, Y).
+			`,
+			query: ast.PredSig{Name: "reach", Arity: 2},
+			adorn: "bf",
+			seed:  "magic$reach$bf",
+			want: []string{
+				"reach(X, Y) :- 'magic$reach$bf'(X), edge(X, Y).",
+				"reach(X, Y) :- 'magic$reach$bf'(X), edge(X, Z), reach(Z, Y).",
+				"'magic$reach$bf'(Z) :- 'magic$reach$bf'(X), edge(X, Z).",
+			},
+		},
+		{
+			// Non-linear (doubling) recursion exercises supplementary
+			// compression: the second in-scope subgoal of a rule shares
+			// its prefix through a sup predicate, and the bf pattern the
+			// first subgoal demands is transformed in its own right.
+			name: "path-nonlinear-bb",
+			src: `
+				edge(a, b).
+				path(X, Y) :- edge(X, Y).
+				path(X, Y) :- path(X, Z), path(Z, Y).
+			`,
+			query: ast.PredSig{Name: "path", Arity: 2},
+			adorn: "bb",
+			seed:  "magic$path$bb",
+			want: []string{
+				"path(X, Y) :- 'magic$path$bb'(X, Y), edge(X, Y).",
+				"path(X, Y) :- 'magic$path$bb'(X, Y), path(X, Z), path(Z, Y).",
+				"'magic$path$bf'(X) :- 'magic$path$bb'(X, Y).",
+				"'sup$path$bb$1$1'(X, Y, Z) :- 'magic$path$bb'(X, Y), path(X, Z).",
+				"'magic$path$bb'(Z, Y) :- 'sup$path$bb$1$1'(X, Y, Z).",
+				"path(X, Y) :- 'magic$path$bf'(X), edge(X, Y).",
+				"path(X, Y) :- 'magic$path$bf'(X), path(X, Z), path(Z, Y).",
+				"'magic$path$bf'(X) :- 'magic$path$bf'(X).",
+				"'sup$path$bf$1$1'(X, Z) :- 'magic$path$bf'(X), path(X, Z).",
+				"'magic$path$bf'(Z) :- 'sup$path$bf$1$1'(X, Z).",
+			},
+		},
+		{
+			// Negation through recursion: r consults q under negation, so
+			// q falls out of the demand scope — its guarded rules are
+			// never emitted and the evaluator answers q via the full
+			// engine. p stays demanded.
+			name: "negation-shields-q",
+			src: `
+				e(a, b).
+				p(X) :- q(X).
+				q(X) :- e(X, Y), p(Y).
+				r(X) :- p(X), not q(X).
+			`,
+			query: ast.PredSig{Name: "r", Arity: 1},
+			adorn: "b",
+			seed:  "magic$r$b",
+			want: []string{
+				"r(X) :- 'magic$r$b'(X), p(X), not q(X).",
+				"'magic$p$b'(X) :- 'magic$r$b'(X).",
+				"p(X) :- 'magic$p$b'(X), q(X).",
+			},
+		},
+		{
+			// A hypothetical [add:] premise: its target leaves the scope
+			// (full per-state evaluation via the oracle), it contributes
+			// nothing to the demand prefix, and demand flows past it to
+			// the plain premises of the rule.
+			name: "hyp-add-context",
+			src: `
+				base(a). flag(a).
+				ok(X) :- flag(X).
+				good(X) :- base(X).
+				safe(X) :- ok(X)[add: flag(X)], good(X).
+			`,
+			query: ast.PredSig{Name: "safe", Arity: 1},
+			adorn: "b",
+			seed:  "magic$safe$b",
+			want: []string{
+				"safe(X) :- 'magic$safe$b'(X), ok(X)[add: flag(X)], good(X).",
+				"'magic$good$b'(X) :- 'magic$safe$b'(X).",
+				"good(X) :- 'magic$good$b'(X), base(X).",
+			},
+		},
+		{
+			// Same with [del:]: hypothetical deletion premises are
+			// equally opaque to demand.
+			name: "hyp-del-context",
+			src: `
+				base(a). flag(a).
+				ok(X) :- base(X).
+				good(X) :- base(X).
+				safe(X) :- ok(X)[del: flag(X)], good(X).
+			`,
+			query: ast.PredSig{Name: "safe", Arity: 1},
+			adorn: "b",
+			seed:  "magic$safe$b",
+			want: []string{
+				"safe(X) :- 'magic$safe$b'(X), ok(X)[del: flag(X)], good(X).",
+				"'magic$good$b'(X) :- 'magic$safe$b'(X).",
+				"good(X) :- 'magic$good$b'(X), base(X).",
+			},
+		},
+		{
+			// All-free adornment must degenerate to the original program
+			// verbatim: with nothing bound there is no demand to seed.
+			name: "all-free-degenerates",
+			src: `
+				edge(a, b).
+				reach(X, Y) :- edge(X, Y).
+				reach(X, Y) :- edge(X, Z), reach(Z, Y).
+			`,
+			query:   ast.PredSig{Name: "reach", Arity: 2},
+			adorn:   "ff",
+			degener: true,
+			want: []string{
+				"reach(X, Y) :- edge(X, Y).",
+				"reach(X, Y) :- edge(X, Z), reach(Z, Y).",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := parser.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tr, err := Transform(prog, tc.query, tc.adorn)
+			if err != nil {
+				t.Fatalf("Transform: %v", err)
+			}
+			if tr.Degenerate != tc.degener {
+				t.Fatalf("Degenerate = %v, want %v", tr.Degenerate, tc.degener)
+			}
+			if !tc.degener && tr.SeedPred.Name != tc.seed {
+				t.Errorf("SeedPred = %s, want %s", tr.SeedPred, tc.seed)
+			}
+			got := make([]string, len(tr.Rules))
+			for i, r := range tr.Rules {
+				got[i] = r.String()
+			}
+			if strings.Join(got, "\n") != strings.Join(tc.want, "\n") {
+				t.Errorf("transformed rules:\n%s\nwant:\n%s",
+					strings.Join(got, "\n"), strings.Join(tc.want, "\n"))
+			}
+		})
+	}
+}

@@ -1,0 +1,290 @@
+// Package magic implements the demand-driven (magic-sets) rewrite of a
+// stratified hypothetical-Datalog program for a single query pattern.
+//
+// The rewrite follows the extended magic-sets construction of Tekle &
+// Liu (arXiv:1909.08246), adapted to this system's hypothetical cascade
+// in three ways:
+//
+//   - Guarded answer rules instead of renamed adorned copies. Each
+//     original rule p(x̄) :- B is kept verbatim and guarded by a magic
+//     premise on p's bound head arguments:
+//
+//     p(x̄) :- 'magic$p$a'(bound(x̄)), B.
+//
+//     Derived atoms are plain p-atoms, so answers from different
+//     adornments union soundly and magic predicates never leak into
+//     user-visible answers or proof trees (the restricted-predicate
+//     discipline of Sáenz-Pérez, arXiv:1512.06945).
+//
+//   - Demand flows only through positive plain premises inside the
+//     strat.DemandScope: predicates consulted under negation or inside
+//     a hypothetical [add:]/[del:] premise are forced out of scope and
+//     answered by the full engine (the rewrite's oracle), so demand
+//     never peeks below an unsafe stratum and negation is never applied
+//     to a partial, demanded model.
+//
+//   - The magic seed is a fact in the query state's hypothetical delta,
+//     not in the program: the evaluator adds 'magic$q$a'(bound args) to
+//     the per-query state, so the hypothetical context's effective
+//     delta and the demand seed travel together and per-state
+//     materialisation caches stay keyed correctly.
+//
+// Sideways information passing uses the left-to-right plain-premise
+// prefix: a subgoal argument is bound iff it is a constant or a variable
+// occurring in the magic guard or an earlier plain premise of the same
+// rule. Variables bound only by negated or hypothetical premises are
+// conservatively treated as free — that can only enlarge the demanded
+// set, never lose answers.
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/strat"
+)
+
+// Transformed is the result of rewriting one program for one query
+// pattern.
+type Transformed struct {
+	Query     ast.PredSig // the demanded predicate
+	Adornment string      // 'b'/'f' per argument position of Query
+
+	// Degenerate is set when the rewrite would not restrict anything —
+	// the adornment has no bound argument (and the query has arguments),
+	// or the query predicate falls outside the demand scope. Rules then
+	// holds the original program's rules unchanged.
+	Degenerate bool
+
+	// Rules is the transformed rule set: guarded answer rules for every
+	// in-scope predicate reachable from the query, plus the magic and
+	// supplementary rules that drive demand.
+	Rules []ast.Rule
+
+	// SeedPred is the magic predicate of the query pattern itself; the
+	// evaluator seeds one SeedPred fact holding the query's bound
+	// arguments (in position order) into the query state.
+	SeedPred ast.PredSig
+	// BoundPos lists the query argument positions (0-based) that are
+	// bound in the adornment, in order; SeedPred.Arity == len(BoundPos).
+	BoundPos []int
+
+	// Scope is the demand scope the rewrite used (strat.DemandScope).
+	Scope map[ast.PredSig]bool
+
+	// Mentioned holds every predicate occurring anywhere in Rules
+	// (heads, premises, add/del lists). A commit whose cone is disjoint
+	// from Mentioned cannot change any demanded answer.
+	Mentioned map[ast.PredSig]bool
+}
+
+// adorned keys the transformation worklist: one entry per (predicate,
+// adornment) pattern demanded somewhere.
+type adorned struct {
+	sig ast.PredSig
+	ad  string
+}
+
+// Transform rewrites the program for a query on sig with the given
+// adornment ('b' = bound, 'f' = free, one rune per argument position).
+// The input program is not modified; transformed rules share atom/premise
+// values with it and must be treated as immutable.
+func Transform(p *ast.Program, query ast.PredSig, adornment string) (*Transformed, error) {
+	if len(adornment) != query.Arity {
+		return nil, fmt.Errorf("magic: adornment %q has length %d, want %d for %s",
+			adornment, len(adornment), query.Arity, query)
+	}
+	for _, c := range adornment {
+		if c != 'b' && c != 'f' {
+			return nil, fmt.Errorf("magic: adornment %q: want only 'b'/'f'", adornment)
+		}
+	}
+	t := &Transformed{Query: query, Adornment: adornment}
+	t.Scope = strat.DemandScope(p, query)
+	if (query.Arity > 0 && !strings.Contains(adornment, "b")) || !t.Scope[query] {
+		t.Degenerate = true
+		t.Rules = append([]ast.Rule(nil), p.Rules...)
+		return t, nil
+	}
+
+	// Collision-safe naming: generated predicates must not clash with any
+	// predicate of the user program (or each other).
+	taken := map[ast.PredSig]bool{}
+	for _, sig := range p.Predicates() {
+		taken[sig] = true
+	}
+	fresh := func(name string, arity int) ast.PredSig {
+		for taken[ast.PredSig{Name: name, Arity: arity}] {
+			name += "$"
+		}
+		sig := ast.PredSig{Name: name, Arity: arity}
+		taken[sig] = true
+		return sig
+	}
+	magicPreds := map[adorned]ast.PredSig{}
+	magicPred := func(sig ast.PredSig, ad string) ast.PredSig {
+		key := adorned{sig, ad}
+		if m, ok := magicPreds[key]; ok {
+			return m
+		}
+		m := fresh("magic$"+sig.Name+"$"+ad, strings.Count(ad, "b"))
+		magicPreds[key] = m
+		return m
+	}
+
+	rulesOf := map[ast.PredSig][]int{}
+	for ri, r := range p.Rules {
+		sig := ast.PredSig{Name: r.Head.Pred, Arity: r.Head.Arity()}
+		rulesOf[sig] = append(rulesOf[sig], ri)
+	}
+
+	var out []ast.Rule
+	seen := map[adorned]bool{}
+	queue := []adorned{{query, adornment}}
+	seen[queue[0]] = true
+	for len(queue) > 0 {
+		qa := queue[0]
+		queue = queue[1:]
+		for _, ri := range rulesOf[qa.sig] {
+			out = append(out, transformRule(p.Rules[ri], ri, qa, t.Scope,
+				magicPred, fresh, func(next adorned) {
+					if !seen[next] {
+						seen[next] = true
+						queue = append(queue, next)
+					}
+				})...)
+		}
+	}
+
+	t.SeedPred = magicPreds[adorned{query, adornment}]
+	for i, c := range adornment {
+		if c == 'b' {
+			t.BoundPos = append(t.BoundPos, i)
+		}
+	}
+	t.Rules = out
+	t.Mentioned = mentions(out)
+	return t, nil
+}
+
+// transformRule emits the guarded answer rule for one source rule under
+// one head adornment, plus the magic (and supplementary) rules that pass
+// demand to its in-scope plain subgoals.
+func transformRule(r ast.Rule, ri int, qa adorned, scope map[ast.PredSig]bool,
+	magicPred func(ast.PredSig, string) ast.PredSig,
+	fresh func(string, int) ast.PredSig,
+	demand func(adorned)) []ast.Rule {
+
+	guard := guardAtom(magicPred(qa.sig, qa.ad), r.Head, qa.ad)
+	rules := []ast.Rule{{
+		Head: r.Head,
+		Body: append([]ast.Premise{ast.PlainP(guard)}, r.Body...),
+	}}
+
+	// ctx is the sideways-information-passing prefix: the guard followed
+	// by the plain premises seen so far (possibly compressed into one
+	// supplementary premise). boundList/boundSet track the variables it
+	// binds, in first-occurrence order.
+	ctx := []ast.Premise{ast.PlainP(guard)}
+	var boundList []string
+	boundSet := map[string]bool{}
+	bind := func(a ast.Atom) {
+		for _, arg := range a.Args {
+			if arg.IsVar && !boundSet[arg.Name] {
+				boundSet[arg.Name] = true
+				boundList = append(boundList, arg.Name)
+			}
+		}
+	}
+	bind(guard)
+	emitted := false
+	for pi, pr := range r.Body {
+		if pr.Kind != ast.Plain {
+			// Negated and hypothetical premises neither receive demand
+			// (their targets are out of scope by construction) nor bind
+			// variables for the SIP prefix: treating their variables as
+			// free only widens the demanded set, which is sound.
+			continue
+		}
+		sig := ast.PredSig{Name: pr.Atom.Pred, Arity: pr.Atom.Arity()}
+		if scope[sig] {
+			ad := adornOf(pr.Atom, boundSet)
+			if emitted && len(ctx) > 1 {
+				// Second (or later) magic rule from this source rule:
+				// compress the shared prefix into one supplementary
+				// predicate so it is evaluated once, not per magic rule.
+				sup := fresh(fmt.Sprintf("sup$%s$%s$%d$%d", qa.sig.Name, qa.ad, ri, pi),
+					len(boundList))
+				supAtom := ast.Atom{Pred: sup.Name, Args: varTerms(boundList)}
+				rules = append(rules, ast.Rule{Head: supAtom, Body: ctx})
+				ctx = []ast.Premise{ast.PlainP(supAtom)}
+			}
+			m := magicPred(sig, ad)
+			rules = append(rules, ast.Rule{
+				Head: guardAtom(m, pr.Atom, ad),
+				Body: append([]ast.Premise(nil), ctx...),
+			})
+			emitted = true
+			demand(adorned{sig, ad})
+		}
+		ctx = append(ctx, pr)
+		bind(pr.Atom)
+	}
+	return rules
+}
+
+// guardAtom builds the magic atom for a predicate occurrence: the magic
+// predicate applied to the occurrence's arguments at the adornment's
+// bound positions, in position order.
+func guardAtom(m ast.PredSig, a ast.Atom, ad string) ast.Atom {
+	args := make([]ast.Term, 0, m.Arity)
+	for i, c := range ad {
+		if c == 'b' {
+			args = append(args, a.Args[i])
+		}
+	}
+	return ast.Atom{Pred: m.Name, Args: args}
+}
+
+// adornOf computes a subgoal's adornment against the set of variables
+// bound by the SIP prefix: constants and bound variables are 'b',
+// everything else 'f'.
+func adornOf(a ast.Atom, bound map[string]bool) string {
+	var b strings.Builder
+	for _, arg := range a.Args {
+		if !arg.IsVar || bound[arg.Name] {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+func varTerms(names []string) []ast.Term {
+	out := make([]ast.Term, len(names))
+	for i, n := range names {
+		out[i] = ast.Var(n)
+	}
+	return out
+}
+
+// mentions collects every predicate occurring anywhere in the rules.
+func mentions(rules []ast.Rule) map[ast.PredSig]bool {
+	out := map[ast.PredSig]bool{}
+	add := func(a ast.Atom) { out[ast.PredSig{Name: a.Pred, Arity: a.Arity()}] = true }
+	for _, r := range rules {
+		add(r.Head)
+		for _, pr := range r.Body {
+			add(pr.Atom)
+			for _, a := range pr.Adds {
+				add(a)
+			}
+			for _, a := range pr.Dels {
+				add(a)
+			}
+		}
+	}
+	return out
+}

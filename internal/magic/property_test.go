@@ -1,0 +1,269 @@
+package magic_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	hypo "hypodatalog"
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/magic"
+	"hypodatalog/internal/parser"
+	"hypodatalog/internal/strat"
+)
+
+// propPrograms is a small corpus spanning the language: plain recursion,
+// negation (including negation over recursion), hypothetical add/del
+// premises, and mutual recursion.
+var propPrograms = []struct {
+	name string
+	src  string
+}{
+	{"reach", `
+		edge(a, b). edge(b, c). edge(c, d).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+	`},
+	{"nonlinear-path", `
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, Z), path(Z, Y).
+	`},
+	{"negation-over-recursion", `
+		edge(a, b). edge(b, c). node(a). node(b). node(c).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+		unreachable(X, Y) :- node(X), node(Y), not reach(X, Y).
+	`},
+	{"mutual", `
+		e(a, b). e(b, c).
+		p(X) :- q(X).
+		q(X) :- e(X, Y), p(Y).
+		q(c).
+		r(X) :- p(X), not q(X).
+	`},
+	{"hypothetical", `
+		take(tony, his101). take(sam, his101). take(sam, eng201).
+		grad(S) :- take(S, his101), take(S, eng201).
+		eligible(S) :- grad(S)[add: take(S, eng201)].
+		blocked(S) :- grad(S)[del: take(S, his101)].
+	`},
+}
+
+func idbSigs(p *ast.Program) []ast.PredSig {
+	seen := map[ast.PredSig]bool{}
+	var out []ast.PredSig
+	for _, r := range p.Rules {
+		sig := ast.PredSig{Name: r.Head.Pred, Arity: r.Head.Arity()}
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, sig)
+		}
+	}
+	return out
+}
+
+// Every non-degenerate transform must keep negation stratified: the
+// rewrite adds only positive premises (magic guards, supplementary
+// joins), so recursion through negation cannot appear where the source
+// program had none.
+func TestTransformPreservesStratifiedNegation(t *testing.T) {
+	for _, tc := range propPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := parser.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := strat.CheckNegation(prog); err != nil {
+				t.Fatalf("source not stratified: %v", err)
+			}
+			for _, sig := range idbSigs(prog) {
+				tr, err := magic.Transform(prog, sig, strings.Repeat("b", sig.Arity))
+				if err != nil {
+					t.Fatalf("Transform(%s): %v", sig, err)
+				}
+				out := &ast.Program{Rules: tr.Rules, Facts: prog.Facts}
+				if err := strat.CheckNegation(out); err != nil {
+					t.Errorf("Transform(%s): output not stratified: %v", sig, err)
+				}
+			}
+		})
+	}
+}
+
+// An adornment with no bound arguments carries no demand: the transform
+// must degenerate to exactly the original rule set.
+func TestTransformAllFreeDegenerates(t *testing.T) {
+	for _, tc := range propPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := parser.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, sig := range idbSigs(prog) {
+				if sig.Arity == 0 {
+					continue // a 0-ary query is trivially all-bound
+				}
+				tr, err := magic.Transform(prog, sig, strings.Repeat("f", sig.Arity))
+				if err != nil {
+					t.Fatalf("Transform(%s): %v", sig, err)
+				}
+				if !tr.Degenerate {
+					t.Fatalf("Transform(%s, all-free) not degenerate", sig)
+				}
+				if len(tr.Rules) != len(prog.Rules) {
+					t.Fatalf("degenerate rule count %d, want %d", len(tr.Rules), len(prog.Rules))
+				}
+				for i := range tr.Rules {
+					if got, want := tr.Rules[i].String(), prog.Rules[i].String(); got != want {
+						t.Errorf("degenerate rule %d = %s, want %s", i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Every generated predicate must be fresh: magic and supplementary
+// names never collide with a predicate of the source program, even a
+// hostile one that already uses magic$-shaped names.
+func TestTransformFreshNames(t *testing.T) {
+	src := `
+		'magic$reach$bb'(a, b).
+		edge(a, b).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y), 'magic$reach$bb'(X, Z).
+	`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tr, err := magic.Transform(prog, ast.PredSig{Name: "reach", Arity: 2}, "bb")
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if tr.Degenerate {
+		t.Fatal("unexpected degenerate transform")
+	}
+	orig := map[ast.PredSig]bool{}
+	for _, sig := range prog.Predicates() {
+		orig[sig] = true
+	}
+	for sig := range tr.Mentioned {
+		if strings.HasPrefix(sig.Name, "magic$") || strings.HasPrefix(sig.Name, "sup$") {
+			if sig.Name == "magic$reach$bb" && sig.Arity == 2 {
+				continue // the user's own predicate, mentioned by their rule
+			}
+			if orig[sig] {
+				t.Errorf("generated predicate %s collides with the source program", sig)
+			}
+		}
+	}
+	if tr.SeedPred.Name == "magic$reach$bb" {
+		t.Errorf("seed %s collides with a user predicate", tr.SeedPred)
+	}
+}
+
+// Demand-driven answers must be bit-identical to full evaluation, and
+// magic predicates must never surface in answers or proof trees.
+func TestDemandAnswersMatchAndStayClean(t *testing.T) {
+	queries := map[string][]string{
+		"reach":                   {"reach(a, d)", "reach(d, a)", "reach(X, Y)", "reach(a, Y)"},
+		"nonlinear-path":          {"path(a, c)", "path(c, a)", "path(X, Y)"},
+		"negation-over-recursion": {"unreachable(c, a)", "unreachable(a, c)", "unreachable(X, Y)"},
+		"mutual":                  {"p(a)", "r(a)", "r(c)", "q(X)"},
+		"hypothetical":            {"grad(sam)", "eligible(tony)", "blocked(sam)", "eligible(X)"},
+	}
+	askUnder := map[string][][2]string{
+		"reach":        {{"reach(a, d)", "edge(d, a)"}, {"reach(c, a)", "edge(d, a)"}},
+		"hypothetical": {{"grad(tony)", "take(tony, eng201)"}},
+	}
+	for _, tc := range propPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := hypo.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			plain, err := hypo.New(prog, hypo.Options{Mode: hypo.ModeUniform})
+			if err != nil {
+				t.Fatalf("plain engine: %v", err)
+			}
+			dd, err := hypo.New(prog, hypo.Options{Mode: hypo.ModeUniform, DemandDriven: true})
+			if err != nil {
+				t.Fatalf("demand engine: %v", err)
+			}
+			for _, q := range queries[tc.name] {
+				if strings.ContainsAny(q, "XYZ") {
+					want := queryStrings(t, plain, q)
+					got := queryStrings(t, dd, q)
+					if strings.Join(got, "|") != strings.Join(want, "|") {
+						t.Errorf("Query(%s): demand %v, full %v", q, got, want)
+					}
+					for _, b := range got {
+						if strings.Contains(b, "magic$") || strings.Contains(b, "sup$") {
+							t.Errorf("Query(%s): magic predicate leaked into answer %q", q, b)
+						}
+					}
+					continue
+				}
+				want, err := plain.Ask(q)
+				if err != nil {
+					t.Fatalf("plain Ask(%s): %v", q, err)
+				}
+				got, err := dd.Ask(q)
+				if err != nil {
+					t.Fatalf("demand Ask(%s): %v", q, err)
+				}
+				if got != want {
+					t.Errorf("Ask(%s): demand %v, full %v", q, got, want)
+				}
+			}
+			for _, qa := range askUnder[tc.name] {
+				want, err := plain.AskUnder(qa[0], qa[1])
+				if err != nil {
+					t.Fatalf("plain AskUnder(%s): %v", qa[0], err)
+				}
+				got, err := dd.AskUnder(qa[0], qa[1])
+				if err != nil {
+					t.Fatalf("demand AskUnder(%s): %v", qa[0], err)
+				}
+				if got != want {
+					t.Errorf("AskUnder(%s)[add: %s]: demand %v, full %v", qa[0], qa[1], got, want)
+				}
+			}
+			// Proof trees come from the uniform engine underneath the
+			// demand wrapper and must show user rules only.
+			for _, q := range queries[tc.name] {
+				if strings.ContainsAny(q, "XYZ") {
+					continue
+				}
+				proof, err := dd.Explain(q)
+				if err != nil {
+					t.Fatalf("Explain(%s): %v", q, err)
+				}
+				if strings.Contains(proof, "magic$") || strings.Contains(proof, "sup$") {
+					t.Errorf("Explain(%s): magic predicate leaked into proof tree:\n%s", q, proof)
+				}
+			}
+		})
+	}
+}
+
+func queryStrings(t *testing.T, e *hypo.Engine, q string) []string {
+	t.Helper()
+	bs, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", q, err)
+	}
+	out := make([]string, 0, len(bs))
+	for _, b := range bs {
+		var parts []string
+		for k, v := range b {
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		out = append(out, strings.Join(parts, ","))
+	}
+	sort.Strings(out)
+	return out
+}

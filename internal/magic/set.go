@@ -1,0 +1,115 @@
+package magic
+
+import (
+	"strings"
+	"sync"
+
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/symbols"
+)
+
+// Compiled is one demand pattern compiled and ready to evaluate: the
+// transformed rules lowered through ast.Compile against the program's
+// shared symbol table. CP is nil when the pattern is ineligible for
+// demand evaluation (the transform was degenerate or the transformed
+// rules failed to compile, e.g. a guarded body overflowing the premise
+// cap); callers then fall back to full evaluation.
+type Compiled struct {
+	T  *Transformed
+	CP *ast.CProgram
+	// RuleIdx indexes every rule of CP (the demand prover owns them all).
+	RuleIdx []int
+	// Seed is the interned magic predicate of the query pattern.
+	Seed symbols.Pred
+	// Mentioned is T.Mentioned interned: every predicate the transformed
+	// rules consult. A commit whose cone is disjoint from Mentioned
+	// cannot change any answer this pattern produces.
+	Mentioned []symbols.Pred
+}
+
+// Eligible reports whether the pattern can actually be evaluated
+// demand-driven.
+func (c *Compiled) Eligible() bool { return c != nil && c.CP != nil }
+
+// Set is a per-program cache of compiled demand patterns, shared by
+// every engine built over the program (the pool's engines all point at
+// one Set). Patterns are transformed and compiled lazily, once per
+// queried predicate; the symbol table is safe for concurrent interning,
+// so Set only guards its own map.
+type Set struct {
+	prog *ast.Program
+	syms *symbols.Table
+
+	mu     sync.Mutex
+	byPred map[ast.PredSig]*Compiled
+}
+
+// NewSet builds an empty pattern cache over the program.
+func NewSet(p *ast.Program, syms *symbols.Table) *Set {
+	return &Set{prog: p, syms: syms, byPred: map[ast.PredSig]*Compiled{}}
+}
+
+// For returns the compiled demand pattern for ground (all-bound) queries
+// on sig, transforming and compiling it on first use. The result is
+// never nil; check Eligible.
+func (s *Set) For(sig ast.PredSig) *Compiled {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.byPred[sig]; ok {
+		return c
+	}
+	c := s.compile(sig)
+	s.byPred[sig] = c
+	return c
+}
+
+func (s *Set) compile(sig ast.PredSig) *Compiled {
+	t, err := Transform(s.prog, sig, strings.Repeat("b", sig.Arity))
+	if err != nil || t.Degenerate {
+		if t == nil {
+			t = &Transformed{Query: sig, Degenerate: true}
+		}
+		return &Compiled{T: t}
+	}
+	cp, err := ast.Compile(&ast.Program{Rules: t.Rules}, s.syms)
+	if err != nil {
+		return &Compiled{T: t}
+	}
+	// Plain premises on out-of-scope intensional predicates must route to
+	// the oracle (the full engine), not be read as extensional: mark the
+	// source program's rule heads intensional in the compiled view too.
+	for _, r := range s.prog.Rules {
+		cp.IDB[s.syms.Pred(r.Head.Pred, r.Head.Arity())] = true
+	}
+	idx := make([]int, len(cp.Rules))
+	for i := range idx {
+		idx[i] = i
+	}
+	mentioned := make([]symbols.Pred, 0, len(t.Mentioned))
+	for ms := range t.Mentioned {
+		mentioned = append(mentioned, s.syms.Pred(ms.Name, ms.Arity))
+	}
+	return &Compiled{
+		T:         t,
+		CP:        cp,
+		RuleIdx:   idx,
+		Seed:      s.syms.Pred(t.SeedPred.Name, t.SeedPred.Arity),
+		Mentioned: mentioned,
+	}
+}
+
+// Installed returns the transformed rules of every eligible pattern
+// compiled so far, for dependency-graph extension: commit-cone
+// computation walks these so magic predicates land inside the cones of
+// the base facts they consult.
+func (s *Set) Installed() []ast.Rule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ast.Rule
+	for _, c := range s.byPred {
+		if c.Eligible() {
+			out = append(out, c.T.Rules...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package strat
+
+import (
+	"hypodatalog/internal/ast"
+	"hypodatalog/internal/depgraph"
+)
+
+// DemandScope computes the set of intensional predicates whose evaluation
+// may soundly be restricted to query demand by a magic-sets rewrite
+// (internal/magic). It is the extended-magic analogue of "don't peek
+// below an unsafe stratum": demand may only flow through positive plain
+// premises, because a predicate consulted under negation or inside a
+// hypothetical `[add:]`/`[del:]` premise must be answered against its
+// full (per-state) model, not a demanded slice of it.
+//
+// The scope is the greatest set S such that
+//
+//   - every predicate in S is defined (has at least one rule) and is
+//     reachable from the query through positive plain premises of rules
+//     whose heads are in S, and
+//   - no rule whose head is in S consults a predicate of S through a
+//     negated or hypothetical premise.
+//
+// computed as plain-positive forward reachability followed by iterated
+// removal of negation/hypothesis targets until a fixpoint. Predicates
+// outside the scope are left to the full engine (the magic rewrite
+// routes them to its oracle), which keeps the rewrite sound: shrinking
+// the scope never changes answers, only how much of the program enjoys
+// demand restriction. The query itself may fall out of the scope (e.g.
+// when it is consulted under negation by its own cone); callers must
+// then fall back to full evaluation.
+func DemandScope(p *ast.Program, query ast.PredSig) map[ast.PredSig]bool {
+	g := depgraph.Build(p)
+	qn, ok := g.NodeOf[query]
+	if !ok || !g.Defined[qn] {
+		return nil
+	}
+	scope := map[int]bool{qn: true}
+	queue := []int{qn}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Adj[n] {
+			if e.Kind != depgraph.Pos || !g.Defined[e.To] || scope[e.To] {
+				continue
+			}
+			scope[e.To] = true
+			queue = append(queue, e.To)
+		}
+	}
+	// A predicate negated (or hypothesised over) by an in-scope rule must
+	// be evaluated in full; removing it can expose further removals, so
+	// iterate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for n := range scope {
+			for _, e := range g.Adj[n] {
+				if e.Kind != depgraph.Pos && scope[e.To] {
+					delete(scope, e.To)
+					changed = true
+				}
+			}
+		}
+	}
+	out := make(map[ast.PredSig]bool, len(scope))
+	for n := range scope {
+		out[g.Nodes[n]] = true
+	}
+	return out
+}

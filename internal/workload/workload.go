@@ -338,6 +338,12 @@ type FuzzOptions struct {
 	// DelProb makes hypothetical premises delete a pool atom (instead of
 	// or in addition to adding one) with this probability.
 	DelProb float64
+	// BinaryChainProb emits, with this probability, a binary edge/2
+	// relation plus a linearly recursive closure tc/2 over it, and lets
+	// rule bodies consult tc. Point queries over binary recursion are
+	// the shape the demand-driven (magic-set) rewrite transforms most
+	// aggressively, so this biases the differential corpus toward it.
+	BinaryChainProb float64
 }
 
 // DefaultFuzz are bounds small enough for the naive reference interpreter.
@@ -349,6 +355,8 @@ func DefaultFuzz() FuzzOptions {
 		MaxBodyLen:  3,
 		DomSize:     3,
 		EDBFillProb: 0.4,
+
+		BinaryChainProb: 0.5,
 	}
 }
 
@@ -377,6 +385,22 @@ func RandomStratifiedProgram(rng *rand.Rand, o FuzzOptions) string {
 	}
 	if rng.Float64() < 0.3 {
 		fmt.Fprintf(&b, "pool(%s).\n", domConst())
+	}
+
+	// Optional binary layer: a random edge relation with its transitive
+	// closure, consulted from the unary rules below so demand for tc
+	// point queries flows out of every stratum.
+	binary := rng.Float64() < o.BinaryChainProb
+	if binary {
+		for s := 0; s < o.DomSize; s++ {
+			for d := 0; d < o.DomSize; d++ {
+				if rng.Float64() < o.EDBFillProb {
+					fmt.Fprintf(&b, "edge(c%d, c%d).\n", s, d)
+				}
+			}
+		}
+		b.WriteString("tc(X, Y) :- edge(X, Y).\n")
+		b.WriteString("tc(X, Y) :- edge(X, Z), tc(Z, Y).\n")
 	}
 
 	pred := func(level, i int) string { return fmt.Sprintf("p%d_%d", level, i) }
@@ -409,6 +433,10 @@ func RandomStratifiedProgram(rng *rand.Rand, o FuzzOptions) string {
 				n := 1 + rng.Intn(o.MaxBodyLen)
 				var body []string
 				for j := 0; j < n; j++ {
+					if binary && rng.Intn(6) == 0 {
+						body = append(body, atom("tc", 2, 0.4))
+						continue
+					}
 					switch rng.Intn(5) {
 					case 0: // EDB atom
 						body = append(body, atom(fmt.Sprintf("e%d", rng.Intn(2)), 1, 0.2))

@@ -550,7 +550,7 @@ func (pl *Pool) askInfoCtx(ctx context.Context, query string) (bool, ReadInfo, e
 	if len(names) > 0 {
 		return false, ReadInfo{}, fmt.Errorf("hypo: Ask needs a ground query; use Query for %q", query)
 	}
-	return pl.cachedBool(ctx, askCacheKey(pr), premisePreds(cpr, nil), func(ctx context.Context, e *Engine) (bool, error) {
+	return pl.cachedBool(ctx, pl.ckey(askCacheKey(pr)), premisePreds(cpr, nil), func(ctx context.Context, e *Engine) (bool, error) {
 		return e.asker.AskPremiseCtx(ctx, cpr, e.asker.EmptyState())
 	})
 }
@@ -729,7 +729,7 @@ func (pl *Pool) queryEachInfoCtx(ctx context.Context, query string, info *ReadIn
 		return e.enrich(err)
 	}
 	ver := pl.cur.Load().version
-	v, st, err := pl.cache.Do(ctx, cache.Key{Version: ver, Query: queryCacheKey(pr)}, func() (cache.Computed, error) {
+	v, st, err := pl.cache.Do(ctx, cache.Key{Version: ver, Query: pl.ckey(queryCacheKey(pr))}, func() (cache.Computed, error) {
 		e, err := pl.get(ctx)
 		if err != nil {
 			return cache.Computed{}, err
@@ -818,6 +818,10 @@ func (pl *Pool) explainCtx(ctx context.Context, query string) (string, ReadInfo,
 	opts := pl.opts
 	opts.Mode = ModeUniform
 	opts.CacheBytes = 0
+	// Explain reads the uniform engine directly; demand wrapping would be
+	// dead weight on this throwaway engine (and proof trees must show the
+	// user's rules only).
+	opts.DemandDriven = false
 	ue, uerr := newFromSubstrate(cur.prog, opts, sub.in, sub.db)
 	if uerr != nil {
 		return "", info, fmt.Errorf("hypo: building uniform engine for Explain: %w", uerr)
@@ -858,7 +862,7 @@ func (pl *Pool) askUnderInfoCtx(ctx context.Context, query string, added []strin
 	if err != nil {
 		return false, ReadInfo{}, err
 	}
-	return pl.cachedBool(ctx, key, premisePreds(cpr, adds), func(ctx context.Context, e *Engine) (bool, error) {
+	return pl.cachedBool(ctx, pl.ckey(key), premisePreds(cpr, adds), func(ctx context.Context, e *Engine) (bool, error) {
 		return e.askUnderCompiled(ctx, cpr, adds)
 	})
 }
